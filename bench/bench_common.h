@@ -1,0 +1,19 @@
+// Shared helpers for the benchmark/reproduction binaries.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace tapo::bench {
+
+// Reads a positive integer from the environment; returns fallback when the
+// variable is unset or unparsable. Used to scale the heavy harnesses down
+// (e.g. TAPO_RUNS=3 TAPO_NODES=40 ./bench_fig6_improvement).
+inline std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  const long parsed = std::strtol(value, nullptr, 10);
+  return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
+}
+
+}  // namespace tapo::bench

@@ -1,0 +1,37 @@
+// Figure 4 reproduction: RR_{i,j} when a P-state cannot meet the deadline.
+//
+// Same example as Figure 3 but with m_i = 1.5 s: P-state 2 executes a task
+// in 1/0.5 = 2 s > m_i, so its reward rate drops to 0 and the function is no
+// longer concave - the "bad P-state" Stage 1 must handle.
+#include <cstdio>
+#include <iostream>
+
+#include "solver/piecewise.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tapo;
+
+  std::printf("=== Figure 4: RR_{i,j} with a deadline-infeasible P-state ===\n\n");
+  std::printf("m_i = 1.5 s; P-state 2 needs 1/ECS = 1/0.5 = 2.0 s > m_i\n\n");
+
+  // ECS 1.2 (P0, 0.83 s), 0.9 (P1, 1.11 s), 0.5 (P2, 2 s -> misses), off.
+  const solver::PiecewiseLinear rr(
+      {{0.0, 0.0}, {0.05, 0.0}, {0.1, 0.9}, {0.15, 1.2}});
+
+  util::Table pts({"power (W)", "etc (s)", "meets m_i=1.5?", "reward rate"});
+  pts.add_row({"0.00", "-", "-", util::fmt(rr.value(0.0), 2)});
+  pts.add_row({"0.05", "2.00", "no", util::fmt(rr.value(0.05), 2)});
+  pts.add_row({"0.10", "1.11", "yes", util::fmt(rr.value(0.10), 2)});
+  pts.add_row({"0.15", "0.83", "yes", util::fmt(rr.value(0.15), 2)});
+  pts.print(std::cout);
+
+  std::printf("\nDense series (power -> RR):\n");
+  for (double p = 0.0; p <= 0.1501; p += 0.01) {
+    std::printf("  %.2f %.4f\n", p, rr.value(p));
+  }
+  std::printf("\nconcave=%s  <- the zero at 0.05 W creates the 'bad P-state' "
+              "(paper: ratio 0 vs 9 at P-state 1)\n",
+              rr.is_concave() ? "yes" : "no");
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Micro data-center builder for the exhaustive-optimum benchmark: nodes
+// small enough (3 cores, 2 active P-states) that every P-state multiset can
+// be enumerated. Mirrors the construction in tests/core/test_exact.cpp.
+#pragma once
+
+#include "dc/datacenter.h"
+#include "util/rng.h"
+
+namespace tapo::bench {
+
+inline dc::DataCenter make_micro_dc(std::size_t num_nodes, std::uint64_t seed,
+                                    std::size_t cores_per_node = 3) {
+  dc::DataCenter out;
+  out.node_types.emplace_back(
+      "micro", /*base_power_kw=*/0.2, cores_per_node,
+      /*p0_power_kw=*/0.1, /*static_fraction=*/0.3,
+      std::vector<dc::PStateSpec>{{2500.0, 1.3}, {1500.0, 1.1}},
+      /*airflow_m3s=*/0.07);
+  for (std::size_t j = 0; j < num_nodes; ++j) out.nodes.push_back({0});
+  out.layout = dc::make_hot_cold_aisle_layout(num_nodes, 1);
+  dc::CracSpec crac;
+  crac.flow_m3s = 0.07 * static_cast<double>(num_nodes);
+  out.cracs = {crac};
+  out.finalize();
+
+  // Proportional mixing keeps the heat-flow model exactly balanced.
+  const std::size_t n = out.num_entities();
+  double total_flow = 0.0;
+  for (std::size_t e = 0; e < n; ++e) total_flow += out.entity_flow(e);
+  out.alpha = solver::Matrix(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      out.alpha(i, j) = out.entity_flow(j) / total_flow;
+    }
+  }
+
+  util::Rng rng(seed);
+  const std::size_t t = 3;
+  out.ecs = dc::EcsTable(t, 1, 3);
+  out.task_types.resize(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    const double base = rng.uniform(0.5, 2.0);
+    out.ecs.set_ecs(i, 0, 0, base);
+    out.ecs.set_ecs(i, 0, 1, base * rng.uniform(0.45, 0.62));
+    out.task_types[i].name = "t" + std::to_string(i);
+    out.task_types[i].reward = 1.0 / base;
+    out.task_types[i].relative_deadline = 1.5 / out.ecs.ecs(i, 0, 1);
+    out.task_types[i].arrival_rate =
+        base * static_cast<double>(num_nodes * cores_per_node) /
+        static_cast<double>(t);
+  }
+  out.p_const_kw = 0.2 * static_cast<double>(num_nodes) +
+                   0.1 * static_cast<double>(cores_per_node * num_nodes) * 0.55 +
+                   0.5;
+  return out;
+}
+
+}  // namespace tapo::bench

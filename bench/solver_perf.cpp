@@ -1,0 +1,142 @@
+// Substrate microbenchmarks (google-benchmark): LP simplex, LU, heat-flow
+// solve/linearize, cross-interference generation, and the end-to-end
+// assignment techniques at several data-center sizes.
+#include <benchmark/benchmark.h>
+
+#include "core/assigner.h"
+#include "core/baseline.h"
+#include "core/stage3.h"
+#include "scenario/generator.h"
+#include "solver/lp.h"
+#include "solver/lu.h"
+#include "thermal/crossinterference.h"
+#include "thermal/heatflow.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace tapo;
+
+void BM_LuFactorSolve(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  solver::Matrix a(n, n);
+  std::vector<double> b(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    b[r] = rng.uniform(-1, 1);
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1, 1);
+    a(r, r) += static_cast<double>(n);
+  }
+  for (auto _ : state) {
+    solver::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.solve(b));
+  }
+}
+BENCHMARK(BM_LuFactorSolve)->Arg(50)->Arg(150)->Arg(300);
+
+void BM_SimplexTransportation(benchmark::State& state) {
+  const auto sources = static_cast<std::size_t>(state.range(0));
+  const std::size_t sinks = 8;
+  util::Rng rng(2);
+  solver::LpProblem lp;
+  std::vector<std::vector<std::size_t>> vars(sources,
+                                             std::vector<std::size_t>(sinks));
+  for (std::size_t s = 0; s < sources; ++s) {
+    for (std::size_t t = 0; t < sinks; ++t) {
+      vars[s][t] =
+          lp.add_variable(0.0, solver::kLpInfinity, rng.uniform(0.5, 2.0));
+    }
+  }
+  for (std::size_t s = 0; s < sources; ++s) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t t = 0; t < sinks; ++t) terms.emplace_back(vars[s][t], 1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, 1.0);
+  }
+  for (std::size_t t = 0; t < sinks; ++t) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t s = 0; s < sources; ++s) terms.emplace_back(vars[s][t], 1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq,
+                      0.3 * static_cast<double>(sources));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(solver::solve_lp(lp));
+  }
+}
+BENCHMARK(BM_SimplexTransportation)->Arg(50)->Arg(150)->Arg(400);
+
+scenario::Scenario make_scenario(std::size_t nodes) {
+  scenario::ScenarioConfig config;
+  config.num_nodes = nodes;
+  config.num_cracs = nodes >= 100 ? 3 : 2;
+  config.seed = 12;
+  auto scenario = scenario::generate_scenario(config);
+  if (!scenario) std::abort();
+  return std::move(*scenario);
+}
+
+void BM_HeatFlowSolve(benchmark::State& state) {
+  const auto scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  const thermal::HeatFlowModel model(scenario.dc);
+  std::vector<double> crac_out(scenario.dc.num_cracs(), 16.0);
+  std::vector<double> power(scenario.dc.num_nodes(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.solve(crac_out, power));
+  }
+}
+BENCHMARK(BM_HeatFlowSolve)->Arg(50)->Arg(150);
+
+void BM_HeatFlowLinearize(benchmark::State& state) {
+  const auto scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  const thermal::HeatFlowModel model(scenario.dc);
+  std::vector<double> crac_out(scenario.dc.num_cracs(), 16.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.linearize(crac_out));
+  }
+}
+BENCHMARK(BM_HeatFlowLinearize)->Arg(50)->Arg(150);
+
+void BM_CrossInterference(benchmark::State& state) {
+  const auto nodes = static_cast<std::size_t>(state.range(0));
+  const auto layout = dc::make_hot_cold_aisle_layout(nodes, 3);
+  std::vector<double> flows(3, 0.07 * static_cast<double>(nodes) / 3.0);
+  flows.insert(flows.end(), nodes, 0.07);
+  std::uint64_t seed = 0;
+  for (auto _ : state) {
+    util::Rng rng(seed++);
+    benchmark::DoNotOptimize(
+        thermal::generate_cross_interference(layout, flows, rng));
+  }
+}
+BENCHMARK(BM_CrossInterference)->Arg(50)->Arg(150);
+
+void BM_Stage3Aggregated(benchmark::State& state) {
+  const auto scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  std::vector<std::size_t> pstates(scenario.dc.total_cores());
+  for (std::size_t k = 0; k < pstates.size(); ++k) pstates[k] = k % 5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_stage3(scenario.dc, pstates));
+  }
+}
+BENCHMARK(BM_Stage3Aggregated)->Arg(50)->Arg(150);
+
+void BM_ThreeStageAssign(benchmark::State& state) {
+  const auto scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  const thermal::HeatFlowModel model(scenario.dc);
+  const core::ThreeStageAssigner assigner(scenario.dc, model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.assign());
+  }
+}
+BENCHMARK(BM_ThreeStageAssign)->Arg(20)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+void BM_BaselineAssign(benchmark::State& state) {
+  const auto scenario = make_scenario(static_cast<std::size_t>(state.range(0)));
+  const thermal::HeatFlowModel model(scenario.dc);
+  const core::BaselineAssigner assigner(scenario.dc, model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(assigner.assign());
+  }
+}
+BENCHMARK(BM_BaselineAssign)->Arg(20)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond);
+
+}  // namespace

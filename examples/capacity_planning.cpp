@@ -1,0 +1,69 @@
+// Capacity planning: sweep the power budget Pconst from Pmin to Pmax and
+// compare the three-stage technique against the P0-or-off baseline at each
+// budget - the workload the paper's introduction motivates (a site whose
+// utility feed, not its floor space, caps deployment).
+//
+// The sweep shows where thermal-aware P-state assignment matters most: at
+// tight budgets intermediate P-states buy disproportionate throughput, while
+// near Pmax both techniques converge (everything runs at P0).
+#include <cstdio>
+#include <iostream>
+
+#include "core/assigner.h"
+#include "core/baseline.h"
+#include "scenario/generator.h"
+#include "thermal/heatflow.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tapo;
+
+  scenario::ScenarioConfig config;
+  config.num_nodes = 20;
+  config.num_cracs = 2;
+  config.static_fraction = 0.2;  // the paper's set-3 conditions
+  config.v_prop = 0.3;
+  config.seed = 31;
+  auto scenario = scenario::generate_scenario(config);
+  if (!scenario) {
+    std::fprintf(stderr, "scenario generation failed\n");
+    return 1;
+  }
+  dc::DataCenter& dc = scenario->dc;
+  const thermal::HeatFlowModel model(dc);
+
+  std::printf("Budget sweep, %zu cores, Pmin=%.1f kW, Pmax=%.1f kW\n",
+              dc.total_cores(), scenario->bounds.pmin_kw, scenario->bounds.pmax_kw);
+
+  util::Table table({"budget factor", "Pconst kW", "three-stage", "baseline",
+                     "improvement %"});
+  for (double factor : {0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    dc.p_const_kw = thermal::pconst_from_bounds(scenario->bounds, factor);
+
+    core::ThreeStageOptions o25, o50;
+    o25.stage1.psi = 25.0;
+    o50.stage1.psi = 50.0;
+    const core::ThreeStageAssigner three(dc, model);
+    const core::Assignment a = core::best_of({three.assign(o25), three.assign(o50)});
+    const core::BaselineAssigner base(dc, model);
+    const core::Assignment b = base.assign();
+
+    if (!a.feasible || !b.feasible) {
+      table.add_row({util::fmt(factor, 2), util::fmt(dc.p_const_kw, 1),
+                     a.feasible ? util::fmt(a.reward_rate, 1) : "infeasible",
+                     b.feasible ? util::fmt(b.reward_rate, 1) : "infeasible", "-"});
+      continue;
+    }
+    const double improvement =
+        100.0 * (a.reward_rate - b.reward_rate) / b.reward_rate;
+    table.add_row({util::fmt(factor, 2), util::fmt(dc.p_const_kw, 1),
+                   util::fmt(a.reward_rate, 1), util::fmt(b.reward_rate, 1),
+                   util::fmt(improvement, 2)});
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: the advantage of data-center-level P-state assignment is\n"
+      "largest in the oversubscribed middle of the range and shrinks toward\n"
+      "Pmax, where the baseline can already power every core at P-state 0.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Online scheduling: run the second-step dynamic scheduler (Section V.C) on
+// a live Poisson task stream and compare the achieved reward rate with the
+// first step's steady-state prediction.
+#include <cstdio>
+#include <iostream>
+
+#include "core/assigner.h"
+#include "scenario/generator.h"
+#include "sim/des.h"
+#include "thermal/heatflow.h"
+#include "util/table.h"
+
+int main() {
+  using namespace tapo;
+
+  scenario::ScenarioConfig config;
+  config.num_nodes = 12;
+  config.num_cracs = 2;
+  config.seed = 404;
+  const auto scenario = scenario::generate_scenario(config);
+  if (!scenario) {
+    std::fprintf(stderr, "scenario generation failed\n");
+    return 1;
+  }
+  const dc::DataCenter& dc = scenario->dc;
+  const thermal::HeatFlowModel model(dc);
+
+  const core::ThreeStageAssigner assigner(dc, model);
+  const core::Assignment assignment = assigner.assign();
+  if (!assignment.feasible) {
+    std::fprintf(stderr, "assignment infeasible\n");
+    return 1;
+  }
+  std::printf("First step predicts %.1f reward/s within %.1f kW\n",
+              assignment.reward_rate, dc.p_const_kw);
+
+  sim::SimOptions options;
+  options.duration_seconds = 400.0;
+  options.warmup_seconds = 80.0;
+  options.seed = 7;
+  const sim::SimResult result = sim::simulate(dc, assignment, options);
+
+  std::printf("Online run: %.0f s measured, achieved %.1f reward/s (%.1f%% of "
+              "prediction), %.1f%% of tasks dropped, mean |ATC/TC - 1| = %.3f\n\n",
+              result.measured_seconds, result.reward_rate,
+              100.0 * result.reward_rate / assignment.reward_rate,
+              100.0 * result.drop_fraction(), result.mean_tracking_error);
+
+  util::Table table({"task type", "lambda/s", "desired rate", "arrived",
+                     "assigned", "dropped", "in-time", "reward"});
+  for (std::size_t i = 0; i < result.per_type.size(); ++i) {
+    const auto& m = result.per_type[i];
+    table.add_row({dc.task_types[i].name,
+                   util::fmt(dc.task_types[i].arrival_rate, 1),
+                   util::fmt(m.desired_rate, 1), std::to_string(m.arrived),
+                   std::to_string(m.assigned), std::to_string(m.dropped),
+                   std::to_string(m.completed_in_time), util::fmt(m.reward, 1)});
+  }
+  table.print(std::cout);
+
+  std::printf(
+      "\nNote: the data center is oversubscribed by construction (arrival\n"
+      "rates sized for full capacity, budget at the Pmin/Pmax midpoint), so\n"
+      "the scheduler must drop what the power budget cannot serve. Admitted\n"
+      "tasks always meet their deadlines - admission tests the full backlog.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+#include "core/assigner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/stage2.h"
+#include "core/stage3.h"
+#include "util/check.h"
+
+namespace tapo::core {
+
+Assignment finalize_assignment(const dc::DataCenter& dc,
+                               const thermal::HeatFlowModel& model,
+                               Assignment assignment) {
+  const std::vector<double> node_power =
+      dc.node_power_from_pstates(assignment.core_pstate);
+  assignment.compute_power_kw = 0.0;
+  for (double p : node_power) assignment.compute_power_kw += p;
+  assignment.temps = model.solve(assignment.crac_out_c, node_power);
+  assignment.crac_power_kw = model.total_crac_power_kw(assignment.temps);
+  return assignment;
+}
+
+ThreeStageAssigner::ThreeStageAssigner(const dc::DataCenter& dc,
+                                       const thermal::HeatFlowModel& model)
+    : dc_(dc), model_(model) {}
+
+Assignment ThreeStageAssigner::assign(const ThreeStageOptions& options) const {
+  Assignment assignment;
+  assignment.technique =
+      "three-stage psi=" + std::to_string(static_cast<int>(options.stage1.psi));
+
+  const Stage1Solver stage1(dc_, model_);
+  const Stage1Result s1 = stage1.solve(options.stage1);
+  assignment.lp_solves = s1.lp_solves;
+  if (!s1.feasible) return assignment;
+  assignment.stage1_objective = s1.objective;
+  assignment.crac_out_c = s1.crac_out_c;
+
+  const Stage2Result s2 = convert_power_to_pstates(dc_, s1.node_core_power_kw);
+  assignment.core_pstate = s2.core_pstate;
+
+  const Stage3Result s3 = solve_stage3(dc_, s2.core_pstate);
+  TAPO_CHECK_MSG(s3.optimal, "stage 3 LP must be solvable (0 is feasible)");
+  assignment.tc = s3.tc;
+  assignment.reward_rate = s3.reward_rate;
+
+  assignment.feasible = true;
+  return finalize_assignment(dc_, model_, std::move(assignment));
+}
+
+Assignment best_of(std::vector<Assignment> candidates) {
+  TAPO_CHECK(!candidates.empty());
+  std::size_t best = candidates.size();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (!candidates[i].feasible) continue;
+    if (best == candidates.size() ||
+        candidates[i].reward_rate > candidates[best].reward_rate) {
+      best = i;
+    }
+  }
+  if (best == candidates.size()) return std::move(candidates.front());
+  Assignment winner = std::move(candidates[best]);
+  winner.technique = "best-of(" + winner.technique + ")";
+  return winner;
+}
+
+AssignmentCheck verify_assignment(const dc::DataCenter& dc,
+                                  const thermal::HeatFlowModel& model,
+                                  const Assignment& assignment) {
+  AssignmentCheck check;
+  if (!assignment.feasible) return check;
+  TAPO_CHECK(assignment.core_pstate.size() == dc.total_cores());
+  TAPO_CHECK(assignment.tc.rows() == dc.num_task_types());
+  TAPO_CHECK(assignment.tc.cols() == dc.total_cores());
+
+  const std::vector<double> node_power =
+      dc.node_power_from_pstates(assignment.core_pstate);
+  const thermal::Temperatures temps =
+      model.solve(assignment.crac_out_c, node_power);
+
+  double compute = 0.0;
+  for (double p : node_power) compute += p;
+  check.total_power_kw = compute + model.total_crac_power_kw(temps);
+  check.power_ok = check.total_power_kw <= dc.p_const_kw + 1e-6;
+
+  check.max_node_inlet_c =
+      *std::max_element(temps.node_in.begin(), temps.node_in.end());
+  check.max_crac_inlet_c =
+      *std::max_element(temps.crac_in.begin(), temps.crac_in.end());
+  check.thermal_ok = check.max_node_inlet_c <= dc.redline_node_c + 1e-6 &&
+                     check.max_crac_inlet_c <= dc.redline_crac_c + 1e-6;
+
+  // Rates: per-core capacity (Eq. 7 c1), deadline rule (c2), arrivals (c3).
+  check.rates_ok = true;
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    const std::size_t type = dc.core_type(k);
+    const std::size_t ps = assignment.core_pstate[k];
+    double utilization = 0.0;
+    for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+      const double rate = assignment.tc(i, k);
+      if (rate < -1e-9) check.rates_ok = false;
+      if (rate <= 0.0) continue;
+      if (!dc.ecs.can_meet_deadline(i, type, ps,
+                                    dc.task_types[i].relative_deadline)) {
+        check.rates_ok = false;
+        continue;
+      }
+      utilization += rate * dc.ecs.etc_seconds(i, type, ps);
+    }
+    check.max_core_utilization = std::max(check.max_core_utilization, utilization);
+    if (utilization > 1.0 + 1e-6) check.rates_ok = false;
+  }
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    double total = 0.0;
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) total += assignment.tc(i, k);
+    if (total > dc.task_types[i].arrival_rate + 1e-6) check.rates_ok = false;
+  }
+  return check;
+}
+
+}  // namespace tapo::core

@@ -1,0 +1,82 @@
+// First-step assignment orchestration and the common Assignment type.
+//
+// ThreeStageAssigner chains Stage 1 (CRAC setpoints + node power), Stage 2
+// (integer P-states) and Stage 3 (desired execution rates) into one
+// Assignment, the same artifact the baseline technique produces, so that the
+// benchmark harness, the dynamic scheduler and the verifier treat both
+// techniques uniformly (Figure 2's first-step box).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/stage1.h"
+#include "dc/datacenter.h"
+#include "solver/matrix.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::core {
+
+struct Assignment {
+  bool feasible = false;
+  std::string technique;
+
+  std::vector<double> crac_out_c;          // CRAC outlet setpoints
+  std::vector<std::size_t> core_pstate;    // per global core
+  solver::Matrix tc;                       // T x NCORES desired rates
+  double reward_rate = 0.0;                // predicted steady-state objective
+
+  double compute_power_kw = 0.0;           // actual, incl. base
+  double crac_power_kw = 0.0;              // actual, at the steady state
+  thermal::Temperatures temps;             // steady state for this assignment
+
+  // Diagnostics.
+  double stage1_objective = 0.0;  // relaxed upper-stage objective
+  std::size_t lp_solves = 0;
+
+  double total_power_kw() const { return compute_power_kw + crac_power_kw; }
+};
+
+struct ThreeStageOptions {
+  Stage1Options stage1;
+};
+
+class ThreeStageAssigner {
+ public:
+  ThreeStageAssigner(const dc::DataCenter& dc, const thermal::HeatFlowModel& model);
+
+  Assignment assign(const ThreeStageOptions& options = {}) const;
+
+ private:
+  const dc::DataCenter& dc_;
+  const thermal::HeatFlowModel& model_;
+};
+
+// The paper's Figure 6 also reports "best of both" over psi settings: the
+// feasible assignment with the highest predicted reward rate.
+Assignment best_of(std::vector<Assignment> candidates);
+
+// Completes an Assignment whose crac_out_c / core_pstate / tc / reward_rate
+// are already set: computes the steady state, powers, and feasibility flags.
+Assignment finalize_assignment(const dc::DataCenter& dc,
+                               const thermal::HeatFlowModel& model,
+                               Assignment assignment);
+
+struct AssignmentCheck {
+  bool power_ok = false;
+  bool thermal_ok = false;
+  bool rates_ok = false;  // core capacity, arrival rates, deadline rule
+  double total_power_kw = 0.0;
+  double max_node_inlet_c = 0.0;
+  double max_crac_inlet_c = 0.0;
+  double max_core_utilization = 0.0;
+
+  bool ok() const { return power_ok && thermal_ok && rates_ok; }
+};
+
+// Independently validates every model constraint for an assignment.
+AssignmentCheck verify_assignment(const dc::DataCenter& dc,
+                                  const thermal::HeatFlowModel& model,
+                                  const Assignment& assignment);
+
+}  // namespace tapo::core

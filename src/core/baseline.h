@@ -1,0 +1,54 @@
+// Baseline assignment technique (Section VII.A, Eq. 21; adapted from
+// Parolini et al. [26]).
+//
+// The comparison technique only chooses between running a core in P-state 0
+// and turning it off. FRAC(i, j) is the fraction of node j's cores devoted
+// to task type i; the LP maximizes sum r_i * ECS(i,j,0) * |cores_j| *
+// FRAC(i,j) subject to arrival rates, per-node fraction budgets, and the
+// same power and thermal constraints, again with a discretized CRAC-setpoint
+// search on top. Because |cores_j| * sum_i FRAC(i,j) may be fractional, the
+// fractions of each node are scaled down so the used-core count is integral
+// (the paper's rounding rule).
+//
+// Note: the paper's Eq. 19 prints PCN_j = B_j + pi_{NTj,0} * sum_i FRAC(i,j);
+// the per-node compute power must scale with the number of cores actually
+// used, so we take PCN_j = B_j + pi_{NTj,0} * |cores_j| * sum_i FRAC(i,j)
+// (see DESIGN.md, paper-typo list).
+#pragma once
+
+#include <vector>
+
+#include "core/assigner.h"
+#include "dc/datacenter.h"
+#include "solver/gridsearch.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::core {
+
+struct BaselineOptions {
+  double tcrac_min_c = 10.0;
+  double tcrac_max_c = 25.0;
+  solver::GridSearchOptions grid;
+  bool full_grid = false;
+};
+
+class BaselineAssigner {
+ public:
+  BaselineAssigner(const dc::DataCenter& dc, const thermal::HeatFlowModel& model);
+
+  Assignment assign(const BaselineOptions& options = {}) const;
+
+  // The Eq. 21 LP at fixed CRAC outlet temperatures (before rounding).
+  struct LpOutcome {
+    bool feasible = false;
+    double objective = 0.0;
+    solver::Matrix frac;  // T x NCN
+  };
+  LpOutcome solve_at(const std::vector<double>& crac_out) const;
+
+ private:
+  const dc::DataCenter& dc_;
+  const thermal::HeatFlowModel& model_;
+};
+
+}  // namespace tapo::core

@@ -1,0 +1,179 @@
+#include "core/exact.h"
+
+#include <map>
+
+#include "core/stage3.h"
+#include "util/check.h"
+
+namespace tapo::core {
+
+namespace {
+
+// All ways to distribute `cores` identical cores over `states` P-states,
+// as per-state counts (combinations with repetition).
+void enumerate_state_counts(std::size_t cores, std::size_t states,
+                            std::vector<std::size_t>& current,
+                            std::vector<std::vector<std::size_t>>& out) {
+  if (current.size() + 1 == states) {
+    current.push_back(cores);
+    out.push_back(current);
+    current.pop_back();
+    return;
+  }
+  for (std::size_t take = 0; take <= cores; ++take) {
+    current.push_back(take);
+    enumerate_state_counts(cores - take, states, current, out);
+    current.pop_back();
+  }
+}
+
+}  // namespace
+
+ExactResult solve_exact(const dc::DataCenter& dc,
+                        const thermal::HeatFlowModel& model,
+                        const ExactOptions& options) {
+  ExactResult result;
+  const std::size_t nn = dc.num_nodes();
+  const std::size_t nc = dc.num_cracs();
+
+  // Per node type: every P-state multiset and its core power.
+  struct TypeConfigs {
+    std::vector<std::vector<std::size_t>> counts;  // per state (incl. off)
+    std::vector<double> core_power;
+  };
+  std::vector<TypeConfigs> by_type(dc.node_types.size());
+  for (std::size_t t = 0; t < dc.node_types.size(); ++t) {
+    const auto& spec = dc.node_types[t];
+    // The class-signature cache below reserves 8 slots per node type.
+    TAPO_CHECK_MSG(spec.num_pstates_with_off() <= 8,
+                   "exact solver supports at most 7 active P-states");
+    std::vector<std::size_t> scratch;
+    enumerate_state_counts(spec.cores_per_node(), spec.num_pstates_with_off(),
+                           scratch, by_type[t].counts);
+    for (const auto& counts : by_type[t].counts) {
+      double p = 0.0;
+      for (std::size_t s = 0; s < counts.size(); ++s) {
+        p += static_cast<double>(counts[s]) * spec.core_power_kw(s);
+      }
+      by_type[t].core_power.push_back(p);
+    }
+  }
+
+  // CRAC setpoint grid.
+  std::vector<double> grid;
+  for (double t = options.tcrac_min_c; t <= options.tcrac_max_c + 1e-9;
+       t += options.tcrac_step_c) {
+    grid.push_back(t);
+  }
+  TAPO_CHECK(!grid.empty());
+
+  // Reward depends only on the aggregate (node type, P-state) class counts,
+  // not on which node holds which state - cache the Stage-3 LP by signature.
+  std::map<std::vector<std::size_t>, double> reward_cache;
+
+  std::vector<std::size_t> choice(nn, 0);  // config index per node
+  std::vector<std::size_t> core_pstate(dc.total_cores());
+  std::vector<double> node_power(nn);
+  std::vector<double> crac_out(nc);
+
+  double best_reward = -1.0;
+  std::vector<std::size_t> best_pstate;
+  std::vector<double> best_crac_out;
+
+  // Odometer over per-node configuration choices.
+  bool exhausted = false;
+  while (!exhausted) {
+    if (++result.configurations > options.max_configurations) {
+      return {};  // too large for exhaustive search
+    }
+
+    // Materialize this configuration.
+    std::vector<std::size_t> signature;
+    double compute_power = 0.0;
+    for (std::size_t j = 0; j < nn; ++j) {
+      const std::size_t t = dc.nodes[j].type;
+      const auto& counts = by_type[t].counts[choice[j]];
+      std::size_t core = dc.core_offset(j);
+      for (std::size_t s = 0; s < counts.size(); ++s) {
+        for (std::size_t c = 0; c < counts[s]; ++c) core_pstate[core++] = s;
+      }
+      node_power[j] =
+          dc.node_types[t].base_power_kw() + by_type[t].core_power[choice[j]];
+      compute_power += node_power[j];
+    }
+    // Aggregate class signature: per (type, state) total counts.
+    signature.assign(dc.node_types.size() * 8, 0);
+    for (std::size_t j = 0; j < nn; ++j) {
+      const std::size_t t = dc.nodes[j].type;
+      const auto& counts = by_type[t].counts[choice[j]];
+      for (std::size_t s = 0; s < counts.size(); ++s) {
+        signature[t * 8 + s] += counts[s];
+      }
+    }
+
+    // Quick power prune: compute power alone must fit the budget.
+    if (compute_power <= dc.p_const_kw) {
+      // Find a feasible setpoint combination (redlines + total power).
+      bool feasible = false;
+      std::vector<std::size_t> idx(nc, 0);
+      while (true) {
+        ++result.evaluations;
+        for (std::size_t c = 0; c < nc; ++c) crac_out[c] = grid[idx[c]];
+        const thermal::Temperatures temps = model.solve(crac_out, node_power);
+        if (model.within_redlines(temps) &&
+            compute_power + model.total_crac_power_kw(temps) <=
+                dc.p_const_kw + 1e-9) {
+          feasible = true;
+          break;
+        }
+        std::size_t d = 0;
+        while (d < nc) {
+          if (++idx[d] < grid.size()) break;
+          idx[d] = 0;
+          ++d;
+        }
+        if (d == nc) break;
+      }
+
+      if (feasible) {
+        auto [it, inserted] = reward_cache.try_emplace(signature, 0.0);
+        if (inserted) {
+          const Stage3Result s3 = solve_stage3(dc, core_pstate);
+          TAPO_CHECK(s3.optimal);
+          it->second = s3.reward_rate;
+        }
+        if (it->second > best_reward) {
+          best_reward = it->second;
+          best_pstate = core_pstate;
+          best_crac_out = crac_out;
+        }
+      }
+    }
+
+    // Next configuration.
+    std::size_t j = 0;
+    while (j < nn) {
+      if (++choice[j] < by_type[dc.nodes[j].type].counts.size()) break;
+      choice[j] = 0;
+      ++j;
+    }
+    exhausted = j == nn;
+  }
+
+  if (best_reward < 0.0) return result;  // nothing feasible
+
+  result.feasible = true;
+  result.reward_rate = best_reward;
+  Assignment assignment;
+  assignment.feasible = true;
+  assignment.technique = "exact";
+  assignment.crac_out_c = best_crac_out;
+  assignment.core_pstate = best_pstate;
+  const Stage3Result s3 = solve_stage3(dc, best_pstate);
+  assignment.tc = s3.tc;
+  assignment.reward_rate = s3.reward_rate;
+  result.assignment = finalize_assignment(dc, model, std::move(assignment));
+  return result;
+}
+
+}  // namespace tapo::core

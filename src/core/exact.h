@@ -1,0 +1,44 @@
+// Exhaustive solution of the first-step MINLP (Eq. 7) for tiny instances.
+//
+// The paper argues the exact problem is intractable at scale and validates
+// its heuristics on smaller problems ("tests on smaller problems ... have
+// shown no improvement", Section VII.B). This module makes that check
+// concrete: it enumerates every per-node P-state multiset (cores within a
+// node are interchangeable), every CRAC outlet setpoint combination on a
+// discretized grid (the paper's 1 degC granularity), solves the Stage-3 LP
+// for each feasible combination, and returns the best. Cost grows as
+// C(cores+states, states)^nodes * grid^cracs - usable for a handful of
+// small nodes, which is exactly what the optimality-gap benchmark needs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assigner.h"
+#include "dc/datacenter.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::core {
+
+struct ExactOptions {
+  double tcrac_min_c = 10.0;
+  double tcrac_max_c = 25.0;
+  double tcrac_step_c = 1.0;  // the paper's setpoint granularity
+  // Safety valve: abort (returning infeasible) once this many P-state
+  // configurations have been generated.
+  std::size_t max_configurations = 2'000'000;
+};
+
+struct ExactResult {
+  bool feasible = false;
+  double reward_rate = 0.0;
+  Assignment assignment;              // the optimal configuration, finalized
+  std::size_t configurations = 0;     // P-state configurations enumerated
+  std::size_t evaluations = 0;        // (configuration, setpoint) pairs tried
+};
+
+ExactResult solve_exact(const dc::DataCenter& dc,
+                        const thermal::HeatFlowModel& model,
+                        const ExactOptions& options = {});
+
+}  // namespace tapo::core

@@ -1,0 +1,173 @@
+#include "core/powermin.h"
+
+#include <cmath>
+
+#include "core/reward.h"
+#include "core/stage2.h"
+#include "core/stage3.h"
+#include "dc/crac.h"
+#include "solver/lp.h"
+#include "solver/piecewise.h"
+#include "util/check.h"
+
+namespace tapo::core {
+
+namespace {
+
+struct StageOutcome {
+  bool feasible = false;
+  double power_kw = 0.0;  // compute (incl. base) + CRAC
+  std::vector<double> node_core_power_kw;
+};
+
+// The Stage-1 LP with roles swapped: minimize total power subject to the
+// concave aggregate reward rate meeting `floor` (plus redlines). Same
+// variable layout as Stage1Solver::solve_at.
+StageOutcome solve_power_at(const dc::DataCenter& dc,
+                            const thermal::HeatFlowModel& model,
+                            const std::vector<double>& crac_out, double psi,
+                            double floor) {
+  const std::size_t nn = dc.num_nodes();
+  const std::size_t nc = dc.num_cracs();
+
+  std::vector<solver::PiecewiseLinear> arr_by_type;
+  for (std::size_t t = 0; t < dc.node_types.size(); ++t) {
+    arr_by_type.push_back(concave_aggregate_reward_rate(dc, t, psi)
+                              .scale_copies(dc.node_types[t].cores_per_node()));
+  }
+
+  const thermal::LinearResponse lr = model.linearize(crac_out);
+
+  solver::LpProblem lp;
+  std::vector<std::vector<std::size_t>> seg_vars(nn);
+  std::vector<std::pair<std::size_t, double>> reward_terms;
+  for (std::size_t j = 0; j < nn; ++j) {
+    const auto& fn = arr_by_type[dc.nodes[j].type];
+    const auto& pts = fn.points();
+    const auto slopes = fn.slopes();
+    for (std::size_t s = 0; s < slopes.size(); ++s) {
+      const double len = pts[s + 1].x - pts[s].x;
+      // Objective: minimize power => coefficient -1 in a maximization.
+      const std::size_t v = lp.add_variable(0.0, len, -1.0);
+      seg_vars[j].push_back(v);
+      reward_terms.emplace_back(v, slopes[s]);
+    }
+  }
+  std::vector<std::size_t> crac_power_vars(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    crac_power_vars[c] = lp.add_variable(0.0, solver::kLpInfinity, -1.0);
+  }
+
+  lp.add_constraint(reward_terms, solver::Relation::GreaterEq, floor);
+
+  for (std::size_t r = 0; r < nn; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = dc.redline_node_c - lr.node_in0[r];
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double w = lr.node_in_coeff(r, j);
+      if (w == 0.0) continue;
+      rhs -= w * dc.node_type(j).base_power_kw();
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
+    }
+    if (rhs < 0.0 && terms.empty()) return {};
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
+  }
+  for (std::size_t r = 0; r < nc; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = dc.redline_crac_c - lr.crac_in0[r];
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double w = lr.crac_in_coeff(r, j);
+      if (w == 0.0) continue;
+      rhs -= w * dc.node_type(j).base_power_kw();
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
+    }
+    if (rhs < 0.0 && terms.empty()) return {};
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
+  }
+  for (std::size_t c = 0; c < nc; ++c) {
+    const dc::CracSpec& crac = dc.cracs[c];
+    const double k = dc::kAirDensity * dc::kAirSpecificHeat * crac.flow_m3s /
+                     crac.cop(crac_out[c]);
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = -k * (lr.crac_in0[c] - crac_out[c]);
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double w = k * lr.crac_in_coeff(c, j);
+      if (w == 0.0) continue;
+      rhs -= w * dc.node_type(j).base_power_kw();
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
+    }
+    terms.emplace_back(crac_power_vars[c], -1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
+  }
+
+  const solver::LpSolution sol = solve_lp(lp);
+  if (!sol.optimal()) return {};
+
+  StageOutcome out;
+  out.feasible = true;
+  out.node_core_power_kw.assign(nn, 0.0);
+  for (std::size_t j = 0; j < nn; ++j) {
+    for (std::size_t v : seg_vars[j]) out.node_core_power_kw[j] += sol.x[v];
+  }
+  out.power_kw = dc.total_base_power_kw();
+  for (double p : out.node_core_power_kw) out.power_kw += p;
+  for (std::size_t v : crac_power_vars) out.power_kw += sol.x[v];
+  return out;
+}
+
+}  // namespace
+
+PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
+                                         const thermal::HeatFlowModel& model,
+                                         double target_reward_rate,
+                                         const PowerMinOptions& options) {
+  PowerMinResult result;
+  double floor = target_reward_rate;
+
+  for (std::size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
+    ++result.attempts;
+
+    const std::size_t nc = dc.num_cracs();
+    const std::vector<double> lo(nc, options.stage1.tcrac_min_c);
+    const std::vector<double> hi(nc, options.stage1.tcrac_max_c);
+    const auto objective =
+        [&](const std::vector<double>& crac_out) -> std::optional<double> {
+      const StageOutcome outcome =
+          solve_power_at(dc, model, crac_out, options.stage1.psi, floor);
+      if (!outcome.feasible) return std::nullopt;
+      return -outcome.power_kw;
+    };
+    const solver::GridSearchResult search = solver::uniform_then_coordinate_maximize(
+        lo, hi, objective, options.stage1.grid);
+    if (!search.found) return result;  // target unreachable even relaxed
+
+    const StageOutcome best =
+        solve_power_at(dc, model, search.best_point, options.stage1.psi, floor);
+    TAPO_CHECK(best.feasible);
+
+    const Stage2Result s2 = convert_power_to_pstates(dc, best.node_core_power_kw);
+    const Stage3Result s3 = solve_stage3(dc, s2.core_pstate);
+
+    Assignment assignment;
+    assignment.feasible = true;
+    assignment.technique = "power-min";
+    assignment.crac_out_c = search.best_point;
+    assignment.core_pstate = s2.core_pstate;
+    assignment.tc = s3.tc;
+    assignment.reward_rate = s3.reward_rate;
+    assignment.stage1_objective = floor;
+    assignment = finalize_assignment(dc, model, std::move(assignment));
+
+    result.feasible = true;
+    result.total_power_kw = assignment.total_power_kw();
+    result.reward_rate = s3.reward_rate;
+    result.assignment = std::move(assignment);
+    result.met_target = s3.reward_rate >=
+                        target_reward_rate * (1.0 - options.relative_tolerance);
+    if (result.met_target) return result;
+    floor *= options.retry_inflation;  // rounding shortfall: ask Stage 1 for more
+  }
+  return result;
+}
+
+}  // namespace tapo::core

@@ -1,0 +1,87 @@
+#include "core/reward.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::core {
+
+solver::PiecewiseLinear reward_rate_function(const dc::DataCenter& dc,
+                                             std::size_t task_type,
+                                             std::size_t node_type) {
+  TAPO_CHECK(task_type < dc.num_task_types());
+  TAPO_CHECK(node_type < dc.node_types.size());
+  const dc::NodeTypeSpec& spec = dc.node_types[node_type];
+  const dc::TaskType& task = dc.task_types[task_type];
+
+  std::vector<solver::Point> pts;
+  pts.reserve(spec.num_pstates_with_off());
+  // Off state: zero power, zero reward.
+  pts.push_back({0.0, 0.0});
+  for (std::size_t k = 0; k < spec.num_active_pstates(); ++k) {
+    const double power = spec.core_power_kw(k);
+    // A P-state that cannot meet the deadline earns nothing (Fig. 4); this
+    // also covers ECS == 0 (task type unsupported on this node type).
+    const double rate =
+        dc.ecs.can_meet_deadline(task_type, node_type, k, task.relative_deadline)
+            ? task.reward * dc.ecs.ecs(task_type, node_type, k)
+            : 0.0;
+    pts.push_back({power, rate});
+  }
+  return solver::PiecewiseLinear(std::move(pts));
+}
+
+double mean_reward_power_ratio(const dc::DataCenter& dc, std::size_t task_type,
+                               std::size_t node_type) {
+  const dc::NodeTypeSpec& spec = dc.node_types[node_type];
+  const solver::PiecewiseLinear rr = reward_rate_function(dc, task_type, node_type);
+  double sum = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 0; k < spec.num_active_pstates(); ++k) {
+    const double power = spec.core_power_kw(k);
+    TAPO_CHECK(power > 0.0);
+    sum += rr.value(power) / power;
+    ++count;
+  }
+  return count ? sum / static_cast<double>(count) : 0.0;
+}
+
+std::vector<std::size_t> best_task_types(const dc::DataCenter& dc,
+                                         std::size_t node_type, double psi_percent) {
+  TAPO_CHECK(psi_percent > 0.0 && psi_percent <= 100.0);
+  const std::size_t t = dc.num_task_types();
+  std::vector<std::pair<double, std::size_t>> ranked(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    ranked[i] = {mean_reward_power_ratio(dc, i, node_type), i};
+  }
+  std::stable_sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    if (a.first != b.first) return a.first > b.first;
+    return a.second < b.second;
+  });
+  const auto keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::llround(psi_percent / 100.0 * static_cast<double>(t))));
+  std::vector<std::size_t> out;
+  out.reserve(keep);
+  for (std::size_t i = 0; i < std::min(keep, t); ++i) out.push_back(ranked[i].second);
+  return out;
+}
+
+solver::PiecewiseLinear aggregate_reward_rate(const dc::DataCenter& dc,
+                                              std::size_t node_type,
+                                              double psi_percent) {
+  const std::vector<std::size_t> chosen = best_task_types(dc, node_type, psi_percent);
+  std::vector<solver::PiecewiseLinear> fns;
+  fns.reserve(chosen.size());
+  for (std::size_t i : chosen) fns.push_back(reward_rate_function(dc, i, node_type));
+  return solver::PiecewiseLinear::average(fns);
+}
+
+solver::PiecewiseLinear concave_aggregate_reward_rate(const dc::DataCenter& dc,
+                                                      std::size_t node_type,
+                                                      double psi_percent) {
+  return aggregate_reward_rate(dc, node_type, psi_percent).upper_concave_hull();
+}
+
+}  // namespace tapo::core

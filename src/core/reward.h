@@ -1,0 +1,50 @@
+// Reward-rate functions of core power (Section V.B.2, Figures 3-5).
+//
+// RR_{i,j}(p) is the reward rate of running task type i on a core of node
+// type j consuming power p: a piecewise-linear interpolation through the
+// (P-state power, r_i * ECS) operating points, modelling a core that
+// time-multiplexes between adjacent P-states. P-states whose execution time
+// exceeds the task's relative deadline m_i contribute zero reward (Fig. 4).
+//
+// ARR_j(p), the aggregate reward rate of a core of type j, averages RR over
+// the "best psi%" task types, ranked by the mean reward-rate-to-power ratio
+// across active P-states. Stage 1 uses its upper concave hull, which is the
+// paper's "ignore bad P-states" construction (Fig. 5).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dc/datacenter.h"
+#include "solver/piecewise.h"
+
+namespace tapo::core {
+
+// RR_{i,j} as a function of core power in kW, from p=0 (off, reward 0) up to
+// the P-state-0 power.
+solver::PiecewiseLinear reward_rate_function(const dc::DataCenter& dc,
+                                             std::size_t task_type,
+                                             std::size_t node_type);
+
+// Mean over active P-states of RR_{i,j}(pi_{j,k}) / pi_{j,k}; the ranking
+// key for selecting the best psi% task types.
+double mean_reward_power_ratio(const dc::DataCenter& dc, std::size_t task_type,
+                               std::size_t node_type);
+
+// Indices of the best psi% task types for node type j (at least one),
+// ordered best-first. Ties broken by task-type index (the paper breaks ties
+// arbitrarily; a deterministic rule keeps runs reproducible).
+std::vector<std::size_t> best_task_types(const dc::DataCenter& dc,
+                                         std::size_t node_type, double psi_percent);
+
+// ARR_j: average of RR over the best psi% task types (no hull applied).
+solver::PiecewiseLinear aggregate_reward_rate(const dc::DataCenter& dc,
+                                              std::size_t node_type,
+                                              double psi_percent);
+
+// Concave version used by Stage 1: upper_concave_hull(ARR_j).
+solver::PiecewiseLinear concave_aggregate_reward_rate(const dc::DataCenter& dc,
+                                                      std::size_t node_type,
+                                                      double psi_percent);
+
+}  // namespace tapo::core

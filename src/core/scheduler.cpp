@@ -1,0 +1,128 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::core {
+
+DynamicScheduler::DynamicScheduler(const dc::DataCenter& dc,
+                                   const Assignment& assignment,
+                                   SchedulerOptions options)
+    : dc_(dc),
+      assignment_(assignment),
+      options_(std::move(options)),
+      rng_(options_.random_seed) {
+  TAPO_CHECK(assignment.feasible);
+  TAPO_CHECK(assignment.tc.rows() == dc.num_task_types());
+  TAPO_CHECK(assignment.tc.cols() == dc.total_cores());
+  const std::size_t t = dc.num_task_types();
+  candidates_.resize(t);
+  counts_.assign(t, std::vector<double>(dc.total_cores(), 0.0));
+  assigned_.assign(t, 0);
+  dropped_.assign(t, 0);
+  const bool tc_based = options_.policy == SchedulerPolicy::MinAtcTcRatio;
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      if (tc_based) {
+        if (assignment.tc(i, k) > 0.0) candidates_[i].push_back(k);
+      } else {
+        // Ablation policies: any active core that can meet the deadline.
+        const std::size_t type = dc.core_type(k);
+        const std::size_t ps = assignment.core_pstate[k];
+        if (ps != dc.node_types[type].off_state() &&
+            dc.ecs.can_meet_deadline(i, type, ps,
+                                     dc.task_types[i].relative_deadline)) {
+          candidates_[i].push_back(k);
+        }
+      }
+    }
+  }
+}
+
+double DynamicScheduler::atc(std::size_t task_type, std::size_t core,
+                             double now) const {
+  const double elapsed = std::max(now - start_time_, options_.warmup_seconds);
+  return counts_[task_type][core] / elapsed;
+}
+
+double DynamicScheduler::atc_tc_ratio(std::size_t task_type, std::size_t core,
+                                      double now) const {
+  const double tc = assignment_.tc(task_type, core);
+  if (tc <= 0.0) return 0.0;
+  return atc(task_type, core, now) / tc;
+}
+
+const std::vector<std::size_t>& DynamicScheduler::candidates(
+    std::size_t task_type) const {
+  TAPO_CHECK(task_type < candidates_.size());
+  return candidates_[task_type];
+}
+
+DynamicScheduler::Decision DynamicScheduler::route(
+    std::size_t task_type, double now, const std::vector<double>& core_free_time) {
+  TAPO_CHECK(task_type < candidates_.size());
+  TAPO_CHECK(core_free_time.size() == dc_.total_cores());
+  if (!started_) {
+    started_ = true;
+    start_time_ = now;
+  }
+
+  const double deadline = now + dc_.task_types[task_type].relative_deadline;
+  Decision best;
+  double best_score = 0.0;
+  std::size_t eligible = 0;  // for Random's reservoir pick
+  for (std::size_t k : candidates_[task_type]) {
+    const double exec = dc_.ecs.etc_seconds(task_type, dc_.core_type(k),
+                                            assignment_.core_pstate[k]);
+    const double finish = std::max(now, core_free_time[k]) + exec;
+    if (options_.deadline_check && finish > deadline + 1e-12) continue;
+
+    switch (options_.policy) {
+      case SchedulerPolicy::MinAtcTcRatio: {
+        const double ratio = atc_tc_ratio(task_type, k, now);
+        if (ratio > 1.0) continue;  // core already ahead of its desired rate
+        if (!best.assigned || ratio < best_score) {
+          best = {true, k, exec};
+          best_score = ratio;
+        }
+        break;
+      }
+      case SchedulerPolicy::EarliestFinish: {
+        if (!best.assigned || finish < best_score) {
+          best = {true, k, exec};
+          best_score = finish;
+        }
+        break;
+      }
+      case SchedulerPolicy::Random: {
+        // Reservoir sampling: uniform over eligible cores in one pass.
+        ++eligible;
+        if (rng_.uniform(0.0, 1.0) < 1.0 / static_cast<double>(eligible)) {
+          best = {true, k, exec};
+        }
+        break;
+      }
+    }
+  }
+  if (best.assigned) {
+    counts_[task_type][best.core] += 1.0;
+    ++assigned_[task_type];
+  } else {
+    ++dropped_[task_type];
+  }
+  return best;
+}
+
+std::size_t DynamicScheduler::assigned_count(std::size_t task_type) const {
+  TAPO_CHECK(task_type < assigned_.size());
+  return assigned_[task_type];
+}
+
+std::size_t DynamicScheduler::dropped_count(std::size_t task_type) const {
+  TAPO_CHECK(task_type < dropped_.size());
+  return dropped_[task_type];
+}
+
+}  // namespace tapo::core

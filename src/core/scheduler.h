@@ -1,0 +1,82 @@
+// Second-step dynamic scheduler (Section V.C).
+//
+// The first step fixes the desired execution rates TC(i, k); online, each
+// arriving task of type i is routed to the core k that (a) still has
+// ATC(i,k)/TC(i,k) <= 1, (b) can finish the task before its deadline given
+// the core's current backlog, and (c) has the minimum ATC/TC ratio among
+// such cores - keeping the realized rates tracking the desired ones. If no
+// core qualifies the task is dropped. ATC is the realized assignment rate:
+// tasks routed so far divided by elapsed time (with a short warm-up floor so
+// the ratio is meaningful at the start of a run).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/assigner.h"
+#include "dc/datacenter.h"
+#include "util/rng.h"
+
+namespace tapo::core {
+
+// Routing policies. MinAtcTcRatio is the paper's second step; the others
+// are ablation baselines that ignore the desired-rate matrix:
+// EarliestFinish greedily picks the eligible core that finishes the task
+// soonest, Random picks uniformly among eligible cores. Both consider every
+// active core that could ever serve the type (not just TC > 0 cores).
+enum class SchedulerPolicy { MinAtcTcRatio, EarliestFinish, Random };
+
+struct SchedulerOptions {
+  SchedulerPolicy policy = SchedulerPolicy::MinAtcTcRatio;
+  // Elapsed-time floor (seconds) in the ATC estimate; prevents the ratio
+  // from saturating on the first assignments of a run.
+  double warmup_seconds = 1.0;
+  // Admit a task only if its queueing + execution delay meets the deadline.
+  bool deadline_check = true;
+  // Seed for the Random policy.
+  std::uint64_t random_seed = 1;
+};
+
+class DynamicScheduler {
+ public:
+  DynamicScheduler(const dc::DataCenter& dc, const Assignment& assignment,
+                   SchedulerOptions options = {});
+
+  struct Decision {
+    bool assigned = false;
+    std::size_t core = 0;
+    double exec_seconds = 0.0;
+  };
+
+  // Routes a task arriving at `now`; core_free_time[k] is the earliest time
+  // core k can start new work. On success the internal ATC counters update.
+  Decision route(std::size_t task_type, double now,
+                 const std::vector<double>& core_free_time);
+
+  // Realized assignment rate of task type i on core k at time `now`.
+  double atc(std::size_t task_type, std::size_t core, double now) const;
+
+  // ATC/TC tracking ratio (0 when TC is 0).
+  double atc_tc_ratio(std::size_t task_type, std::size_t core, double now) const;
+
+  // Candidate cores for the given task type: TC(i, k) > 0 under the paper's
+  // policy, every deadline-capable active core under the ablation policies.
+  const std::vector<std::size_t>& candidates(std::size_t task_type) const;
+
+  std::size_t assigned_count(std::size_t task_type) const;
+  std::size_t dropped_count(std::size_t task_type) const;
+
+ private:
+  const dc::DataCenter& dc_;
+  const Assignment& assignment_;
+  SchedulerOptions options_;
+  double start_time_ = 0.0;
+  bool started_ = false;
+
+  std::vector<std::vector<std::size_t>> candidates_;  // per task type
+  std::vector<std::vector<double>> counts_;           // [task type][core]
+  std::vector<std::size_t> assigned_, dropped_;
+  util::Rng rng_;
+};
+
+}  // namespace tapo::core

@@ -1,0 +1,169 @@
+#include "core/stage1.h"
+
+#include <cmath>
+
+#include "core/reward.h"
+#include "dc/crac.h"
+#include "solver/lp.h"
+#include "solver/piecewise.h"
+#include "util/check.h"
+
+namespace tapo::core {
+
+Stage1Solver::Stage1Solver(const dc::DataCenter& dc,
+                           const thermal::HeatFlowModel& model)
+    : dc_(dc), model_(model) {}
+
+Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_out,
+                                               double psi) const {
+  const std::size_t nn = dc_.num_nodes();
+  const std::size_t nc = dc_.num_cracs();
+  TAPO_CHECK(crac_out.size() == nc);
+
+  // Node-level concave reward functions, shared per node type.
+  std::vector<solver::PiecewiseLinear> arr_by_type;
+  arr_by_type.reserve(dc_.node_types.size());
+  for (std::size_t t = 0; t < dc_.node_types.size(); ++t) {
+    arr_by_type.push_back(concave_aggregate_reward_rate(dc_, t, psi)
+                              .scale_copies(dc_.node_types[t].cores_per_node()));
+  }
+
+  const thermal::LinearResponse lr = model_.linearize(crac_out);
+
+  solver::LpProblem lp;
+  // Segment variables per node; consecutive segments of a concave function
+  // have decreasing slopes, so a maximizing LP fills them in order and the
+  // sum of segment variables is exactly the node core power p_j.
+  std::vector<std::vector<std::size_t>> seg_vars(nn);
+  std::vector<std::vector<double>> seg_obj(nn);
+  for (std::size_t j = 0; j < nn; ++j) {
+    const auto& fn = arr_by_type[dc_.nodes[j].type];
+    const auto& pts = fn.points();
+    const auto slopes = fn.slopes();
+    for (std::size_t s = 0; s < slopes.size(); ++s) {
+      const double len = pts[s + 1].x - pts[s].x;
+      seg_vars[j].push_back(lp.add_variable(0.0, len, slopes[s]));
+      seg_obj[j].push_back(slopes[s]);
+    }
+  }
+  // One auxiliary variable per CRAC carrying its (clamped) power; it appears
+  // with +1 in the budget row, so the LP presses it down onto
+  // max(0, linear expression) - an exact encoding of Eq. 3's clamp.
+  std::vector<std::size_t> crac_power_vars(nc);
+  for (std::size_t c = 0; c < nc; ++c) {
+    crac_power_vars[c] = lp.add_variable(0.0, solver::kLpInfinity, 0.0);
+  }
+
+  const double base_power = dc_.total_base_power_kw();
+
+  // Thermal redlines: node_in0 already contains the CRAC-outlet contribution;
+  // the coefficient rows add the node-power influence, including base power.
+  for (std::size_t r = 0; r < nn; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = dc_.redline_node_c - lr.node_in0[r];
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double w = lr.node_in_coeff(r, j);
+      if (w == 0.0) continue;
+      rhs -= w * dc_.node_type(j).base_power_kw();
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
+    }
+    if (rhs < 0.0 && terms.empty()) {
+      return {};  // base load alone violates a redline at these setpoints
+    }
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
+  }
+  for (std::size_t r = 0; r < nc; ++r) {
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = dc_.redline_crac_c - lr.crac_in0[r];
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double w = lr.crac_in_coeff(r, j);
+      if (w == 0.0) continue;
+      rhs -= w * dc_.node_type(j).base_power_kw();
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
+    }
+    if (rhs < 0.0 && terms.empty()) return {};
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
+  }
+
+  // CRAC power definition rows: k_c * (crac_in_c - tout_c) - q_c <= 0 with
+  // k_c = rho*Cp*F_c / CoP(tout_c).
+  for (std::size_t c = 0; c < nc; ++c) {
+    const dc::CracSpec& crac = dc_.cracs[c];
+    const double k = dc::kAirDensity * dc::kAirSpecificHeat * crac.flow_m3s /
+                     crac.cop(crac_out[c]);
+    std::vector<std::pair<std::size_t, double>> terms;
+    double rhs = -k * (lr.crac_in0[c] - crac_out[c]);
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double w = k * lr.crac_in_coeff(c, j);
+      if (w == 0.0) continue;
+      rhs -= w * dc_.node_type(j).base_power_kw();
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
+    }
+    terms.emplace_back(crac_power_vars[c], -1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
+  }
+
+  // Power budget: sum of node core powers + CRAC powers <= Pconst - base.
+  {
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t j = 0; j < nn; ++j) {
+      for (std::size_t v : seg_vars[j]) terms.emplace_back(v, 1.0);
+    }
+    for (std::size_t v : crac_power_vars) terms.emplace_back(v, 1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq,
+                      dc_.p_const_kw - base_power);
+  }
+
+  const solver::LpSolution sol = solve_lp(lp);
+  if (!sol.optimal()) return {};
+
+  LpOutcome out;
+  out.feasible = true;
+  out.objective = sol.objective;
+  out.node_core_power_kw.assign(nn, 0.0);
+  for (std::size_t j = 0; j < nn; ++j) {
+    for (std::size_t v : seg_vars[j]) out.node_core_power_kw[j] += sol.x[v];
+  }
+  out.compute_power_kw = base_power;
+  for (double p : out.node_core_power_kw) out.compute_power_kw += p;
+  out.crac_power_kw = 0.0;
+  for (std::size_t v : crac_power_vars) out.crac_power_kw += sol.x[v];
+  return out;
+}
+
+Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
+  const std::size_t nc = dc_.num_cracs();
+  const std::vector<double> lo(nc, options.tcrac_min_c);
+  const std::vector<double> hi(nc, options.tcrac_max_c);
+
+  std::size_t lp_solves = 0;
+  const auto objective =
+      [&](const std::vector<double>& crac_out) -> std::optional<double> {
+    ++lp_solves;
+    const LpOutcome outcome = solve_at(crac_out, options.psi);
+    if (!outcome.feasible) return std::nullopt;
+    return outcome.objective;
+  };
+
+  const solver::GridSearchResult search =
+      options.full_grid
+          ? solver::grid_search_maximize(lo, hi, objective, options.grid)
+          : solver::uniform_then_coordinate_maximize(lo, hi, objective,
+                                                     options.grid);
+
+  Stage1Result result;
+  result.lp_solves = lp_solves;
+  if (!search.found) return result;
+
+  const LpOutcome best = solve_at(search.best_point, options.psi);
+  TAPO_CHECK_MSG(best.feasible, "best grid point must stay feasible");
+  result.feasible = true;
+  result.crac_out_c = search.best_point;
+  result.node_core_power_kw = best.node_core_power_kw;
+  result.objective = best.objective;
+  result.compute_power_kw = best.compute_power_kw;
+  result.crac_power_kw = best.crac_power_kw;
+  return result;
+}
+
+}  // namespace tapo::core

@@ -1,0 +1,71 @@
+// Stage 1 of the first-step assignment (Section V.B.2).
+//
+// With the integer P-state constraint relaxed, each core is assigned a
+// continuous power in [0, pi_{j,0}] and earns the concave piecewise-linear
+// aggregate reward rate ARR_j(p). Identical cores within a node share the
+// node budget optimally by splitting it evenly, so the node-level aggregate
+// is n * ARR(p/n) - also concave piecewise-linear - and the decision reduces
+// to one power variable per node, encoded as bounded segment variables.
+//
+// For fixed CRAC outlet temperatures the problem is an LP:
+//   maximize  sum_j NodeARR_j(p_j)
+//   s.t.      total compute power + total CRAC power <= Pconst   (Eq. 9 c1)
+//             Tin <= Tredline                                    (Eq. 9 c2)
+// where the thermal rows and the CRAC power (at fixed setpoints, with CoP
+// known) are affine in the node powers via HeatFlowModel::linearize. The
+// outlet temperatures themselves are found by the paper's discretized
+// coarse-to-fine search (Section V.B.2's multi-step method).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "dc/datacenter.h"
+#include "solver/gridsearch.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::core {
+
+struct Stage1Options {
+  double psi = 50.0;  // "best psi%" of task types in ARR_j
+  double tcrac_min_c = 10.0;
+  double tcrac_max_c = 25.0;
+  solver::GridSearchOptions grid;
+  // Full Cartesian coarse-to-fine search (paper's generic multi-step method)
+  // instead of the cheaper uniform-value + coordinate-descent default.
+  bool full_grid = false;
+};
+
+struct Stage1Result {
+  bool feasible = false;
+  std::vector<double> crac_out_c;            // chosen CRAC outlet setpoints
+  std::vector<double> node_core_power_kw;    // per node, cores only (excl. base)
+  double objective = 0.0;                    // relaxed aggregate reward rate
+  double compute_power_kw = 0.0;             // incl. base power
+  double crac_power_kw = 0.0;
+  std::size_t lp_solves = 0;
+};
+
+class Stage1Solver {
+ public:
+  Stage1Solver(const dc::DataCenter& dc, const thermal::HeatFlowModel& model);
+
+  Stage1Result solve(const Stage1Options& options = {}) const;
+
+  // The LP at fixed CRAC outlet temperatures; exposed for tests, ablations
+  // and the power-minimization extension.
+  struct LpOutcome {
+    bool feasible = false;
+    double objective = 0.0;
+    std::vector<double> node_core_power_kw;
+    double compute_power_kw = 0.0;
+    double crac_power_kw = 0.0;
+  };
+  LpOutcome solve_at(const std::vector<double>& crac_out, double psi) const;
+
+ private:
+  const dc::DataCenter& dc_;
+  const thermal::HeatFlowModel& model_;
+};
+
+}  // namespace tapo::core

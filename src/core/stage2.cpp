@@ -1,0 +1,67 @@
+#include "core/stage2.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tapo::core {
+
+namespace {
+constexpr double kPowerEps = 1e-9;
+}
+
+Stage2Result convert_power_to_pstates(
+    const dc::DataCenter& dc, const std::vector<double>& node_core_power_budget_kw) {
+  TAPO_CHECK(node_core_power_budget_kw.size() == dc.num_nodes());
+
+  Stage2Result result;
+  result.core_pstate.assign(dc.total_cores(), 0);
+  result.node_core_power_kw.assign(dc.num_nodes(), 0.0);
+
+  for (std::size_t j = 0; j < dc.num_nodes(); ++j) {
+    const dc::NodeTypeSpec& spec = dc.node_type(j);
+    const std::size_t n = spec.cores_per_node();
+    const double budget = std::max(0.0, node_core_power_budget_kw[j]);
+    TAPO_CHECK_MSG(budget <= n * spec.core_power_kw(0) + 1e-6,
+                   "node budget exceeds all-cores-at-P0 power");
+    const double share = budget / static_cast<double>(n);
+
+    // Step 1: highest P-state (largest index, lowest power) whose power is
+    // still >= the per-core share; the off state qualifies only for share 0.
+    std::size_t initial = 0;
+    if (share <= kPowerEps) {
+      initial = spec.off_state();
+    } else {
+      for (std::size_t k = 0; k < spec.num_active_pstates(); ++k) {
+        if (spec.core_power_kw(k) >= share - kPowerEps) initial = k;
+      }
+    }
+    std::vector<std::size_t> states(n, initial);
+    double total = static_cast<double>(n) * spec.core_power_kw(initial);
+
+    // Step 2: while over budget, push the most-powerful core one state up
+    // (toward off). Monotone decreasing total, so this terminates.
+    while (total > budget + kPowerEps) {
+      std::size_t best_core = n;
+      std::size_t smallest_state = spec.off_state() + 1;
+      for (std::size_t c = 0; c < n; ++c) {
+        if (states[c] < smallest_state) {
+          smallest_state = states[c];
+          best_core = c;
+        }
+      }
+      TAPO_CHECK_MSG(best_core < n && smallest_state < spec.off_state(),
+                     "cannot reduce below all-off");
+      total -= spec.core_power_kw(states[best_core]);
+      ++states[best_core];
+      total += spec.core_power_kw(states[best_core]);
+    }
+
+    const std::size_t offset = dc.core_offset(j);
+    for (std::size_t c = 0; c < n; ++c) result.core_pstate[offset + c] = states[c];
+    result.node_core_power_kw[j] = total;
+  }
+  return result;
+}
+
+}  // namespace tapo::core

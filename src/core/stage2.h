@@ -1,0 +1,29 @@
+// Stage 2: converting per-core power into integer P-states (Section V.B.3).
+//
+// Stage 1 leaves each node a core power budget that its identical cores
+// share evenly. Per the paper's procedure, every core first takes the
+// highest (least-powerful) P-state whose power is >= its share; while the
+// node total exceeds the Stage-1 budget, the core holding the smallest
+// (most-powerful) P-state is bumped one state higher. The result is a mix of
+// at most two adjacent P-states per node whose total power never exceeds the
+// Stage-1 assignment, so the power and thermal guarantees carry over.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dc/datacenter.h"
+
+namespace tapo::core {
+
+struct Stage2Result {
+  // P-state per global core index (off_state() of its node type = off).
+  std::vector<std::size_t> core_pstate;
+  // Actual core power per node after conversion (excl. base power).
+  std::vector<double> node_core_power_kw;
+};
+
+Stage2Result convert_power_to_pstates(
+    const dc::DataCenter& dc, const std::vector<double>& node_core_power_budget_kw);
+
+}  // namespace tapo::core

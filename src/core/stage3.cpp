@@ -1,0 +1,154 @@
+#include "core/stage3.h"
+
+#include <map>
+
+#include "solver/lp.h"
+#include "util/check.h"
+
+namespace tapo::core {
+
+namespace {
+
+Stage3Result finalize(const dc::DataCenter& dc, Stage3Result result) {
+  result.per_type_rate.assign(dc.num_task_types(), 0.0);
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      result.per_type_rate[i] += result.tc(i, k);
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+Stage3Result solve_stage3(const dc::DataCenter& dc,
+                          const std::vector<std::size_t>& core_pstate) {
+  TAPO_CHECK(core_pstate.size() == dc.total_cores());
+  const std::size_t t = dc.num_task_types();
+
+  // Group cores into (node type, P-state) classes; off cores are skipped.
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>> classes;
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    const std::size_t type = dc.core_type(k);
+    const std::size_t ps = core_pstate[k];
+    if (ps == dc.node_types[type].off_state()) continue;
+    classes[{type, ps}].push_back(k);
+  }
+
+  solver::LpProblem lp;
+  struct Var {
+    std::size_t var;
+    std::size_t task_type;
+    const std::vector<std::size_t>* cores;
+    double ecs;
+  };
+  std::vector<Var> vars;
+  std::vector<std::vector<std::size_t>> by_type(t);  // var indices per task type
+
+  for (const auto& [key, cores] : classes) {
+    const auto [type, ps] = key;
+    std::vector<std::pair<std::size_t, double>> capacity_terms;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!dc.ecs.can_meet_deadline(i, type, ps,
+                                    dc.task_types[i].relative_deadline)) {
+        continue;  // deadline constraint (Eq. 7 constraint 2) pins TC to 0
+      }
+      const double ecs = dc.ecs.ecs(i, type, ps);
+      const std::size_t v =
+          lp.add_variable(0.0, solver::kLpInfinity, dc.task_types[i].reward);
+      vars.push_back({v, i, &cores, ecs});
+      by_type[i].push_back(vars.size() - 1);
+      capacity_terms.emplace_back(v, 1.0 / ecs);
+    }
+    if (!capacity_terms.empty()) {
+      lp.add_constraint(std::move(capacity_terms), solver::Relation::LessEq,
+                        static_cast<double>(cores.size()));
+    }
+  }
+  for (std::size_t i = 0; i < t; ++i) {
+    if (by_type[i].empty()) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t idx : by_type[i]) terms.emplace_back(vars[idx].var, 1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq,
+                      dc.task_types[i].arrival_rate);
+  }
+
+  Stage3Result result;
+  result.tc = solver::Matrix(t, dc.total_cores());
+  if (vars.empty()) {
+    result.optimal = true;  // nothing can run: zero rates are optimal
+    return finalize(dc, std::move(result));
+  }
+
+  const solver::LpSolution sol = solve_lp(lp);
+  if (!sol.optimal()) return finalize(dc, std::move(result));
+
+  result.optimal = true;
+  result.reward_rate = sol.objective;
+  for (const Var& v : vars) {
+    const double per_core = sol.x[v.var] / static_cast<double>(v.cores->size());
+    if (per_core <= 0.0) continue;
+    for (std::size_t core : *v.cores) result.tc(v.task_type, core) = per_core;
+  }
+  return finalize(dc, std::move(result));
+}
+
+Stage3Result solve_stage3_percore(const dc::DataCenter& dc,
+                                  const std::vector<std::size_t>& core_pstate) {
+  TAPO_CHECK(core_pstate.size() == dc.total_cores());
+  const std::size_t t = dc.num_task_types();
+
+  solver::LpProblem lp;
+  struct Var {
+    std::size_t var;
+    std::size_t task_type;
+    std::size_t core;
+  };
+  std::vector<Var> vars;
+  std::vector<std::vector<std::size_t>> by_type(t);
+
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    const std::size_t type = dc.core_type(k);
+    const std::size_t ps = core_pstate[k];
+    if (ps == dc.node_types[type].off_state()) continue;
+    std::vector<std::pair<std::size_t, double>> capacity_terms;
+    for (std::size_t i = 0; i < t; ++i) {
+      if (!dc.ecs.can_meet_deadline(i, type, ps,
+                                    dc.task_types[i].relative_deadline)) {
+        continue;
+      }
+      const std::size_t v =
+          lp.add_variable(0.0, solver::kLpInfinity, dc.task_types[i].reward);
+      vars.push_back({v, i, k});
+      by_type[i].push_back(vars.size() - 1);
+      capacity_terms.emplace_back(v, 1.0 / dc.ecs.ecs(i, type, ps));
+    }
+    if (!capacity_terms.empty()) {
+      lp.add_constraint(std::move(capacity_terms), solver::Relation::LessEq, 1.0);
+    }
+  }
+  for (std::size_t i = 0; i < t; ++i) {
+    if (by_type[i].empty()) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t idx : by_type[i]) terms.emplace_back(vars[idx].var, 1.0);
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq,
+                      dc.task_types[i].arrival_rate);
+  }
+
+  Stage3Result result;
+  result.tc = solver::Matrix(t, dc.total_cores());
+  if (vars.empty()) {
+    result.optimal = true;
+    return finalize(dc, std::move(result));
+  }
+
+  const solver::LpSolution sol = solve_lp(lp);
+  if (!sol.optimal()) return finalize(dc, std::move(result));
+
+  result.optimal = true;
+  result.reward_rate = sol.objective;
+  for (const Var& v : vars) result.tc(v.task_type, v.core) = sol.x[v.var];
+  return finalize(dc, std::move(result));
+}
+
+}  // namespace tapo::core

@@ -1,0 +1,39 @@
+// Stage 3: optimal desired execution rates for fixed P-states (Section V.B.4).
+//
+// With the P-states and CRAC setpoints fixed, Eq. 7 becomes the LP
+//   maximize  sum_i r_i sum_k TC(i,k)
+//   s.t.      sum_i TC(i,k) / ECS(i, CT_k, PS_k) <= 1      (core capacity)
+//             TC(i,k) = 0 when 1/ECS > m_i or ECS = 0      (deadline)
+//             sum_k TC(i,k) <= lambda_i                    (arrival rate)
+//
+// ECS depends on the core only through (node type, P-state), so cores fall
+// into equivalence classes and the per-core LP collapses losslessly to one
+// variable per (task type, class) with class capacity = class size; rates
+// are distributed uniformly within a class afterwards. solve_stage3_percore
+// keeps the literal per-core formulation for cross-validation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dc/datacenter.h"
+#include "solver/matrix.h"
+
+namespace tapo::core {
+
+struct Stage3Result {
+  bool optimal = false;
+  double reward_rate = 0.0;        // total reward rate (Eq. 7 objective)
+  solver::Matrix tc;               // T x NCORES desired execution rates
+  std::vector<double> per_type_rate;  // sum over cores, per task type
+};
+
+Stage3Result solve_stage3(const dc::DataCenter& dc,
+                          const std::vector<std::size_t>& core_pstate);
+
+// Reference implementation with one variable per (task type, core); used by
+// tests to validate the class aggregation. Cost grows with the core count.
+Stage3Result solve_stage3_percore(const dc::DataCenter& dc,
+                                  const std::vector<std::size_t>& core_pstate);
+
+}  // namespace tapo::core

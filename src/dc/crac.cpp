@@ -1,0 +1,23 @@
+#include "dc/crac.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace tapo::dc {
+
+double CracSpec::cop(double t_out_c) const {
+  const double c = cop_a * t_out_c * t_out_c + cop_b * t_out_c + cop_c;
+  TAPO_CHECK_MSG(c > 0.0, "CoP must be positive in the operating range");
+  return c;
+}
+
+double CracSpec::heat_removed_kw(double t_in_c, double t_out_c) const {
+  return std::max(0.0, kAirDensity * kAirSpecificHeat * flow_m3s * (t_in_c - t_out_c));
+}
+
+double CracSpec::power_kw(double t_in_c, double t_out_c) const {
+  return heat_removed_kw(t_in_c, t_out_c) / cop(t_out_c);
+}
+
+}  // namespace tapo::dc

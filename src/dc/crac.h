@@ -1,0 +1,34 @@
+// Computer Room Air Conditioning units.
+//
+// A CRAC removes heat Q = rho * Cp * F * (Tin - Tout) (Eq. 2) at an
+// electrical cost Q / CoP(Tout) (Eq. 3), where the coefficient of
+// performance follows the HP Utility Data Center measurement (Eq. 8):
+//   CoP(tau) = 0.0068 tau^2 + 0.0008 tau + 0.458.
+// When the inlet air is not hotter than the outlet setpoint there is no heat
+// to remove and the power draw is zero.
+#pragma once
+
+namespace tapo::dc {
+
+// Air properties used throughout (paper's Appendix A values; with flow in
+// m^3/s and Cp in kJ/(kg degC), rho*Cp*F*dT comes out directly in kW).
+inline constexpr double kAirDensity = 1.205;       // kg/m^3
+inline constexpr double kAirSpecificHeat = 1.0;    // kJ/(kg degC)
+
+struct CracSpec {
+  double flow_m3s = 0.0;
+  // CoP(tau) = cop_a * tau^2 + cop_b * tau + cop_c (tau = outlet temp, degC).
+  double cop_a = 0.0068;
+  double cop_b = 0.0008;
+  double cop_c = 0.458;
+
+  double cop(double t_out_c) const;
+
+  // Heat removed in kW for the given inlet/outlet temperatures (>= 0).
+  double heat_removed_kw(double t_in_c, double t_out_c) const;
+
+  // Electrical power in kW (Eq. 3), clamped at 0 when t_in <= t_out.
+  double power_kw(double t_in_c, double t_out_c) const;
+};
+
+}  // namespace tapo::dc

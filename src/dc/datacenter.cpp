@@ -1,0 +1,88 @@
+#include "dc/datacenter.h"
+
+#include "util/check.h"
+
+namespace tapo::dc {
+
+const NodeTypeSpec& DataCenter::node_type(std::size_t node) const {
+  TAPO_CHECK(node < nodes.size());
+  return node_types[nodes[node].type];
+}
+
+std::size_t DataCenter::core_offset(std::size_t node) const {
+  TAPO_CHECK(node < core_offset_.size());
+  return core_offset_[node];
+}
+
+std::size_t DataCenter::core_node(std::size_t core) const {
+  TAPO_CHECK(core < core_node_.size());
+  return core_node_[core];
+}
+
+std::size_t DataCenter::core_type(std::size_t core) const {
+  return nodes[core_node(core)].type;
+}
+
+double DataCenter::entity_flow(std::size_t entity) const {
+  TAPO_CHECK(entity < num_entities());
+  if (entity < num_cracs()) return cracs[entity].flow_m3s;
+  return node_flow(entity - num_cracs());
+}
+
+double DataCenter::node_flow(std::size_t node) const {
+  return node_type(node).airflow_m3s();
+}
+
+double DataCenter::total_node_flow() const {
+  double f = 0.0;
+  for (std::size_t j = 0; j < num_nodes(); ++j) f += node_flow(j);
+  return f;
+}
+
+double DataCenter::total_base_power_kw() const {
+  double p = 0.0;
+  for (std::size_t j = 0; j < num_nodes(); ++j) p += node_type(j).base_power_kw();
+  return p;
+}
+
+double DataCenter::max_compute_power_kw() const {
+  double p = 0.0;
+  for (std::size_t j = 0; j < num_nodes(); ++j) p += node_type(j).max_node_power_kw();
+  return p;
+}
+
+std::vector<double> DataCenter::node_power_from_pstates(
+    const std::vector<std::size_t>& core_pstate) const {
+  TAPO_CHECK(core_pstate.size() == total_cores_);
+  std::vector<double> power(num_nodes());
+  for (std::size_t j = 0; j < num_nodes(); ++j) {
+    const NodeTypeSpec& spec = node_type(j);
+    double p = spec.base_power_kw();
+    const std::size_t begin = core_offset_[j];
+    for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+      p += spec.core_power_kw(core_pstate[begin + c]);
+    }
+    power[j] = p;
+  }
+  return power;
+}
+
+void DataCenter::finalize() {
+  TAPO_CHECK_MSG(!nodes.empty(), "data center has no compute nodes");
+  TAPO_CHECK_MSG(!cracs.empty(), "data center has no CRAC units");
+  TAPO_CHECK_MSG(layout.nodes.size() == nodes.size(),
+                 "layout and node list out of sync");
+  for (const ComputeNode& n : nodes) TAPO_CHECK(n.type < node_types.size());
+
+  core_offset_.resize(nodes.size());
+  core_node_.clear();
+  total_cores_ = 0;
+  for (std::size_t j = 0; j < nodes.size(); ++j) {
+    core_offset_[j] = total_cores_;
+    const std::size_t n = node_type(j).cores_per_node();
+    for (std::size_t c = 0; c < n; ++c) core_node_.push_back(j);
+    total_cores_ += n;
+  }
+}
+
+}  // namespace tapo::dc

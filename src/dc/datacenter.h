@@ -1,0 +1,83 @@
+// The assembled data center model (Section III of the paper).
+//
+// A DataCenter bundles the node population (each node an instance of a
+// NodeTypeSpec, placed in the hot/cold-aisle layout), the CRAC units, the
+// workload (task types + ECS table), the cross-interference matrix alpha of
+// the abstract heat-flow model, the redline temperatures, and the total
+// power budget Pconst. Cores carry global indices, grouped contiguously by
+// node (Section III.C's global core index).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dc/crac.h"
+#include "dc/layout.h"
+#include "dc/nodespec.h"
+#include "dc/workload.h"
+#include "solver/matrix.h"
+
+namespace tapo::dc {
+
+struct ComputeNode {
+  std::size_t type = 0;  // index into DataCenter::node_types
+};
+
+struct DataCenter {
+  std::vector<NodeTypeSpec> node_types;
+  std::vector<ComputeNode> nodes;  // NCN entries; node j's placement = layout.nodes[j]
+  std::vector<CracSpec> cracs;     // NCRAC entries
+  Layout layout;
+
+  std::vector<TaskType> task_types;
+  EcsTable ecs;
+
+  // Cross-interference fractions alpha(i, j): share of entity i's outlet air
+  // recirculated into entity j's inlet. Entities are indexed CRACs first,
+  // then compute nodes, in both dimensions ((NCRAC+NCN)^2).
+  solver::Matrix alpha;
+
+  double redline_node_c = 25.0;  // compute-node inlet redline (degC)
+  double redline_crac_c = 40.0;  // CRAC inlet redline (degC)
+  double p_const_kw = 0.0;       // total power budget Pconst
+
+  // ---- Derived helpers ----
+  std::size_t num_nodes() const { return nodes.size(); }
+  std::size_t num_cracs() const { return cracs.size(); }
+  std::size_t num_entities() const { return num_cracs() + num_nodes(); }
+  std::size_t num_task_types() const { return task_types.size(); }
+
+  const NodeTypeSpec& node_type(std::size_t node) const;
+
+  // Global core indexing: node j owns cores [core_offset(j),
+  // core_offset(j) + cores_per_node). Rebuilt by finalize().
+  std::size_t total_cores() const { return total_cores_; }
+  std::size_t core_offset(std::size_t node) const;
+  std::size_t core_node(std::size_t core) const;   // CT_k's node
+  std::size_t core_type(std::size_t core) const;   // CT_k (node type of core k)
+
+  // Air flow of entity e (CRACs first, then nodes), in m^3/s.
+  double entity_flow(std::size_t entity) const;
+  double node_flow(std::size_t node) const;
+  double total_node_flow() const;
+
+  // Sum of base power over all nodes (always drawn; nodes are never off).
+  double total_base_power_kw() const;
+  // Maximum compute power: base + all cores at P-state 0.
+  double max_compute_power_kw() const;
+
+  // Compute-node power vector (kW, length NCN) for a per-core P-state
+  // assignment (global core index -> P-state).
+  std::vector<double> node_power_from_pstates(
+      const std::vector<std::size_t>& core_pstate) const;
+
+  // Must be called after nodes/node_types are filled; builds core offsets.
+  void finalize();
+
+ private:
+  std::vector<std::size_t> core_offset_;
+  std::vector<std::size_t> core_node_;
+  std::size_t total_cores_ = 0;
+};
+
+}  // namespace tapo::dc

@@ -1,0 +1,58 @@
+#include "dc/layout.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::dc {
+
+const char* to_string(RackLabel label) {
+  switch (label) {
+    case RackLabel::A: return "A";
+    case RackLabel::B: return "B";
+    case RackLabel::C: return "C";
+    case RackLabel::D: return "D";
+    case RackLabel::E: return "E";
+  }
+  return "?";
+}
+
+Layout make_hot_cold_aisle_layout(std::size_t num_nodes, std::size_t num_cracs) {
+  TAPO_CHECK(num_nodes >= 1);
+  TAPO_CHECK(num_cracs >= 1);
+
+  Layout layout;
+  layout.num_cracs = num_cracs;
+  layout.num_hot_aisles = num_cracs;
+
+  layout.nodes.reserve(num_nodes);
+  for (std::size_t n = 0; n < num_nodes; ++n) {
+    NodePlacement p;
+    p.rack = n / kNodesPerRack;
+    p.slot = n % kNodesPerRack;
+    p.label = static_cast<RackLabel>(p.slot);
+    // Two rack rows exhaust into each hot aisle; racks round-robin over rows.
+    const std::size_t row = p.rack % (2 * num_cracs);
+    p.hot_aisle = row / 2;
+    layout.nodes.push_back(p);
+  }
+
+  // Hot-aisle -> CRAC split: the facing CRAC receives the dominant share; the
+  // remainder decays with aisle/CRAC distance. Rows are normalized to sum 1.
+  layout.hot_aisle_to_crac = solver::Matrix(num_cracs, num_cracs);
+  for (std::size_t aisle = 0; aisle < num_cracs; ++aisle) {
+    double total = 0.0;
+    for (std::size_t crac = 0; crac < num_cracs; ++crac) {
+      const double dist = std::fabs(static_cast<double>(aisle) - static_cast<double>(crac));
+      const double weight = (dist == 0.0) ? 3.0 : 1.0 / (1.0 + dist);
+      layout.hot_aisle_to_crac(aisle, crac) = weight;
+      total += weight;
+    }
+    for (std::size_t crac = 0; crac < num_cracs; ++crac) {
+      layout.hot_aisle_to_crac(aisle, crac) /= total;
+    }
+  }
+  return layout;
+}
+
+}  // namespace tapo::dc

@@ -1,0 +1,49 @@
+// Hot-aisle/cold-aisle physical layout (Figure 1 of the paper).
+//
+// Racks hold five compute nodes labelled A (bottom) to E (top); the label
+// determines the exit-coefficient / recirculation-coefficient ranges of
+// Table II. Rack rows exhaust into hot aisles; CRAC unit i faces hot aisle i,
+// so a node's hot air reaches CRAC i with the largest share, captured by the
+// split matrix M(hot_aisle, crac).
+//
+// (The paper's Table II narrative says "node A is at the bottom of the rack
+// and node B is at the top"; from the monotone EC/RC ranges this must read
+// "node E at the top", which is what we implement.)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/matrix.h"
+
+namespace tapo::dc {
+
+enum class RackLabel : unsigned char { A = 0, B, C, D, E };
+
+inline constexpr std::size_t kNodesPerRack = 5;
+
+const char* to_string(RackLabel label);
+
+struct NodePlacement {
+  std::size_t rack = 0;
+  std::size_t slot = 0;  // 0 (bottom) .. 4 (top)
+  RackLabel label = RackLabel::A;
+  std::size_t hot_aisle = 0;
+};
+
+struct Layout {
+  std::size_t num_cracs = 0;
+  std::size_t num_hot_aisles = 0;  // == num_cracs
+  std::vector<NodePlacement> nodes;
+  // M(i, j): fraction of the exit-coefficient air of hot aisle i that reaches
+  // CRAC j; every row sums to 1 (Appendix B).
+  solver::Matrix hot_aisle_to_crac;
+};
+
+// Builds the standard layout: two rack rows per hot aisle, racks filled
+// bottom-to-top with labels A..E, racks assigned to rows round-robin. The
+// node count does not need to be a multiple of the rack size; the last rack
+// may be partially filled (from the bottom).
+Layout make_hot_cold_aisle_layout(std::size_t num_nodes, std::size_t num_cracs);
+
+}  // namespace tapo::dc

@@ -1,0 +1,70 @@
+#include "dc/nodespec.h"
+
+#include "util/check.h"
+
+namespace tapo::dc {
+
+NodeTypeSpec::NodeTypeSpec(std::string name, double base_power_kw,
+                           std::size_t cores_per_node, double p0_power_kw,
+                           double static_fraction, std::vector<PStateSpec> pstates,
+                           double airflow_m3s)
+    : name_(std::move(name)),
+      base_power_kw_(base_power_kw),
+      cores_per_node_(cores_per_node),
+      airflow_m3s_(airflow_m3s),
+      static_fraction_(static_fraction),
+      p0_power_kw_(p0_power_kw),
+      power_model_(p0_power_kw, static_fraction, std::move(pstates)) {
+  TAPO_CHECK(base_power_kw_ >= 0.0);
+  TAPO_CHECK(cores_per_node_ >= 1);
+  TAPO_CHECK(airflow_m3s_ > 0.0);
+}
+
+double NodeTypeSpec::core_power_kw(std::size_t k) const {
+  if (k == off_state()) return 0.0;
+  return power_model_.power_kw(k);
+}
+
+double NodeTypeSpec::core_static_power_kw(std::size_t k) const {
+  if (k == off_state()) return 0.0;
+  return power_model_.static_power_kw(k);
+}
+
+double NodeTypeSpec::freq_mhz(std::size_t k) const {
+  if (k == off_state()) return 0.0;
+  return power_model_.state(k).freq_mhz;
+}
+
+double NodeTypeSpec::node_power_kw(const std::vector<std::size_t>& core_pstates) const {
+  TAPO_CHECK(core_pstates.size() == cores_per_node_);
+  double p = base_power_kw_;
+  for (std::size_t k : core_pstates) {
+    TAPO_CHECK(k <= off_state());
+    p += core_power_kw(k);
+  }
+  return p;
+}
+
+double NodeTypeSpec::max_node_power_kw() const {
+  return base_power_kw_ + static_cast<double>(cores_per_node_) * core_power_kw(0);
+}
+
+std::vector<NodeTypeSpec> table1_node_types(double static_fraction) {
+  std::vector<NodeTypeSpec> types;
+  // Type 1: HP ProLiant DL785 G5, 8x AMD Opteron 8381 HE (4 cores each).
+  // Base power: 0.793 kW at 100% util minus 8 x 0.055 kW TDP = 0.353 kW.
+  types.emplace_back(
+      "HP ProLiant DL785 G5", /*base_power_kw=*/0.353, /*cores_per_node=*/32,
+      /*p0_power_kw=*/0.055 / 4.0, static_fraction,
+      std::vector<PStateSpec>{{2500.0, 1.325}, {2100.0, 1.25}, {1700.0, 1.175}, {800.0, 1.025}},
+      /*airflow_m3s=*/0.07);
+  // Type 2: NEC Express5800/A1080a-S, 4x Intel Xeon X7560 (8 cores each).
+  types.emplace_back(
+      "NEC Express5800/A1080a-S", /*base_power_kw=*/0.418, /*cores_per_node=*/32,
+      /*p0_power_kw=*/0.01625, static_fraction,
+      std::vector<PStateSpec>{{2666.0, 1.35}, {2200.0, 1.268}, {1700.0, 1.18}, {1000.0, 1.056}},
+      /*airflow_m3s=*/0.0828);
+  return types;
+}
+
+}  // namespace tapo::dc

@@ -1,0 +1,70 @@
+// Compute node type specifications (Table I of the paper).
+//
+// A node type fixes the base (non-compute) power draw, the number of
+// identical cores, the per-core P-state table, and the node air-flow rate.
+// table1_node_types() reproduces the two SPECpower-derived servers used in
+// the paper's simulations: the HP ProLiant DL785 G5 (8x AMD Opteron 8381 HE)
+// and the NEC Express5800/A1080a-S (4x Intel Xeon X7560).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dc/pstate.h"
+
+namespace tapo::dc {
+
+class NodeTypeSpec {
+ public:
+  NodeTypeSpec(std::string name, double base_power_kw, std::size_t cores_per_node,
+               double p0_power_kw, double static_fraction,
+               std::vector<PStateSpec> pstates, double airflow_m3s);
+
+  const std::string& name() const { return name_; }
+  double base_power_kw() const { return base_power_kw_; }
+  std::size_t cores_per_node() const { return cores_per_node_; }
+  double airflow_m3s() const { return airflow_m3s_; }
+  double static_fraction() const { return static_fraction_; }
+  // The constructor's P-state-0 power input, retained verbatim so that
+  // serialization re-derives bit-identical SC/beta constants.
+  double p0_power_kw() const { return p0_power_kw_; }
+
+  // Active P-states from the datasheet; index off_state() == num_active() is
+  // the synthetic turned-off state with zero power.
+  std::size_t num_active_pstates() const { return power_model_.num_active_states(); }
+  std::size_t off_state() const { return power_model_.num_active_states(); }
+  std::size_t num_pstates_with_off() const { return off_state() + 1; }
+
+  // Core power of P-state k, in kW; k may be off_state() (returns 0).
+  double core_power_kw(std::size_t k) const;
+
+  // Static share of P-state k's power (0 for the off state).
+  double core_static_power_kw(std::size_t k) const;
+
+  double freq_mhz(std::size_t k) const;  // 0 for the off state
+
+  // Node power for a given multiset of core P-states (Eq. 1):
+  //   PCN_j = B_j + sum_k pi_{j, PS_k}
+  double node_power_kw(const std::vector<std::size_t>& core_pstates) const;
+
+  // Maximum node power: base + all cores in P-state 0.
+  double max_node_power_kw() const;
+
+  const CorePowerModel& power_model() const { return power_model_; }
+
+ private:
+  std::string name_;
+  double base_power_kw_;
+  std::size_t cores_per_node_;
+  double airflow_m3s_;
+  double static_fraction_;
+  double p0_power_kw_;
+  CorePowerModel power_model_;
+};
+
+// The two node types of Table I, parameterized by the P-state-0 static power
+// fraction (30% in simulation sets 1-2, 20% in set 3).
+std::vector<NodeTypeSpec> table1_node_types(double static_fraction);
+
+}  // namespace tapo::dc

@@ -1,0 +1,40 @@
+#include "dc/pstate.h"
+
+#include "util/check.h"
+
+namespace tapo::dc {
+
+CorePowerModel::CorePowerModel(double p0_power_kw, double static_fraction,
+                               std::vector<PStateSpec> states)
+    : states_(std::move(states)) {
+  TAPO_CHECK_MSG(!states_.empty(), "need at least one active P-state");
+  TAPO_CHECK(p0_power_kw > 0.0);
+  TAPO_CHECK(static_fraction >= 0.0 && static_fraction < 1.0);
+  const PStateSpec& p0 = states_[0];
+  TAPO_CHECK(p0.freq_mhz > 0.0 && p0.voltage > 0.0);
+  // Static power at P0 is beta*V0 = s*pi0; dynamic is SC*f0*V0^2 = (1-s)*pi0.
+  beta_ = static_fraction * p0_power_kw / p0.voltage;
+  sc_ = (1.0 - static_fraction) * p0_power_kw / (p0.freq_mhz * p0.voltage * p0.voltage);
+}
+
+double CorePowerModel::power_kw(std::size_t k) const {
+  return static_power_kw(k) + dynamic_power_kw(k);
+}
+
+double CorePowerModel::static_power_kw(std::size_t k) const {
+  TAPO_CHECK(k < states_.size());
+  return beta_ * states_[k].voltage;
+}
+
+double CorePowerModel::dynamic_power_kw(std::size_t k) const {
+  TAPO_CHECK(k < states_.size());
+  const PStateSpec& s = states_[k];
+  return sc_ * s.freq_mhz * s.voltage * s.voltage;
+}
+
+const PStateSpec& CorePowerModel::state(std::size_t k) const {
+  TAPO_CHECK(k < states_.size());
+  return states_[k];
+}
+
+}  // namespace tapo::dc

@@ -1,0 +1,47 @@
+// P-state definitions and the Appendix-A core power model.
+//
+// A core of type j supports P-states 0..eta_j-1 from its datasheet (0 =
+// highest frequency / highest power) plus a synthetic "off" state appended at
+// index eta_j with zero power and zero computational speed. Core power is
+// split into static power (beta * V, following Butts & Sohi) and CMOS dynamic
+// power (SC * f * V^2); the constants are recovered from the P-state-0 power
+// draw and the assumed static fraction, exactly as in the paper's Appendix A.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tapo::dc {
+
+struct PStateSpec {
+  double freq_mhz = 0.0;
+  double voltage = 0.0;
+};
+
+class CorePowerModel {
+ public:
+  // p0_power_kw: total core power in P-state 0.
+  // static_fraction: share of p0_power_kw that is static at P-state 0.
+  CorePowerModel(double p0_power_kw, double static_fraction,
+                 std::vector<PStateSpec> states);
+
+  // Power of active P-state k (k < num_active_states()), in kW:
+  //   pi_{j,k} = SC * f_k * V_k^2 + beta * V_k           (Appendix A, Eq. 23)
+  double power_kw(std::size_t k) const;
+
+  double static_power_kw(std::size_t k) const;   // beta * V_k
+  double dynamic_power_kw(std::size_t k) const;  // SC * f_k * V_k^2
+
+  std::size_t num_active_states() const { return states_.size(); }
+  const PStateSpec& state(std::size_t k) const;
+
+  double sc() const { return sc_; }
+  double beta() const { return beta_; }
+
+ private:
+  std::vector<PStateSpec> states_;
+  double sc_ = 0.0;    // switching activity * capacitive load (kW / (MHz*V^2))
+  double beta_ = 0.0;  // static power constant (kW / V)
+};
+
+}  // namespace tapo::dc

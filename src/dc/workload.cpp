@@ -1,0 +1,51 @@
+#include "dc/workload.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace tapo::dc {
+
+namespace {
+// ECS values at or below this threshold are treated as "cannot execute";
+// Section V.B.1 suggests substituting a small positive number for zero ECS,
+// which is equivalent to an infinite execution time for deadline purposes.
+constexpr double kEcsZeroThreshold = 1e-12;
+}  // namespace
+
+EcsTable::EcsTable(std::size_t num_task_types, std::size_t num_node_types,
+                   std::size_t num_states)
+    : t_(num_task_types),
+      j_(num_node_types),
+      k_(num_states),
+      data_(num_task_types * num_node_types * num_states, 0.0) {
+  TAPO_CHECK(t_ >= 1 && j_ >= 1 && k_ >= 2);
+}
+
+std::size_t EcsTable::index(std::size_t i, std::size_t j, std::size_t k) const {
+  TAPO_CHECK(i < t_ && j < j_ && k < k_);
+  return (i * j_ + j) * k_ + k;
+}
+
+double EcsTable::ecs(std::size_t i, std::size_t j, std::size_t k) const {
+  return data_[index(i, j, k)];
+}
+
+void EcsTable::set_ecs(std::size_t i, std::size_t j, std::size_t k, double value) {
+  TAPO_CHECK(value >= 0.0);
+  TAPO_CHECK_MSG(k + 1 < k_ || value == 0.0, "the off state must have ECS 0");
+  data_[index(i, j, k)] = value;
+}
+
+double EcsTable::etc_seconds(std::size_t i, std::size_t j, std::size_t k) const {
+  const double e = ecs(i, j, k);
+  if (e <= kEcsZeroThreshold) return std::numeric_limits<double>::infinity();
+  return 1.0 / e;
+}
+
+bool EcsTable::can_meet_deadline(std::size_t i, std::size_t j, std::size_t k,
+                                 double relative_deadline) const {
+  return etc_seconds(i, j, k) <= relative_deadline;
+}
+
+}  // namespace tapo::dc

@@ -1,0 +1,76 @@
+// Workload model: task types and the Estimated Computational Speed table.
+//
+// The system processes T known task types. Completing a task of type i by
+// its deadline (arrival + m_i) earns reward r_i; tasks of type i arrive at
+// rate lambda_i and may be dropped. ECS(i, j, k) is the number of tasks of
+// type i a core of node type j completes per second in P-state k; the off
+// state always has ECS 0, and a zero ECS for an active state means the node
+// type cannot run that task type (e.g. missing software).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tapo::dc {
+
+struct TaskType {
+  std::string name;
+  double reward = 1.0;             // r_i
+  double relative_deadline = 0.0;  // m_i (seconds); deadline = arrival + m_i
+  double arrival_rate = 0.0;       // lambda_i (tasks per second)
+};
+
+// Task-type-dependent core power (the extension Section III.C sketches:
+// "a third index would have to be added to pi"). While a core executes a
+// task of type i its draw is pi_{j,k} * task_factor[i]; an idle-but-on core
+// draws pi_{j,k} * idle_factor. Factors of 1 everywhere recover the paper's
+// base model. I/O-intensive task types typically have factors < 1
+// (Mukherjee et al.'s measurements, the paper's own citation [23]).
+struct TaskPowerFactors {
+  std::vector<double> task_factor;  // per task type; empty = all 1.0
+  double idle_factor = 1.0;
+
+  double factor(std::size_t task_type) const {
+    return task_type < task_factor.size() ? task_factor[task_type] : 1.0;
+  }
+  // Largest factor (>= idle): the conservative bound stages 1-2 assume.
+  double max_factor() const {
+    double m = idle_factor;
+    for (double f : task_factor) m = f > m ? f : m;
+    return m < 1.0 ? 1.0 : m;
+  }
+};
+
+class EcsTable {
+ public:
+  EcsTable() = default;
+  // num_states includes the off state (index num_states-1).
+  EcsTable(std::size_t num_task_types, std::size_t num_node_types,
+           std::size_t num_states);
+
+  std::size_t num_task_types() const { return t_; }
+  std::size_t num_node_types() const { return j_; }
+  std::size_t num_states() const { return k_; }
+
+  double ecs(std::size_t task_type, std::size_t node_type, std::size_t pstate) const;
+  void set_ecs(std::size_t task_type, std::size_t node_type, std::size_t pstate,
+               double value);
+
+  // 1 / ECS, or +infinity when the ECS is (numerically) zero. This is the
+  // estimated time to compute one task.
+  double etc_seconds(std::size_t task_type, std::size_t node_type,
+                     std::size_t pstate) const;
+
+  // True when a task of this type can meet its deadline m on this core/state:
+  // etc <= m and ECS > 0.
+  bool can_meet_deadline(std::size_t task_type, std::size_t node_type,
+                         std::size_t pstate, double relative_deadline) const;
+
+ private:
+  std::size_t index(std::size_t i, std::size_t j, std::size_t k) const;
+  std::size_t t_ = 0, j_ = 0, k_ = 0;
+  std::vector<double> data_;
+};
+
+}  // namespace tapo::dc

@@ -1,0 +1,63 @@
+// Full Section-VI scenario generation.
+//
+// Reproduces the paper's simulation setup end to end: Table-I node types at
+// the configured static-power fraction, a uniform node-type mix, the
+// hot/cold-aisle layout, homogeneous CRAC units sized so total CRAC flow
+// equals total node flow, the ECS matrices (Eq. 10 with the monotonicity
+// resampling), task-type rewards (Eq. 11), deadlines (Eqs. 12-14), arrival
+// rates (Eqs. 15-16), cross-interference coefficients (Appendix B), the
+// power bounds (Eq. 17) and Pconst = (Pmin+Pmax)/2 (Eq. 18). A single seed
+// makes the whole scenario reproducible.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "dc/datacenter.h"
+#include "thermal/bounds.h"
+#include "thermal/heatflow.h"
+#include "util/rng.h"
+
+namespace tapo::scenario {
+
+struct ScenarioConfig {
+  std::size_t num_nodes = 150;
+  std::size_t num_cracs = 3;
+  std::size_t num_task_types = 8;
+
+  double static_fraction = 0.30;  // P-state-0 static power share (30% / 20%)
+  double v_ecs = 0.1;             // task/node affinity variation (VI.C)
+  double v_prop = 0.1;            // frequency-proportionality variation (Eq. 10)
+  double v_arrival = 0.3;         // arrival-rate variation (Eq. 16)
+
+  // Relative per-node-type average ECS at P-state 0 (Section VI.C uses
+  // {0.6, 1.0} from the SPECpower throughput ratio).
+  std::vector<double> node_type_performance = {0.6, 1.0};
+
+  double redline_node_c = 25.0;
+  double redline_crac_c = 40.0;
+  double pconst_factor = 0.5;  // Pconst = Pmin + factor*(Pmax-Pmin)
+
+  std::uint64_t seed = 1;
+
+  thermal::PowerBoundsOptions bounds;
+};
+
+struct Scenario {
+  dc::DataCenter dc;
+  thermal::PowerBounds bounds;
+};
+
+// Generates a scenario; nullopt only if cross-interference generation fails
+// outright (which the Table-II ranges do not, for the standard layouts).
+std::optional<Scenario> generate_scenario(const ScenarioConfig& config);
+
+// Individual steps, exposed for tests.
+dc::EcsTable generate_ecs_table(const ScenarioConfig& config,
+                                const std::vector<dc::NodeTypeSpec>& types,
+                                util::Rng& rng);
+std::vector<dc::TaskType> generate_task_types(const ScenarioConfig& config,
+                                              const dc::DataCenter& dc,
+                                              util::Rng& rng);
+
+}  // namespace tapo::scenario

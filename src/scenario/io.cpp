@@ -1,0 +1,348 @@
+#include "scenario/io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tapo::scenario {
+
+namespace {
+
+// Doubles are written as hex floats so load(save(x)) == x exactly.
+std::string hex_double(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%a", v);
+  return buf;
+}
+
+// Node-type names may contain spaces; they are stored URL-style with '%20'.
+std::string encode_name(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    if (c == ' ') {
+      out += "%20";
+    } else {
+      TAPO_CHECK_MSG(c != '\n' && c != '%', "unsupported character in name");
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string decode_name(const std::string& encoded) {
+  std::string out;
+  for (std::size_t i = 0; i < encoded.size(); ++i) {
+    if (encoded.compare(i, 3, "%20") == 0) {
+      out += ' ';
+      i += 2;
+    } else {
+      out += encoded[i];
+    }
+  }
+  return out;
+}
+
+class Reader {
+ public:
+  explicit Reader(std::istream& is) : is_(is) {}
+
+  bool expect(const std::string& token) {
+    std::string got;
+    if (!(is_ >> got) || got != token) {
+      fail("expected '" + token + "'" + (got.empty() ? "" : ", got '" + got + "'"));
+      return false;
+    }
+    return true;
+  }
+
+  bool read_size(std::size_t& out) {
+    long long v = 0;
+    if (!(is_ >> v) || v < 0) {
+      fail("expected a non-negative integer");
+      return false;
+    }
+    out = static_cast<std::size_t>(v);
+    return true;
+  }
+
+  bool read_double(double& out) {
+    std::string token;
+    if (!(is_ >> token)) {
+      fail("expected a number");
+      return false;
+    }
+    char* end = nullptr;
+    out = std::strtod(token.c_str(), &end);
+    if (!end || *end != '\0') {
+      fail("malformed number '" + token + "'");
+      return false;
+    }
+    return true;
+  }
+
+  bool read_word(std::string& out) {
+    if (!(is_ >> out)) {
+      fail("unexpected end of document");
+      return false;
+    }
+    return true;
+  }
+
+  void fail(const std::string& message) {
+    if (error_.empty()) error_ = message;
+  }
+  bool failed() const { return !error_.empty(); }
+  const std::string& error() const { return error_; }
+
+ private:
+  std::istream& is_;
+  std::string error_;
+};
+
+}  // namespace
+
+void save_data_center(const dc::DataCenter& dc, std::ostream& os) {
+  os << "tapo-datacenter v1\n";
+
+  os << "node_types " << dc.node_types.size() << "\n";
+  for (const auto& spec : dc.node_types) {
+    os << "node_type " << encode_name(spec.name()) << " "
+       << hex_double(spec.base_power_kw()) << " " << spec.cores_per_node() << " "
+       << hex_double(spec.p0_power_kw()) << " "
+       << hex_double(spec.static_fraction()) << " "
+       << hex_double(spec.airflow_m3s()) << " " << spec.num_active_pstates() << "\n";
+    for (std::size_t k = 0; k < spec.num_active_pstates(); ++k) {
+      const auto& s = spec.power_model().state(k);
+      os << "pstate " << hex_double(s.freq_mhz) << " " << hex_double(s.voltage)
+         << "\n";
+    }
+  }
+
+  os << "nodes " << dc.num_nodes() << "\n";
+  for (const auto& node : dc.nodes) os << node.type << " ";
+  os << "\n";
+
+  os << "cracs " << dc.num_cracs() << "\n";
+  for (const auto& crac : dc.cracs) {
+    os << hex_double(crac.flow_m3s) << " " << hex_double(crac.cop_a) << " "
+       << hex_double(crac.cop_b) << " " << hex_double(crac.cop_c) << "\n";
+  }
+
+  os << "layout " << dc.layout.num_cracs << " " << dc.layout.nodes.size() << "\n";
+  for (const auto& p : dc.layout.nodes) {
+    os << p.rack << " " << p.slot << " " << static_cast<int>(p.label) << " "
+       << p.hot_aisle << "\n";
+  }
+  for (std::size_t a = 0; a < dc.layout.num_cracs; ++a) {
+    for (std::size_t c = 0; c < dc.layout.num_cracs; ++c) {
+      os << hex_double(dc.layout.hot_aisle_to_crac(a, c)) << " ";
+    }
+    os << "\n";
+  }
+
+  os << "task_types " << dc.task_types.size() << "\n";
+  for (const auto& task : dc.task_types) {
+    os << encode_name(task.name.empty() ? "-" : task.name) << " "
+       << hex_double(task.reward) << " " << hex_double(task.relative_deadline)
+       << " " << hex_double(task.arrival_rate) << "\n";
+  }
+
+  os << "ecs " << dc.ecs.num_task_types() << " " << dc.ecs.num_node_types()
+     << " " << dc.ecs.num_states() << "\n";
+  for (std::size_t i = 0; i < dc.ecs.num_task_types(); ++i) {
+    for (std::size_t j = 0; j < dc.ecs.num_node_types(); ++j) {
+      for (std::size_t k = 0; k < dc.ecs.num_states(); ++k) {
+        os << hex_double(dc.ecs.ecs(i, j, k)) << " ";
+      }
+      os << "\n";
+    }
+  }
+
+  os << "alpha " << dc.alpha.rows() << "\n";
+  for (std::size_t i = 0; i < dc.alpha.rows(); ++i) {
+    for (std::size_t j = 0; j < dc.alpha.cols(); ++j) {
+      os << hex_double(dc.alpha(i, j)) << " ";
+    }
+    os << "\n";
+  }
+
+  os << "limits " << hex_double(dc.redline_node_c) << " "
+     << hex_double(dc.redline_crac_c) << " " << hex_double(dc.p_const_kw) << "\n";
+  os << "end\n";
+}
+
+LoadResult load_data_center(std::istream& is) {
+  LoadResult result;
+  Reader r(is);
+  dc::DataCenter& dc = result.dc;
+
+  if (!r.expect("tapo-datacenter") || !r.expect("v1")) {
+    result.error = r.error();
+    return result;
+  }
+
+  const auto finish_error = [&]() {
+    result.error = r.error().empty() ? "malformed document" : r.error();
+    return result;
+  };
+
+  std::size_t count = 0;
+  if (!r.expect("node_types") || !r.read_size(count)) return finish_error();
+  for (std::size_t t = 0; t < count; ++t) {
+    std::string name;
+    double base = 0, p0 = 0, static_fraction = 0, flow = 0;
+    std::size_t cores = 0, states = 0;
+    if (!r.expect("node_type") || !r.read_word(name) || !r.read_double(base) ||
+        !r.read_size(cores) || !r.read_double(p0) ||
+        !r.read_double(static_fraction) || !r.read_double(flow) ||
+        !r.read_size(states)) {
+      return finish_error();
+    }
+    std::vector<dc::PStateSpec> pstates(states);
+    for (auto& s : pstates) {
+      if (!r.expect("pstate") || !r.read_double(s.freq_mhz) ||
+          !r.read_double(s.voltage)) {
+        return finish_error();
+      }
+    }
+    if (states == 0 || cores == 0 || p0 <= 0 || flow <= 0) {
+      r.fail("invalid node type parameters");
+      return finish_error();
+    }
+    dc.node_types.emplace_back(decode_name(name), base, cores, p0,
+                               static_fraction, std::move(pstates), flow);
+  }
+
+  if (!r.expect("nodes") || !r.read_size(count)) return finish_error();
+  dc.nodes.resize(count);
+  for (auto& node : dc.nodes) {
+    if (!r.read_size(node.type)) return finish_error();
+    if (node.type >= dc.node_types.size()) {
+      r.fail("node references unknown type");
+      return finish_error();
+    }
+  }
+
+  if (!r.expect("cracs") || !r.read_size(count)) return finish_error();
+  dc.cracs.resize(count);
+  for (auto& crac : dc.cracs) {
+    if (!r.read_double(crac.flow_m3s) || !r.read_double(crac.cop_a) ||
+        !r.read_double(crac.cop_b) || !r.read_double(crac.cop_c)) {
+      return finish_error();
+    }
+  }
+
+  std::size_t layout_cracs = 0, layout_nodes = 0;
+  if (!r.expect("layout") || !r.read_size(layout_cracs) ||
+      !r.read_size(layout_nodes)) {
+    return finish_error();
+  }
+  dc.layout.num_cracs = layout_cracs;
+  dc.layout.num_hot_aisles = layout_cracs;
+  dc.layout.nodes.resize(layout_nodes);
+  for (auto& p : dc.layout.nodes) {
+    std::size_t label = 0;
+    if (!r.read_size(p.rack) || !r.read_size(p.slot) || !r.read_size(label) ||
+        !r.read_size(p.hot_aisle)) {
+      return finish_error();
+    }
+    if (label > 4 || p.hot_aisle >= layout_cracs) {
+      r.fail("invalid node placement");
+      return finish_error();
+    }
+    p.label = static_cast<dc::RackLabel>(label);
+  }
+  dc.layout.hot_aisle_to_crac = solver::Matrix(layout_cracs, layout_cracs);
+  for (std::size_t a = 0; a < layout_cracs; ++a) {
+    for (std::size_t c = 0; c < layout_cracs; ++c) {
+      if (!r.read_double(dc.layout.hot_aisle_to_crac(a, c))) return finish_error();
+    }
+  }
+
+  if (!r.expect("task_types") || !r.read_size(count)) return finish_error();
+  dc.task_types.resize(count);
+  for (auto& task : dc.task_types) {
+    std::string name;
+    if (!r.read_word(name) || !r.read_double(task.reward) ||
+        !r.read_double(task.relative_deadline) ||
+        !r.read_double(task.arrival_rate)) {
+      return finish_error();
+    }
+    task.name = name == "-" ? std::string() : decode_name(name);
+  }
+
+  std::size_t et = 0, ej = 0, ek = 0;
+  if (!r.expect("ecs") || !r.read_size(et) || !r.read_size(ej) ||
+      !r.read_size(ek)) {
+    return finish_error();
+  }
+  if (et == 0 || ej == 0 || ek < 2) {
+    r.fail("invalid ecs dimensions");
+    return finish_error();
+  }
+  dc.ecs = dc::EcsTable(et, ej, ek);
+  for (std::size_t i = 0; i < et; ++i) {
+    for (std::size_t j = 0; j < ej; ++j) {
+      for (std::size_t k = 0; k < ek; ++k) {
+        double v = 0;
+        if (!r.read_double(v)) return finish_error();
+        if (v < 0 || (k + 1 == ek && v != 0.0)) {
+          r.fail("invalid ecs value");
+          return finish_error();
+        }
+        dc.ecs.set_ecs(i, j, k, v);
+      }
+    }
+  }
+
+  std::size_t alpha_n = 0;
+  if (!r.expect("alpha") || !r.read_size(alpha_n)) return finish_error();
+  dc.alpha = solver::Matrix(alpha_n, alpha_n);
+  for (std::size_t i = 0; i < alpha_n; ++i) {
+    for (std::size_t j = 0; j < alpha_n; ++j) {
+      if (!r.read_double(dc.alpha(i, j))) return finish_error();
+    }
+  }
+
+  if (!r.expect("limits") || !r.read_double(dc.redline_node_c) ||
+      !r.read_double(dc.redline_crac_c) || !r.read_double(dc.p_const_kw)) {
+    return finish_error();
+  }
+  if (!r.expect("end")) return finish_error();
+
+  // Structural consistency before finalize()'s own checks.
+  if (dc.nodes.empty() || dc.cracs.empty() ||
+      dc.layout.nodes.size() != dc.nodes.size() ||
+      dc.layout.num_cracs != dc.cracs.size() ||
+      alpha_n != dc.nodes.size() + dc.cracs.size() ||
+      dc.ecs.num_node_types() != dc.node_types.size()) {
+    result.error = "inconsistent section sizes";
+    return result;
+  }
+  dc.finalize();
+  result.ok = true;
+  return result;
+}
+
+bool save_data_center_file(const dc::DataCenter& dc, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  save_data_center(dc, os);
+  return static_cast<bool>(os);
+}
+
+LoadResult load_data_center_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    LoadResult result;
+    result.error = "cannot open '" + path + "'";
+    return result;
+  }
+  return load_data_center(is);
+}
+
+}  // namespace tapo::scenario

@@ -1,0 +1,37 @@
+// Data-center serialization.
+//
+// Persists a complete DataCenter - node types with their P-state tables,
+// node population, CRAC units, layout (placements and the hot-aisle split
+// matrix), task types, the ECS table, the cross-interference matrix, the
+// redlines and the power budget - to a versioned, line-oriented text format,
+// and loads it back bit-for-bit (doubles round-trip through hex floats).
+// This lets the CLI and the benchmark harness archive the exact instance
+// behind any reported number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dc/datacenter.h"
+
+namespace tapo::scenario {
+
+// Writes the data center; the stream receives a self-describing document
+// beginning with "tapo-datacenter v1".
+void save_data_center(const dc::DataCenter& dc, std::ostream& os);
+
+struct LoadResult {
+  bool ok = false;
+  std::string error;
+  dc::DataCenter dc;
+};
+
+// Parses a document produced by save_data_center. On failure `ok` is false
+// and `error` names the offending section.
+LoadResult load_data_center(std::istream& is);
+
+// Convenience file wrappers.
+bool save_data_center_file(const dc::DataCenter& dc, const std::string& path);
+LoadResult load_data_center_file(const std::string& path);
+
+}  // namespace tapo::scenario

@@ -1,0 +1,62 @@
+// Adaptive re-assignment under workload drift (extension).
+//
+// The paper fixes the arrival rates for the lifetime of a run ("once the
+// arrival rate for a task type is assigned, it remains constant", VI.D) and
+// notes the first step operates on the minutes-scale thermal steady state.
+// This module explores the obvious next step: when arrival rates drift
+// epoch to epoch (a multiplicative random walk), how much reward does
+// re-running the first step at every epoch recover over holding the initial
+// assignment? Both policies are measured with the same online DES and the
+// same arrival sample paths.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/assigner.h"
+#include "dc/datacenter.h"
+#include "sim/des.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::sim {
+
+struct DriftConfig {
+  double epoch_seconds = 60.0;
+  std::size_t epochs = 5;
+  // Per-epoch relative random-walk step of each task type's arrival rate;
+  // factors are clamped to [0.2, 3] of the original rate.
+  double drift_magnitude = 0.35;
+  std::uint64_t seed = 1;
+  SimOptions sim;  // duration/warmup fields are overridden per epoch
+};
+
+struct EpochOutcome {
+  std::vector<double> arrival_scale;     // per task type, vs the original rate
+  double static_reward_rate = 0.0;       // initial assignment, this epoch
+  double adaptive_reward_rate = 0.0;     // re-assigned for this epoch
+  double adaptive_predicted = 0.0;       // first-step prediction after re-run
+};
+
+struct AdaptiveResult {
+  bool feasible = false;
+  std::vector<EpochOutcome> epochs;
+  double static_total_reward = 0.0;
+  double adaptive_total_reward = 0.0;
+
+  // Relative gain of re-assigning every epoch.
+  double adaptation_gain() const {
+    return static_total_reward > 0.0
+               ? (adaptive_total_reward - static_total_reward) / static_total_reward
+               : 0.0;
+  }
+};
+
+// Mutates dc.task_types arrival rates per epoch (the thermal model never
+// reads them, so the passed-in HeatFlowModel stays valid) and restores the
+// original rates before returning.
+AdaptiveResult compare_static_vs_adaptive(dc::DataCenter& dc,
+                                          const thermal::HeatFlowModel& model,
+                                          const core::ThreeStageOptions& options,
+                                          const DriftConfig& drift);
+
+}  // namespace tapo::sim

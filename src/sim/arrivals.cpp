@@ -1,0 +1,31 @@
+#include "sim/arrivals.h"
+
+#include <limits>
+
+#include "util/check.h"
+
+namespace tapo::sim {
+
+ArrivalProcess::ArrivalProcess(const std::vector<dc::TaskType>& task_types,
+                               util::Rng rng) {
+  rates_.reserve(task_types.size());
+  streams_.reserve(task_types.size());
+  for (std::size_t i = 0; i < task_types.size(); ++i) {
+    TAPO_CHECK(task_types[i].arrival_rate >= 0.0);
+    rates_.push_back(task_types[i].arrival_rate);
+    streams_.push_back(rng.fork(i));
+  }
+}
+
+double ArrivalProcess::next_interarrival(std::size_t task_type) {
+  TAPO_CHECK(task_type < rates_.size());
+  if (rates_[task_type] <= 0.0) return std::numeric_limits<double>::infinity();
+  return streams_[task_type].exponential(rates_[task_type]);
+}
+
+double ArrivalProcess::rate(std::size_t task_type) const {
+  TAPO_CHECK(task_type < rates_.size());
+  return rates_[task_type];
+}
+
+}  // namespace tapo::sim

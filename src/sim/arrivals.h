@@ -1,0 +1,32 @@
+// Poisson arrival processes for the workload's task types.
+//
+// Task types arrive independently at their rates lambda_i (Section III.B);
+// exponential interarrival times drawn from a per-type RNG substream keep
+// the processes independent and reproducible.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dc/workload.h"
+#include "util/rng.h"
+
+namespace tapo::sim {
+
+class ArrivalProcess {
+ public:
+  ArrivalProcess(const std::vector<dc::TaskType>& task_types, util::Rng rng);
+
+  // Next interarrival delay for the given task type (exponential with rate
+  // lambda_i). Task types with rate 0 never arrive (returns +infinity).
+  double next_interarrival(std::size_t task_type);
+
+  std::size_t num_task_types() const { return rates_.size(); }
+  double rate(std::size_t task_type) const;
+
+ private:
+  std::vector<double> rates_;
+  std::vector<util::Rng> streams_;
+};
+
+}  // namespace tapo::sim

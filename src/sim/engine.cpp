@@ -1,0 +1,32 @@
+#include "sim/engine.h"
+
+#include "util/check.h"
+
+namespace tapo::sim {
+
+void Engine::schedule_at(double when, Callback cb) {
+  TAPO_CHECK_MSG(when >= now_ - 1e-12, "cannot schedule in the past");
+  queue_.push(Event{when, next_seq_++, std::move(cb)});
+}
+
+void Engine::schedule_in(double delay, Callback cb) {
+  TAPO_CHECK(delay >= 0.0);
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+std::size_t Engine::run_until(double horizon) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= horizon) {
+    // priority_queue::top returns const&; move the callback out via a copy of
+    // the event (callbacks are small).
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.time;
+    ev.cb();
+    ++executed;
+  }
+  if (now_ < horizon) now_ = horizon;
+  return executed;
+}
+
+}  // namespace tapo::sim

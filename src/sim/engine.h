@@ -1,0 +1,48 @@
+// Discrete-event simulation engine.
+//
+// A minimal event calendar: schedule callbacks at absolute times, run until
+// a horizon. Ties are broken by insertion order so runs are deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace tapo::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  // Schedules a callback at absolute time `when` (>= now()).
+  void schedule_at(double when, Callback cb);
+  // Schedules relative to the current time.
+  void schedule_in(double delay, Callback cb);
+
+  // Runs events until the calendar empties or the horizon is passed; events
+  // scheduled exactly at the horizon still run. Returns events executed.
+  std::size_t run_until(double horizon);
+
+  std::size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace tapo::sim

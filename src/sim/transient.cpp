@@ -1,0 +1,90 @@
+#include "sim/transient.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.h"
+
+namespace tapo::thermal {
+
+TransientResult simulate_transition(const dc::DataCenter& dc,
+                                    const HeatFlowModel& model,
+                                    const std::vector<double>& crac_out_from,
+                                    const std::vector<double>& node_power_from,
+                                    const std::vector<double>& crac_out_to,
+                                    const std::vector<double>& node_power_to,
+                                    const TransientOptions& options) {
+  TAPO_CHECK(options.dt_s > 0.0 && options.horizon_s > options.dt_s);
+  TAPO_CHECK(options.time_constant_s > 0.0);
+
+  const Temperatures initial = model.solve(crac_out_from, node_power_from);
+  const Temperatures target = model.solve(crac_out_to, node_power_to);
+
+  const std::size_t nn = dc.num_nodes();
+  std::vector<double> tout_n = initial.node_out;
+
+  TransientResult result;
+  result.settle_time_s = std::numeric_limits<double>::infinity();
+
+  const std::size_t steps =
+      static_cast<std::size_t>(options.horizon_s / options.dt_s);
+  result.time_s.reserve(steps);
+  result.max_node_inlet_c.reserve(steps);
+  result.max_crac_inlet_c.reserve(steps);
+
+  for (std::size_t step = 0; step <= steps; ++step) {
+    const double t = static_cast<double>(step) * options.dt_s;
+
+    // Inlets respond instantly to the mixed outlet field (air transport is
+    // fast relative to the thermal masses); outlets relax toward
+    // Tin + P/(rho Cp F) with the lumped time constant.
+    const auto& g = model.inlet_matrix();
+    const std::size_t nc = dc.num_cracs();
+    std::vector<double> node_in(nn, 0.0), crac_in(nc, 0.0);
+    for (std::size_t j = 0; j < nn; ++j) {
+      double acc = 0.0;
+      const double* row = g.row(nc + j);
+      for (std::size_t c = 0; c < nc; ++c) acc += row[c] * crac_out_to[c];
+      for (std::size_t i = 0; i < nn; ++i) acc += row[nc + i] * tout_n[i];
+      node_in[j] = acc;
+    }
+    for (std::size_t c = 0; c < nc; ++c) {
+      double acc = 0.0;
+      const double* row = g.row(c);
+      for (std::size_t c2 = 0; c2 < nc; ++c2) acc += row[c2] * crac_out_to[c2];
+      for (std::size_t i = 0; i < nn; ++i) acc += row[nc + i] * tout_n[i];
+      crac_in[c] = acc;
+    }
+
+    const double max_node = *std::max_element(node_in.begin(), node_in.end());
+    const double max_crac = *std::max_element(crac_in.begin(), crac_in.end());
+    result.time_s.push_back(t);
+    result.max_node_inlet_c.push_back(max_node);
+    result.max_crac_inlet_c.push_back(max_crac);
+    result.peak_node_inlet_c = std::max(result.peak_node_inlet_c, max_node);
+    result.peak_crac_inlet_c = std::max(result.peak_crac_inlet_c, max_crac);
+
+    double max_gap = 0.0;
+    for (std::size_t j = 0; j < nn; ++j) {
+      max_gap = std::max(max_gap, std::fabs(tout_n[j] - target.node_out[j]));
+    }
+    if (max_gap < 0.1 && !std::isfinite(result.settle_time_s)) {
+      result.settle_time_s = t;  // first time the field is within 0.1 degC
+    }
+
+    for (std::size_t j = 0; j < nn; ++j) {
+      const double equilibrium =
+          node_in[j] + node_power_to[j] * model.node_heating_per_kw(j);
+      tout_n[j] += options.dt_s / options.time_constant_s *
+                   (equilibrium - tout_n[j]);
+    }
+  }
+
+  result.redlines_held =
+      result.peak_node_inlet_c <= dc.redline_node_c + 1e-6 &&
+      result.peak_crac_inlet_c <= dc.redline_crac_c + 1e-6;
+  return result;
+}
+
+}  // namespace tapo::thermal

@@ -1,0 +1,46 @@
+// Transient thermal evolution (extension).
+//
+// The paper notes temperature evolution happens on the order of minutes
+// while tasks run in seconds, which justifies the steady-state first step.
+// This module checks that justification: a lumped-capacitance model where
+// each entity's outlet temperature relaxes toward its instantaneous steady
+// value with a time constant, integrated with forward Euler. It answers
+// whether a P-state reassignment can transiently overshoot the redlines on
+// its way to the (feasible) steady state.
+#pragma once
+
+#include <vector>
+
+#include "dc/datacenter.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::thermal {
+
+struct TransientOptions {
+  double time_constant_s = 120.0;  // node thermal-mass time constant
+  double dt_s = 1.0;               // Euler step
+  double horizon_s = 1800.0;       // simulated span
+};
+
+struct TransientResult {
+  std::vector<double> time_s;
+  std::vector<double> max_node_inlet_c;  // per step
+  std::vector<double> max_crac_inlet_c;
+  double peak_node_inlet_c = 0.0;
+  double peak_crac_inlet_c = 0.0;
+  bool redlines_held = false;
+  // Time to come within 0.1 degC of the steady state (inf if never).
+  double settle_time_s = 0.0;
+};
+
+// Integrates the transition from the steady state of (crac_out_from,
+// node_power_from) to the steady state of (crac_out_to, node_power_to).
+TransientResult simulate_transition(const dc::DataCenter& dc,
+                                    const HeatFlowModel& model,
+                                    const std::vector<double>& crac_out_from,
+                                    const std::vector<double>& node_power_from,
+                                    const std::vector<double>& crac_out_to,
+                                    const std::vector<double>& node_power_to,
+                                    const TransientOptions& options = {});
+
+}  // namespace tapo::thermal

@@ -1,0 +1,153 @@
+#include "solver/gridsearch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::solver {
+
+namespace {
+
+// Evaluates the Cartesian grid defined by per-dimension sample lists,
+// updating the incumbent.
+void sweep_grid(const std::vector<std::vector<double>>& samples,
+                const GridObjective& objective, GridSearchResult& result) {
+  const std::size_t dims = samples.size();
+  std::vector<std::size_t> idx(dims, 0);
+  std::vector<double> point(dims);
+  while (true) {
+    for (std::size_t d = 0; d < dims; ++d) point[d] = samples[d][idx[d]];
+    ++result.evaluations;
+    if (auto value = objective(point)) {
+      if (!result.found || *value > result.best_value) {
+        result.found = true;
+        result.best_value = *value;
+        result.best_point = point;
+      }
+    }
+    // Odometer increment.
+    std::size_t d = 0;
+    while (d < dims) {
+      if (++idx[d] < samples[d].size()) break;
+      idx[d] = 0;
+      ++d;
+    }
+    if (d == dims) break;
+  }
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+  TAPO_CHECK(n >= 1);
+  if (n == 1 || hi <= lo) return {0.5 * (lo + hi)};
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = lo + (hi - lo) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return v;
+}
+
+}  // namespace
+
+GridSearchResult grid_search_maximize(const std::vector<double>& lo,
+                                      const std::vector<double>& hi,
+                                      const GridObjective& objective,
+                                      const GridSearchOptions& options) {
+  TAPO_CHECK(lo.size() == hi.size() && !lo.empty());
+  const std::size_t dims = lo.size();
+
+  GridSearchResult result;
+  std::vector<std::vector<double>> samples(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    samples[d] = linspace(lo[d], hi[d], options.coarse_samples);
+  }
+  sweep_grid(samples, objective, result);
+  if (!result.found) return result;
+
+  std::vector<double> step(dims);
+  for (std::size_t d = 0; d < dims; ++d) {
+    step[d] = (hi[d] - lo[d]) /
+              static_cast<double>(std::max<std::size_t>(options.coarse_samples - 1, 1));
+  }
+  for (std::size_t round = 0; round < options.refine_rounds; ++round) {
+    bool any = false;
+    for (std::size_t d = 0; d < dims; ++d) {
+      step[d] *= 2.0 / static_cast<double>(std::max<std::size_t>(options.refine_samples, 2));
+      if (step[d] >= options.min_resolution) any = true;
+      const double center = result.best_point[d];
+      samples[d] = linspace(std::max(lo[d], center - step[d] * 1.5),
+                            std::min(hi[d], center + step[d] * 1.5),
+                            options.refine_samples);
+    }
+    if (!any) break;
+    sweep_grid(samples, objective, result);
+  }
+  return result;
+}
+
+GridSearchResult uniform_then_coordinate_maximize(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const GridObjective& objective, const GridSearchOptions& options) {
+  TAPO_CHECK(lo.size() == hi.size() && !lo.empty());
+  const std::size_t dims = lo.size();
+
+  GridSearchResult result;
+
+  // Phase 1: all dimensions share one value; coarse sweep + one refinement.
+  const double ulo = *std::max_element(lo.begin(), lo.end());
+  const double uhi = *std::min_element(hi.begin(), hi.end());
+  auto eval_uniform = [&](double u) {
+    std::vector<double> point(dims, u);
+    ++result.evaluations;
+    if (auto value = objective(point)) {
+      if (!result.found || *value > result.best_value) {
+        result.found = true;
+        result.best_value = *value;
+        result.best_point = point;
+      }
+    }
+  };
+  const std::size_t coarse = std::max<std::size_t>(options.coarse_samples * 2, 6);
+  for (double u : linspace(ulo, uhi, coarse)) eval_uniform(u);
+  if (!result.found) {
+    // Fall back to the full grid: a uniform value may be infeasible while a
+    // non-uniform point is feasible.
+    return grid_search_maximize(lo, hi, objective, options);
+  }
+  double step = (uhi - ulo) / static_cast<double>(std::max<std::size_t>(coarse - 1, 1));
+  for (std::size_t round = 0; round < options.refine_rounds; ++round) {
+    step *= 0.5;
+    if (step < options.min_resolution * 0.5) break;
+    const double center = result.best_point[0];
+    for (double u : {center - step, center + step}) {
+      if (u >= ulo && u <= uhi) eval_uniform(u);
+    }
+  }
+
+  // Phase 2: cyclic coordinate descent around the best uniform point.
+  double cstep = std::max(step, options.min_resolution);
+  for (std::size_t round = 0; round < options.refine_rounds + 1; ++round) {
+    bool improved = false;
+    for (std::size_t d = 0; d < dims; ++d) {
+      for (double delta : {-cstep, cstep}) {
+        std::vector<double> point = result.best_point;
+        point[d] = std::clamp(point[d] + delta, lo[d], hi[d]);
+        ++result.evaluations;
+        if (auto value = objective(point)) {
+          if (*value > result.best_value + 1e-12) {
+            result.best_value = *value;
+            result.best_point = point;
+            improved = true;
+          }
+        }
+      }
+    }
+    if (!improved) {
+      cstep *= 0.5;
+      if (cstep < options.min_resolution * 0.5) break;
+    }
+  }
+  return result;
+}
+
+}  // namespace tapo::solver

@@ -1,0 +1,57 @@
+// Coarse-to-fine discretized search over a small number of continuous
+// dimensions.
+//
+// With the CRAC outlet temperatures fixed, every optimization problem in the
+// paper becomes an LP; the outlet temperatures themselves have ~1 degC
+// granularity, so the paper proposes a multi-step discretized search: a
+// coarse sweep over the full range, then progressively finer sweeps around
+// the best point (Section V.B.2). This module implements that driver plus a
+// cheaper "uniform value then coordinate descent" strategy that exploits the
+// homogeneity of the CRAC units.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace tapo::solver {
+
+struct GridSearchOptions {
+  // Number of samples per dimension in the initial coarse sweep.
+  std::size_t coarse_samples = 4;
+  // Number of refinement rounds after the coarse sweep.
+  std::size_t refine_rounds = 2;
+  // Samples per dimension in each refinement round (centered on the best).
+  std::size_t refine_samples = 3;
+  // Stop refining once the step size drops below this resolution.
+  double min_resolution = 0.5;
+};
+
+struct GridSearchResult {
+  std::vector<double> best_point;
+  double best_value = 0.0;
+  std::size_t evaluations = 0;
+  bool found = false;  // false when every evaluation was infeasible
+};
+
+// Objective: returns the value at a point, or nullopt when infeasible.
+using GridObjective =
+    std::function<std::optional<double>(const std::vector<double>&)>;
+
+// Full Cartesian coarse-to-fine maximization over [lo_d, hi_d] per dimension.
+// Cost grows exponentially with dimension; intended for <= 4 dimensions.
+GridSearchResult grid_search_maximize(const std::vector<double>& lo,
+                                      const std::vector<double>& hi,
+                                      const GridObjective& objective,
+                                      const GridSearchOptions& options = {});
+
+// Cheaper two-phase strategy: (1) sweep a single shared value across all
+// dimensions (coarse + refinement), then (2) cyclic coordinate descent around
+// the best uniform point. Matches the paper's observation that homogeneous
+// CRAC units sit near a common outlet temperature while still allowing
+// per-unit deviation.
+GridSearchResult uniform_then_coordinate_maximize(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const GridObjective& objective, const GridSearchOptions& options = {});
+
+}  // namespace tapo::solver

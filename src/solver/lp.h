@@ -1,0 +1,88 @@
+// Linear programming: two-phase primal simplex with bounded variables.
+//
+// All optimization problems in the paper reduce, after its own decomposition,
+// to linear programs once the CRAC outlet temperatures are fixed:
+//   * Stage 1 power allocation (piecewise-linear concave reward vs. power),
+//   * Stage 3 desired-execution-rate assignment,
+//   * the baseline technique of Eq. 21 (fractional core allocation).
+// These LPs have a few hundred rows and up to a few thousand columns, with
+// many variables carrying finite upper bounds (piecewise-linear segment
+// lengths, per-node fractions). A bounded-variable simplex keeps those bounds
+// out of the row count, which is what makes the dense tableau practical.
+//
+// Conventions: maximize c^T x subject to rows (<=, =, >=) and box bounds
+// lo <= x <= hi (lo finite, hi possibly +infinity).
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tapo::solver {
+
+inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
+
+enum class Relation { LessEq, Equal, GreaterEq };
+
+enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
+
+const char* to_string(LpStatus status);
+
+class LpProblem {
+ public:
+  // Adds a variable with bounds [lo, hi] and objective coefficient obj.
+  // lo must be finite; hi may be kLpInfinity. Returns the variable index.
+  std::size_t add_variable(double lo, double hi, double obj);
+
+  // Adds a constraint given as sparse (variable, coefficient) terms.
+  void add_constraint(std::vector<std::pair<std::size_t, double>> terms,
+                      Relation rel, double rhs);
+
+  std::size_t num_vars() const { return lo_.size(); }
+  std::size_t num_constraints() const { return rel_.size(); }
+
+  double lower_bound(std::size_t v) const { return lo_[v]; }
+  double upper_bound(std::size_t v) const { return hi_[v]; }
+  double objective_coeff(std::size_t v) const { return obj_[v]; }
+
+  // Evaluates the objective at x.
+  double objective_value(const std::vector<double>& x) const;
+
+  // Returns the largest violation of any row or bound at x (0 if feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+ private:
+  friend class SimplexSolver;
+  std::vector<double> lo_, hi_, obj_;
+  std::vector<std::vector<std::pair<std::size_t, double>>> rows_;
+  std::vector<Relation> rel_;
+  std::vector<double> rhs_;
+};
+
+struct LpOptions {
+  // Hard iteration cap; 0 means "auto" (50 * (rows + cols) + 2000).
+  std::size_t max_iterations = 0;
+  // Feasibility / optimality tolerance.
+  double tolerance = 1e-9;
+  // Minimum acceptable pivot magnitude.
+  double pivot_tolerance = 1e-8;
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::Infeasible;
+  double objective = 0.0;
+  std::vector<double> x;      // primal values (num_vars)
+  std::vector<double> duals;  // one per constraint, sign convention: for a
+                              // maximization, duals of <= rows are >= 0,
+                              // of >= rows are <= 0.
+  std::size_t iterations = 0;
+
+  bool optimal() const { return status == LpStatus::Optimal; }
+};
+
+// Solves the LP. The problem object is not modified.
+LpSolution solve_lp(const LpProblem& problem, const LpOptions& options = {});
+
+}  // namespace tapo::solver

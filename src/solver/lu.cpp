@@ -1,0 +1,96 @@
+#include "solver/lu.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::solver {
+
+LuFactorization::LuFactorization(const Matrix& a) : lu_(a) {
+  TAPO_CHECK(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  perm_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) perm_[i] = i;
+
+  ok_ = true;
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivoting: largest absolute value in this column at/below the
+    // diagonal.
+    std::size_t pivot = col;
+    double best = std::fabs(lu_(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::fabs(lu_(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-13) {
+      ok_ = false;
+      return;
+    }
+    if (pivot != col) {
+      std::swap(perm_[pivot], perm_[col]);
+      perm_sign_ = -perm_sign_;
+      for (std::size_t c = 0; c < n; ++c) std::swap(lu_(pivot, c), lu_(col, c));
+    }
+    const double inv_piv = 1.0 / lu_(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double factor = lu_(r, col) * inv_piv;
+      lu_(r, col) = factor;
+      if (factor == 0.0) continue;
+      const double* src = lu_.row(col);
+      double* dst = lu_.row(r);
+      for (std::size_t c = col + 1; c < n; ++c) dst[c] -= factor * src[c];
+    }
+  }
+}
+
+std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
+  TAPO_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  TAPO_CHECK(b.size() == n);
+  std::vector<double> x(n);
+  // Forward substitution with permuted rhs (L has unit diagonal).
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[perm_[i]];
+    const double* r = lu_.row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= r[j] * x[j];
+    x[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = x[i];
+    const double* r = lu_.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) acc -= r[j] * x[j];
+    x[i] = acc / r[i];
+  }
+  return x;
+}
+
+Matrix LuFactorization::solve(const Matrix& b) const {
+  TAPO_CHECK(ok_);
+  TAPO_CHECK(b.rows() == lu_.rows());
+  Matrix x(b.rows(), b.cols());
+  std::vector<double> col(b.rows());
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < b.rows(); ++r) col[r] = b(r, c);
+    const auto sol = solve(col);
+    for (std::size_t r = 0; r < b.rows(); ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+Matrix LuFactorization::inverse() const {
+  return solve(Matrix::identity(lu_.rows()));
+}
+
+double LuFactorization::determinant() const {
+  if (!ok_) return 0.0;
+  double det = perm_sign_;
+  for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
+  return det;
+}
+
+}  // namespace tapo::solver

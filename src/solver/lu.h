@@ -1,0 +1,41 @@
+// LU factorization with partial pivoting.
+//
+// Used to solve the heat-flow fixed point (I - G_nn) x = rhs and to compute
+// the linear sensitivity of node outlet temperatures to node power. The
+// systems are small (order NCN ~ 150) and well conditioned because G_nn is a
+// strict sub-stochastic recirculation matrix.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "solver/matrix.h"
+
+namespace tapo::solver {
+
+class LuFactorization {
+ public:
+  // Factors a copy of `a`. `ok()` is false if `a` is singular to working
+  // precision.
+  explicit LuFactorization(const Matrix& a);
+
+  bool ok() const { return ok_; }
+
+  // Solves A x = b. Requires ok().
+  std::vector<double> solve(const std::vector<double>& b) const;
+
+  // Solves A X = B column-by-column. Requires ok().
+  Matrix solve(const Matrix& b) const;
+
+  Matrix inverse() const;
+
+  double determinant() const;
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  int perm_sign_ = 1;
+  bool ok_ = false;
+};
+
+}  // namespace tapo::solver

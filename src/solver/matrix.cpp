@@ -1,0 +1,91 @@
+#include "solver/matrix.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::solver {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  TAPO_CHECK(cols_ == other.rows());
+  Matrix out(rows_, other.cols());
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* brow = other.row(k);
+      double* orow = out.row(i);
+      for (std::size_t j = 0; j < other.cols(); ++j) orow[j] += a * brow[j];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double>& v) const {
+  TAPO_CHECK(cols_ == v.size());
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* r = row(i);
+    double acc = 0.0;
+    for (std::size_t j = 0; j < cols_; ++j) acc += r[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Matrix& Matrix::add_scaled(const Matrix& other, double scale) {
+  TAPO_CHECK(rows_ == other.rows() && cols_ == other.cols());
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  return *this;
+}
+
+Matrix Matrix::block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const {
+  TAPO_CHECK(r0 + nr <= rows_ && c0 + nc <= cols_);
+  Matrix b(nr, nc);
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t c = 0; c < nc; ++c) b(r, c) = (*this)(r0 + r, c0 + c);
+  return b;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double norm2(const std::vector<double>& v) {
+  double s = 0.0;
+  for (double x : v) s += x * x;
+  return std::sqrt(s);
+}
+
+double norm_inf(const std::vector<double>& v) {
+  double m = 0.0;
+  for (double x : v) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double dot(const std::vector<double>& a, const std::vector<double>& b) {
+  TAPO_CHECK(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace tapo::solver

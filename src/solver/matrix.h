@@ -1,0 +1,57 @@
+// Dense row-major matrix used by the thermal model and the LP solver.
+//
+// The heat-flow model works with matrices of dimension (NCRAC + NCN)^2
+// (order 150-200 for the paper's data centers), so a straightforward dense
+// representation is both the simplest and the fastest choice here.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tapo::solver {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  // Raw row pointer; rows are contiguous.
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  Matrix transpose() const;
+
+  // this * other
+  Matrix multiply(const Matrix& other) const;
+
+  // this * v
+  std::vector<double> multiply(const std::vector<double>& v) const;
+
+  Matrix& add_scaled(const Matrix& other, double scale);  // this += scale*other
+
+  // Submatrix [r0, r0+nr) x [c0, c0+nc).
+  Matrix block(std::size_t r0, std::size_t c0, std::size_t nr, std::size_t nc) const;
+
+  // Largest absolute entry (0 for empty matrices).
+  double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// Euclidean norm and infinity norm of a vector.
+double norm2(const std::vector<double>& v);
+double norm_inf(const std::vector<double>& v);
+double dot(const std::vector<double>& a, const std::vector<double>& b);
+
+}  // namespace tapo::solver

@@ -1,0 +1,126 @@
+#include "solver/maxflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "util/check.h"
+
+namespace tapo::solver {
+
+MaxFlow::MaxFlow(std::size_t num_nodes) : graph_(num_nodes) {}
+
+std::size_t MaxFlow::add_edge(std::size_t from, std::size_t to, double capacity) {
+  TAPO_CHECK(from < graph_.size() && to < graph_.size());
+  TAPO_CHECK(capacity >= 0.0);
+  graph_[from].push_back({to, graph_[to].size(), capacity, capacity});
+  graph_[to].push_back({from, graph_[from].size() - 1, 0.0, 0.0});
+  edge_index_.emplace_back(from, graph_[from].size() - 1);
+  return edge_index_.size() - 1;
+}
+
+bool MaxFlow::bfs(std::size_t s, std::size_t t) {
+  level_.assign(graph_.size(), -1);
+  std::queue<std::size_t> q;
+  level_[s] = 0;
+  q.push(s);
+  while (!q.empty()) {
+    const std::size_t v = q.front();
+    q.pop();
+    for (const Edge& e : graph_[v]) {
+      if (e.cap > 1e-12 && level_[e.to] < 0) {
+        level_[e.to] = level_[v] + 1;
+        q.push(e.to);
+      }
+    }
+  }
+  return level_[t] >= 0;
+}
+
+double MaxFlow::dfs(std::size_t v, std::size_t t, double limit) {
+  if (v == t) return limit;
+  for (std::size_t& i = iter_[v]; i < graph_[v].size(); ++i) {
+    Edge& e = graph_[v][i];
+    if (e.cap <= 1e-12 || level_[e.to] != level_[v] + 1) continue;
+    const double pushed = dfs(e.to, t, std::min(limit, e.cap));
+    if (pushed > 0.0) {
+      e.cap -= pushed;
+      graph_[e.to][e.rev].cap += pushed;
+      return pushed;
+    }
+  }
+  return 0.0;
+}
+
+double MaxFlow::solve(std::size_t s, std::size_t t) {
+  TAPO_CHECK(s < graph_.size() && t < graph_.size() && s != t);
+  double total = 0.0;
+  while (bfs(s, t)) {
+    iter_.assign(graph_.size(), 0);
+    while (true) {
+      const double pushed = dfs(s, t, std::numeric_limits<double>::infinity());
+      if (pushed <= 0.0) break;
+      total += pushed;
+    }
+  }
+  return total;
+}
+
+double MaxFlow::flow_on(std::size_t edge_id) const {
+  TAPO_CHECK(edge_id < edge_index_.size());
+  const auto [node, slot] = edge_index_[edge_id];
+  const Edge& e = graph_[node][slot];
+  return e.initial_cap - e.cap;
+}
+
+double MaxFlow::capacity_of(std::size_t edge_id) const {
+  TAPO_CHECK(edge_id < edge_index_.size());
+  const auto [node, slot] = edge_index_[edge_id];
+  return graph_[node][slot].initial_cap;
+}
+
+std::size_t Circulation::add_arc(std::size_t from, std::size_t to, double lo, double hi) {
+  TAPO_CHECK(from < num_nodes_ && to < num_nodes_);
+  TAPO_CHECK_MSG(lo >= 0.0 && hi >= lo, "arc bounds must satisfy 0 <= lo <= hi");
+  arcs_.push_back({from, to, lo, hi});
+  return arcs_.size() - 1;
+}
+
+std::optional<std::vector<double>> Circulation::solve() const {
+  // Standard reduction: send the mandatory lower bounds first, then balance
+  // the resulting node excesses through a super-source/super-sink max flow.
+  // Feasible iff the max flow saturates every excess.
+  const std::size_t s = num_nodes_;
+  const std::size_t t = num_nodes_ + 1;
+  MaxFlow mf(num_nodes_ + 2);
+
+  std::vector<double> excess(num_nodes_, 0.0);
+  std::vector<std::size_t> arc_edge(arcs_.size());
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    const Arc& arc = arcs_[a];
+    excess[arc.to] += arc.lo;
+    excess[arc.from] -= arc.lo;
+    arc_edge[a] = mf.add_edge(arc.from, arc.to, arc.hi - arc.lo);
+  }
+
+  double required = 0.0;
+  for (std::size_t v = 0; v < num_nodes_; ++v) {
+    if (excess[v] > 0.0) {
+      mf.add_edge(s, v, excess[v]);
+      required += excess[v];
+    } else if (excess[v] < 0.0) {
+      mf.add_edge(v, t, -excess[v]);
+    }
+  }
+
+  const double sent = mf.solve(s, t);
+  if (sent < required - 1e-6 * std::max(1.0, required)) return std::nullopt;
+
+  std::vector<double> flows(arcs_.size());
+  for (std::size_t a = 0; a < arcs_.size(); ++a) {
+    flows[a] = arcs_[a].lo + mf.flow_on(arc_edge[a]);
+  }
+  return flows;
+}
+
+}  // namespace tapo::solver

@@ -1,0 +1,74 @@
+// Maximum flow (Dinic) and feasible circulation with lower bounds.
+//
+// The Appendix-B cross-interference generation asks for a matrix of air-flow
+// fractions satisfying per-outlet conservation, per-inlet flow balance, and
+// interval bounds tied to the EC/RC ranges of Table II. Written in terms of
+// absolute flows f_ij = alpha_ij * F_i, that constraint set is a
+// transportation polytope with arc bounds - i.e. a feasible-circulation
+// problem, solved by the classical reduction to max flow.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+namespace tapo::solver {
+
+class MaxFlow {
+ public:
+  explicit MaxFlow(std::size_t num_nodes);
+
+  // Adds a directed edge with the given capacity; returns an edge id usable
+  // with flow_on().
+  std::size_t add_edge(std::size_t from, std::size_t to, double capacity);
+
+  // Computes the maximum flow from s to t (Dinic's algorithm).
+  double solve(std::size_t s, std::size_t t);
+
+  double flow_on(std::size_t edge_id) const;
+  double capacity_of(std::size_t edge_id) const;
+
+  std::size_t num_nodes() const { return graph_.size(); }
+
+ private:
+  struct Edge {
+    std::size_t to;
+    std::size_t rev;  // index of reverse edge in graph_[to]
+    double cap;
+    double initial_cap;
+  };
+
+  bool bfs(std::size_t s, std::size_t t);
+  double dfs(std::size_t v, std::size_t t, double limit);
+
+  std::vector<std::vector<Edge>> graph_;
+  std::vector<std::pair<std::size_t, std::size_t>> edge_index_;  // (node, slot)
+  std::vector<int> level_;
+  std::vector<std::size_t> iter_;
+};
+
+// Feasible circulation with per-arc bounds [lo, hi].
+//
+// Build arcs with add_arc(); solve() returns per-arc flows satisfying flow
+// conservation at every node and lo <= f <= hi, or nullopt when the bounds
+// are infeasible.
+class Circulation {
+ public:
+  explicit Circulation(std::size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  std::size_t add_arc(std::size_t from, std::size_t to, double lo, double hi);
+
+  std::optional<std::vector<double>> solve() const;
+
+  std::size_t num_arcs() const { return arcs_.size(); }
+
+ private:
+  struct Arc {
+    std::size_t from, to;
+    double lo, hi;
+  };
+  std::size_t num_nodes_;
+  std::vector<Arc> arcs_;
+};
+
+}  // namespace tapo::solver

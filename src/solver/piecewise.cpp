@@ -1,0 +1,129 @@
+#include "solver/piecewise.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::solver {
+
+PiecewiseLinear::PiecewiseLinear(std::vector<Point> points) {
+  std::sort(points.begin(), points.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  for (const Point& p : points) {
+    if (!pts_.empty() && std::fabs(p.x - pts_.back().x) < 1e-15) {
+      pts_.back().y = std::max(pts_.back().y, p.y);
+    } else {
+      pts_.push_back(p);
+    }
+  }
+  TAPO_CHECK_MSG(!pts_.empty(), "piecewise-linear function needs >= 1 point");
+}
+
+double PiecewiseLinear::x_min() const {
+  TAPO_CHECK(!pts_.empty());
+  return pts_.front().x;
+}
+
+double PiecewiseLinear::x_max() const {
+  TAPO_CHECK(!pts_.empty());
+  return pts_.back().x;
+}
+
+double PiecewiseLinear::value(double x) const {
+  TAPO_CHECK(!pts_.empty());
+  if (x <= pts_.front().x) return pts_.front().y;
+  if (x >= pts_.back().x) return pts_.back().y;
+  // Binary search for the segment containing x.
+  std::size_t lo = 0, hi = pts_.size() - 1;
+  while (hi - lo > 1) {
+    const std::size_t mid = (lo + hi) / 2;
+    if (pts_[mid].x <= x) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  const Point& a = pts_[lo];
+  const Point& b = pts_[hi];
+  const double t = (x - a.x) / (b.x - a.x);
+  return a.y + t * (b.y - a.y);
+}
+
+std::vector<double> PiecewiseLinear::slopes() const {
+  std::vector<double> s;
+  s.reserve(pts_.size() > 0 ? pts_.size() - 1 : 0);
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    s.push_back((pts_[i].y - pts_[i - 1].y) / (pts_[i].x - pts_[i - 1].x));
+  }
+  return s;
+}
+
+bool PiecewiseLinear::is_concave(double tol) const {
+  const auto s = slopes();
+  for (std::size_t i = 1; i < s.size(); ++i) {
+    if (s[i] > s[i - 1] + tol) return false;
+  }
+  return true;
+}
+
+bool PiecewiseLinear::is_nondecreasing(double tol) const {
+  for (std::size_t i = 1; i < pts_.size(); ++i) {
+    if (pts_[i].y < pts_[i - 1].y - tol) return false;
+  }
+  return true;
+}
+
+PiecewiseLinear PiecewiseLinear::upper_concave_hull() const {
+  if (pts_.size() <= 2) return *this;
+  // Monotone-chain upper hull over points already sorted by x. A point is
+  // dropped when it lies on or below the segment joining its neighbours,
+  // which is precisely a "bad P-state" in the paper's terminology.
+  std::vector<Point> hull;
+  for (const Point& p : pts_) {
+    while (hull.size() >= 2) {
+      const Point& a = hull[hull.size() - 2];
+      const Point& b = hull[hull.size() - 1];
+      // Keep b only if it is strictly above segment (a, p): cross > 0.
+      const double cross = (b.x - a.x) * (p.y - a.y) - (b.y - a.y) * (p.x - a.x);
+      if (cross >= -1e-12) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(p);
+  }
+  return PiecewiseLinear(std::move(hull));
+}
+
+PiecewiseLinear PiecewiseLinear::average(const std::vector<PiecewiseLinear>& fns) {
+  TAPO_CHECK(!fns.empty());
+  std::vector<double> xs;
+  for (const auto& f : fns) {
+    for (const auto& p : f.points()) xs.push_back(p.x);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end(),
+                       [](double a, double b) { return std::fabs(a - b) < 1e-15; }),
+           xs.end());
+  std::vector<Point> pts;
+  pts.reserve(xs.size());
+  for (double x : xs) {
+    double sum = 0.0;
+    for (const auto& f : fns) sum += f.value(x);
+    pts.push_back({x, sum / static_cast<double>(fns.size())});
+  }
+  return PiecewiseLinear(std::move(pts));
+}
+
+PiecewiseLinear PiecewiseLinear::scale_copies(std::size_t n) const {
+  TAPO_CHECK(n >= 1);
+  std::vector<Point> pts;
+  pts.reserve(pts_.size());
+  const double k = static_cast<double>(n);
+  for (const auto& p : pts_) pts.push_back({p.x * k, p.y * k});
+  return PiecewiseLinear(std::move(pts));
+}
+
+}  // namespace tapo::solver

@@ -1,0 +1,63 @@
+// Piecewise-linear functions and upper concave hulls.
+//
+// The paper represents the reward rate of a core as a piecewise-linear
+// function of its power consumption (Figures 3-5): linear interpolation
+// through the (P-state power, reward-rate) points models a core that
+// time-multiplexes between two adjacent P-states. Stage 1 requires the
+// aggregate function to be concave, which the paper achieves by ignoring
+// "bad" P-states; that is exactly the upper concave hull of the point set.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tapo::solver {
+
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+// A continuous piecewise-linear function defined by breakpoints with strictly
+// increasing x. Outside [x_front, x_back] the function extends with the
+// terminal segment slopes clamped to constant (the physical quantities here
+// never evaluate outside the domain; the clamp makes misuse benign).
+class PiecewiseLinear {
+ public:
+  PiecewiseLinear() = default;
+  // Points are sorted by x; duplicate x keeps the larger y (the functions in
+  // this library are upper envelopes of operating points).
+  explicit PiecewiseLinear(std::vector<Point> points);
+
+  bool empty() const { return pts_.empty(); }
+  const std::vector<Point>& points() const { return pts_; }
+  double x_min() const;
+  double x_max() const;
+
+  double value(double x) const;
+
+  // Segment slopes; size = points()-1.
+  std::vector<double> slopes() const;
+
+  bool is_concave(double tol = 1e-9) const;
+  bool is_nondecreasing(double tol = 1e-9) const;
+
+  // The smallest concave function >= this one on the same domain: the upper
+  // concave hull of the breakpoints. This is the "ignore bad P-states"
+  // operation of Section V.B.2 (Figure 5).
+  PiecewiseLinear upper_concave_hull() const;
+
+  // Pointwise average of several functions evaluated on the union of their
+  // breakpoints. All functions must share the same domain endpoints.
+  static PiecewiseLinear average(const std::vector<PiecewiseLinear>& fns);
+
+  // Returns n * f(x / n): the aggregate of n identical copies that share a
+  // total budget x optimally. For a concave f the even split is optimal, so
+  // this is the exact node-level aggregate of n identical cores.
+  PiecewiseLinear scale_copies(std::size_t n) const;
+
+ private:
+  std::vector<Point> pts_;
+};
+
+}  // namespace tapo::solver

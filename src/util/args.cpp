@@ -1,0 +1,123 @@
+#include "util/args.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace tapo::util {
+
+ArgParser::ArgParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description)) {}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+  TAPO_CHECK_MSG(!flags_.count(name) && !options_.count(name), "duplicate arg");
+  flags_[name] = Flag{help, false};
+  order_.push_back(name);
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& help,
+                           const std::string& default_value) {
+  TAPO_CHECK_MSG(!flags_.count(name) && !options_.count(name), "duplicate arg");
+  options_[name] = Option{help, default_value, default_value};
+  order_.push_back(name);
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return parse(args);
+}
+
+bool ArgParser::parse(const std::vector<std::string>& args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return false;
+    }
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string name = arg.substr(2);
+    std::string value;
+    bool has_value = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_value = true;
+    }
+    if (auto it = flags_.find(name); it != flags_.end()) {
+      if (has_value) {
+        error_ = "flag --" + name + " does not take a value";
+        return false;
+      }
+      it->second.set = true;
+      continue;
+    }
+    if (auto it = options_.find(name); it != options_.end()) {
+      if (!has_value) {
+        if (i + 1 >= args.size()) {
+          error_ = "option --" + name + " requires a value";
+          return false;
+        }
+        value = args[++i];
+      }
+      it->second.value = value;
+      continue;
+    }
+    error_ = "unknown argument --" + name;
+    return false;
+  }
+  return true;
+}
+
+bool ArgParser::flag(const std::string& name) const {
+  const auto it = flags_.find(name);
+  TAPO_CHECK_MSG(it != flags_.end(), "undeclared flag queried");
+  return it->second.set;
+}
+
+const std::string& ArgParser::option(const std::string& name) const {
+  const auto it = options_.find(name);
+  TAPO_CHECK_MSG(it != options_.end(), "undeclared option queried");
+  return it->second.value;
+}
+
+double ArgParser::option_double(const std::string& name) const {
+  const std::string& v = option(name);
+  char* end = nullptr;
+  const double parsed = std::strtod(v.c_str(), &end);
+  TAPO_CHECK_MSG(end && *end == '\0' && end != v.c_str(),
+                 "option is not a number");
+  return parsed;
+}
+
+std::int64_t ArgParser::option_int(const std::string& name) const {
+  const std::string& v = option(name);
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v.c_str(), &end, 10);
+  TAPO_CHECK_MSG(end && *end == '\0' && end != v.c_str(),
+                 "option is not an integer");
+  return parsed;
+}
+
+std::string ArgParser::usage() const {
+  std::ostringstream os;
+  os << program_ << " - " << description_ << "\n\noptions:\n";
+  for (const std::string& name : order_) {
+    if (const auto it = flags_.find(name); it != flags_.end()) {
+      os << "  --" << name << "\n      " << it->second.help << "\n";
+    } else {
+      const Option& opt = options_.at(name);
+      os << "  --" << name << "=<value>   (default: " << opt.default_value
+         << ")\n      " << opt.help << "\n";
+    }
+  }
+  os << "  --help\n      print this message\n";
+  return os.str();
+}
+
+}  // namespace tapo::util

@@ -1,0 +1,31 @@
+// Always-on invariant checks for modelling errors.
+//
+// TAPO_CHECK is used for conditions that indicate a programming or modelling
+// error (dimension mismatches, violated preconditions). Unlike assert() it is
+// active in release builds: the numerical pipeline is long enough that letting
+// a bad intermediate value propagate silently would make failures undebuggable.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tapo {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file, int line,
+                                      const char* msg) {
+  std::fprintf(stderr, "TAPO_CHECK failed: %s at %s:%d%s%s\n", expr, file, line,
+               msg[0] ? " - " : "", msg);
+  std::abort();
+}
+
+}  // namespace tapo
+
+#define TAPO_CHECK(cond)                                          \
+  do {                                                            \
+    if (!(cond)) ::tapo::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define TAPO_CHECK_MSG(cond, msg)                                    \
+  do {                                                               \
+    if (!(cond)) ::tapo::check_failed(#cond, __FILE__, __LINE__, msg); \
+  } while (0)

@@ -1,0 +1,59 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library draws from tapo::util::Rng, a
+// xoshiro256** generator seeded through SplitMix64. A single 64-bit seed
+// reproduces an entire experiment bit-for-bit, which the benchmark harness
+// relies on (the paper's Figure 6 averages 25 independent runs per
+// configuration; we derive run seeds from a master seed).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace tapo::util {
+
+// SplitMix64: used to expand a single 64-bit seed into generator state and to
+// derive independent stream seeds (seed ^ stream index avalanche).
+std::uint64_t splitmix64(std::uint64_t& state);
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Derives an independent generator for a named substream. Substreams with
+  // different ids are statistically independent of each other and the parent.
+  Rng fork(std::uint64_t stream_id) const;
+
+  std::uint64_t next_u64();
+
+  // Uniform in [0, 1).
+  double next_double();
+
+  // Uniform in [lo, hi]; matches the paper's rand[a, b] notation.
+  double uniform(double lo, double hi);
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Exponential with given rate (mean 1/rate); used for Poisson interarrivals.
+  double exponential(double rate);
+
+  // Standard normal via Marsaglia polar method.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  // Picks an index in [0, weights.size()) with probability proportional to
+  // weights[i]. Weights must be non-negative with a positive sum.
+  std::size_t pick_weighted(const std::vector<double>& weights);
+
+  // Fisher-Yates shuffle of indices [0, n).
+  std::vector<std::size_t> permutation(std::size_t n);
+
+ private:
+  std::uint64_t s_[4];
+  std::uint64_t seed_;  // retained for fork()
+  bool have_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace tapo::util

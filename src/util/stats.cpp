@@ -1,0 +1,88 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace tapo::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::stderr_mean() const {
+  if (n_ < 2) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double RunningStats::ci_halfwidth(double confidence) const {
+  if (n_ < 2) return 0.0;
+  return student_t_critical(n_ - 1, confidence) * stderr_mean();
+}
+
+namespace {
+// Two-sided critical values of the Student-t distribution.
+// Rows: df 1..30, then selected df handled below.
+constexpr double kT90[30] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                             1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                             1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                             1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                             1.699, 1.697};
+constexpr double kT95[30] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                             2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                             2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                             2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                             2.045,  2.042};
+constexpr double kT99[30] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                             3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                             2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                             2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                             2.756,  2.750};
+
+double tail_value(std::size_t df, const double* table, double t40, double t60,
+                  double t120, double tinf) {
+  if (df <= 30) return table[df - 1];
+  if (df <= 40) return t40;
+  if (df <= 60) return t60;
+  if (df <= 120) return t120;
+  return tinf;
+}
+}  // namespace
+
+double student_t_critical(std::size_t df, double confidence) {
+  TAPO_CHECK(df >= 1);
+  if (confidence >= 0.985) return tail_value(df, kT99, 2.704, 2.660, 2.617, 2.576);
+  if (confidence >= 0.925) return tail_value(df, kT95, 2.021, 2.000, 1.980, 1.960);
+  return tail_value(df, kT90, 1.684, 1.671, 1.658, 1.645);
+}
+
+double percentile(std::vector<double> data, double pct) {
+  TAPO_CHECK(!data.empty());
+  TAPO_CHECK(pct >= 0.0 && pct <= 100.0);
+  std::sort(data.begin(), data.end());
+  if (data.size() == 1) return data[0];
+  const double pos = pct / 100.0 * static_cast<double>(data.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, data.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return data[lo] * (1.0 - frac) + data[hi] * frac;
+}
+
+}  // namespace tapo::util

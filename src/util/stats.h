@@ -1,0 +1,48 @@
+// Streaming statistics and confidence intervals.
+//
+// Figure 6 of the paper reports, per configuration, the mean percentage
+// improvement over 25 simulation runs together with a 95% confidence
+// interval. RunningStats accumulates samples with Welford's algorithm and
+// produces Student-t confidence intervals.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tapo::util {
+
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return mean_; }
+  // Sample variance (n-1 denominator); 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  // Standard error of the mean.
+  double stderr_mean() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+  // Half-width of the two-sided confidence interval for the mean at the given
+  // confidence level (0.90, 0.95 or 0.99), using the Student-t distribution
+  // with n-1 degrees of freedom. Returns 0 for fewer than 2 samples.
+  double ci_halfwidth(double confidence = 0.95) const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Two-sided Student-t critical value t_{alpha/2, df} for confidence levels
+// 0.90 / 0.95 / 0.99. Values above df=120 use the normal approximation.
+double student_t_critical(std::size_t df, double confidence);
+
+// Percentile (0..100) of a copy of the data using linear interpolation.
+double percentile(std::vector<double> data, double pct);
+
+}  // namespace tapo::util

@@ -1,0 +1,73 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace tapo::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  TAPO_CHECK(!headers_.empty());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  TAPO_CHECK_MSG(cells.size() == headers_.size(), "row width != header width");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      os << " " << cells[c];
+      for (std::size_t i = cells[c].size(); i < widths[c]; ++i) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+
+  emit(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    for (std::size_t i = 0; i < widths[c] + 2; ++i) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) os << ",";
+      const bool quote = cells[c].find(',') != std::string::npos;
+      if (quote) os << '"';
+      os << cells[c];
+      if (quote) os << '"';
+    }
+    os << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+std::string fmt(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+std::string fmt_ci(double mean, double half, int decimals) {
+  char buf[96];
+  std::snprintf(buf, sizeof(buf), "%.*f ± %.*f", decimals, mean, decimals, half);
+  return buf;
+}
+
+}  // namespace tapo::util

@@ -1,0 +1,42 @@
+// Console table and CSV rendering used by the benchmark harness to print
+// paper-style tables and figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tapo::util {
+
+// A simple column-aligned text table. Cells are strings; numeric helpers
+// format with fixed precision. Example output:
+//
+//   | node type | base power (kW) | cores |
+//   |-----------|-----------------|-------|
+//   | 1         | 0.353           | 32    |
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  // Renders with markdown-style pipes, one row per line.
+  void print(std::ostream& os) const;
+
+  // Comma-separated with a header line; quotes cells containing commas.
+  void print_csv(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Formats a double with the given number of decimal places.
+std::string fmt(double value, int decimals = 4);
+
+// Formats "mean ± half" (e.g. "4.31 ± 1.02").
+std::string fmt_ci(double mean, double half, int decimals = 2);
+
+}  // namespace tapo::util

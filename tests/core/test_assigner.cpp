@@ -1,0 +1,139 @@
+#include "core/assigner.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tapo::core {
+namespace {
+
+TEST(ThreeStage, ProducesVerifiedAssignment) {
+  const auto scenario = test::make_small_scenario(71, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  EXPECT_GT(a.reward_rate, 0.0);
+  const AssignmentCheck check = verify_assignment(scenario.dc, model, a);
+  EXPECT_TRUE(check.power_ok) << check.total_power_kw << " vs " << scenario.dc.p_const_kw;
+  EXPECT_TRUE(check.thermal_ok) << check.max_node_inlet_c;
+  EXPECT_TRUE(check.rates_ok);
+}
+
+TEST(ThreeStage, OversubscribedBudgetIsNearlySaturated) {
+  const auto scenario = test::make_small_scenario(72, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  EXPECT_GT(a.total_power_kw(), 0.9 * scenario.dc.p_const_kw);
+}
+
+TEST(ThreeStage, InfeasibleBudgetReported) {
+  auto scenario = test::make_small_scenario(73, 6, 1);
+  scenario.dc.p_const_kw = 0.1;
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  EXPECT_FALSE(assigner.assign().feasible);
+}
+
+TEST(ThreeStage, TechniqueLabelCarriesPsi) {
+  const auto scenario = test::make_small_scenario(74, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  ThreeStageOptions options;
+  options.stage1.psi = 25.0;
+  EXPECT_EQ(assigner.assign(options).technique, "three-stage psi=25");
+}
+
+TEST(ThreeStage, DeterministicForSameScenario) {
+  const auto scenario = test::make_small_scenario(75, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  const Assignment b = assigner.assign();
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_DOUBLE_EQ(a.reward_rate, b.reward_rate);
+  EXPECT_EQ(a.core_pstate, b.core_pstate);
+}
+
+TEST(BestOf, PicksHighestRewardFeasible) {
+  Assignment low, high, infeasible;
+  low.feasible = true;
+  low.reward_rate = 5.0;
+  low.technique = "low";
+  high.feasible = true;
+  high.reward_rate = 9.0;
+  high.technique = "high";
+  infeasible.reward_rate = 100.0;  // not feasible, must be ignored
+  const Assignment best = best_of({low, infeasible, high});
+  EXPECT_DOUBLE_EQ(best.reward_rate, 9.0);
+  EXPECT_EQ(best.technique, "best-of(high)");
+}
+
+TEST(BestOf, AllInfeasibleReturnsInfeasible) {
+  Assignment a, b;
+  EXPECT_FALSE(best_of({a, b}).feasible);
+}
+
+TEST(Verify, DetectsPowerViolation) {
+  const auto scenario = test::make_small_scenario(76, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  // Shrink the budget under the assignment's actual draw.
+  auto dc_copy = scenario.dc;
+  dc_copy.p_const_kw = a.total_power_kw() * 0.9;
+  const thermal::HeatFlowModel model_copy(dc_copy);
+  EXPECT_FALSE(verify_assignment(dc_copy, model_copy, a).power_ok);
+}
+
+TEST(Verify, DetectsRateViolation) {
+  const auto scenario = test::make_small_scenario(77, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  // Overload one core far beyond capacity.
+  a.tc(0, 0) += 1e6;
+  EXPECT_FALSE(verify_assignment(scenario.dc, model, a).rates_ok);
+}
+
+TEST(Verify, DetectsThermalViolation) {
+  const auto scenario = test::make_small_scenario(78, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  for (auto& t : a.crac_out_c) t = scenario.dc.redline_node_c + 5.0;
+  EXPECT_FALSE(verify_assignment(scenario.dc, model, a).thermal_ok);
+}
+
+TEST(FinalizeAssignment, PowersMatchSteadyState) {
+  const auto scenario = test::make_small_scenario(79, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  const auto node_power = scenario.dc.node_power_from_pstates(a.core_pstate);
+  double compute = 0.0;
+  for (double p : node_power) compute += p;
+  EXPECT_NEAR(a.compute_power_kw, compute, 1e-9);
+  const auto temps = model.solve(a.crac_out_c, node_power);
+  EXPECT_NEAR(a.crac_power_kw, model.total_crac_power_kw(temps), 1e-9);
+}
+
+TEST(ThreeStage, Stage2RoundingNeverExceedsStage1Budget) {
+  const auto scenario = test::make_small_scenario(80, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  // Total power after integer conversion stays under the budget (the
+  // Stage-1 LP already satisfied it, and Stage 2 only reduces node power).
+  EXPECT_LE(a.total_power_kw(), scenario.dc.p_const_kw + 1e-6);
+}
+
+}  // namespace
+}  // namespace tapo::core

@@ -1,0 +1,147 @@
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testutil.h"
+
+namespace tapo::core {
+namespace {
+
+TEST(Baseline, ProducesVerifiedAssignment) {
+  const auto scenario = test::make_small_scenario(91, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const BaselineAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  EXPECT_GT(a.reward_rate, 0.0);
+  const AssignmentCheck check = verify_assignment(scenario.dc, model, a);
+  EXPECT_TRUE(check.power_ok);
+  EXPECT_TRUE(check.thermal_ok);
+  EXPECT_TRUE(check.rates_ok);
+}
+
+TEST(Baseline, OnlyUsesP0OrOff) {
+  const auto scenario = test::make_small_scenario(92, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const BaselineAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  for (std::size_t k = 0; k < scenario.dc.total_cores(); ++k) {
+    const auto& spec = scenario.dc.node_types[scenario.dc.core_type(k)];
+    EXPECT_TRUE(a.core_pstate[k] == 0 || a.core_pstate[k] == spec.off_state());
+  }
+}
+
+TEST(Baseline, RoundingProducesIntegerCoreCounts) {
+  const auto scenario = test::make_small_scenario(93, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const BaselineAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  // By construction the on-cores are a prefix of each node's core range; the
+  // realized per-node utilization sum equals the on-core count.
+  for (std::size_t j = 0; j < scenario.dc.num_nodes(); ++j) {
+    const auto& spec = scenario.dc.node_type(j);
+    std::size_t on = 0;
+    for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+      if (a.core_pstate[scenario.dc.core_offset(j) + c] == 0) ++on;
+    }
+    double used = 0.0;
+    for (std::size_t i = 0; i < scenario.dc.num_task_types(); ++i) {
+      for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+        const std::size_t core = scenario.dc.core_offset(j) + c;
+        if (a.tc(i, core) > 0.0) {
+          used += a.tc(i, core) *
+                  scenario.dc.ecs.etc_seconds(i, scenario.dc.nodes[j].type, 0);
+        }
+      }
+    }
+    EXPECT_LE(used, static_cast<double>(on) + 1e-6);
+  }
+}
+
+TEST(Baseline, RoundingOnlyReducesObjective) {
+  const auto scenario = test::make_small_scenario(94, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const BaselineAssigner assigner(scenario.dc, model);
+  const Assignment a = assigner.assign();
+  ASSERT_TRUE(a.feasible);
+  EXPECT_LE(a.reward_rate, a.stage1_objective + 1e-9);
+  // Rounding discards less than one core's worth of work per node; the loss
+  // should be a modest fraction on a multi-node system.
+  EXPECT_GT(a.reward_rate, 0.5 * a.stage1_objective);
+}
+
+TEST(Baseline, InfeasibleBudgetReported) {
+  auto scenario = test::make_small_scenario(95, 6, 1);
+  scenario.dc.p_const_kw = scenario.dc.total_base_power_kw() * 0.3;
+  const thermal::HeatFlowModel model(scenario.dc);
+  const BaselineAssigner assigner(scenario.dc, model);
+  EXPECT_FALSE(assigner.assign().feasible);
+}
+
+TEST(Baseline, SolveAtRespectsArrivalRates) {
+  const auto scenario = test::make_small_scenario(96, 8, 2);
+  const auto& dc = scenario.dc;
+  const thermal::HeatFlowModel model(dc);
+  const BaselineAssigner assigner(dc, model);
+  const auto outcome = assigner.solve_at(
+      std::vector<double>(dc.num_cracs(), 16.0));
+  ASSERT_TRUE(outcome.feasible);
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    double rate = 0.0;
+    for (std::size_t j = 0; j < dc.num_nodes(); ++j) {
+      rate += outcome.frac(i, j) * dc.node_type(j).cores_per_node() *
+              dc.ecs.ecs(i, dc.nodes[j].type, 0);
+    }
+    EXPECT_LE(rate, dc.task_types[i].arrival_rate + 1e-6);
+  }
+}
+
+TEST(Baseline, SolveAtRespectsFractionBudget) {
+  const auto scenario = test::make_small_scenario(97, 8, 2);
+  const auto& dc = scenario.dc;
+  const thermal::HeatFlowModel model(dc);
+  const BaselineAssigner assigner(dc, model);
+  const auto outcome =
+      assigner.solve_at(std::vector<double>(dc.num_cracs(), 16.0));
+  ASSERT_TRUE(outcome.feasible);
+  for (std::size_t j = 0; j < dc.num_nodes(); ++j) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+      EXPECT_GE(outcome.frac(i, j), -1e-9);
+      sum += outcome.frac(i, j);
+    }
+    EXPECT_LE(sum, 1.0 + 1e-7);
+  }
+}
+
+TEST(Baseline, ThreeStageBeatsOrMatchesBaselineOnAverage) {
+  // The paper's central claim, at test scale: averaged over a few scenarios
+  // the three-stage technique should not lose to the baseline.
+  double total_three = 0.0, total_base = 0.0;
+  int feasible_runs = 0;
+  for (std::uint64_t seed : {101, 102, 103, 104}) {
+    const auto scenario = test::make_small_scenario(seed, 10, 2);
+    const thermal::HeatFlowModel model(scenario.dc);
+    ThreeStageOptions o25, o50;
+    o25.stage1.psi = 25.0;
+    o50.stage1.psi = 50.0;
+    const ThreeStageAssigner three(scenario.dc, model);
+    const Assignment best =
+        best_of({three.assign(o25), three.assign(o50)});
+    const BaselineAssigner base(scenario.dc, model);
+    const Assignment b = base.assign();
+    if (!best.feasible || !b.feasible) continue;
+    ++feasible_runs;
+    total_three += best.reward_rate;
+    total_base += b.reward_rate;
+  }
+  ASSERT_GE(feasible_runs, 3);
+  EXPECT_GE(total_three, 0.98 * total_base);
+}
+
+}  // namespace
+}  // namespace tapo::core

@@ -1,0 +1,154 @@
+#include "core/exact.h"
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/stage3.h"
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace tapo::core {
+namespace {
+
+// A tiny data center with few-core nodes so the exhaustive search stays
+// cheap: a scaled-down HP-like node type with 3 cores and 2 active P-states.
+dc::DataCenter make_micro_dc(std::size_t num_nodes, std::uint64_t seed,
+                             std::size_t cores_per_node = 3) {
+  dc::DataCenter out;
+  out.node_types.emplace_back(
+      "micro", /*base_power_kw=*/0.2, cores_per_node,
+      /*p0_power_kw=*/0.1, /*static_fraction=*/0.3,
+      std::vector<dc::PStateSpec>{{2500.0, 1.3}, {1500.0, 1.1}},
+      /*airflow_m3s=*/0.07);
+  for (std::size_t j = 0; j < num_nodes; ++j) out.nodes.push_back({0});
+  out.layout = dc::make_hot_cold_aisle_layout(num_nodes, 1);
+  dc::CracSpec crac;
+  crac.flow_m3s = 0.07 * static_cast<double>(num_nodes);
+  out.cracs = {crac};
+  out.finalize();
+  out.alpha = test::proportional_alpha(out);
+
+  util::Rng rng(seed);
+  const std::size_t t = 3;  // task types
+  out.ecs = dc::EcsTable(t, 1, 3);
+  out.task_types.resize(t);
+  for (std::size_t i = 0; i < t; ++i) {
+    const double base = rng.uniform(0.5, 2.0);
+    out.ecs.set_ecs(i, 0, 0, base);
+    out.ecs.set_ecs(i, 0, 1, base * rng.uniform(0.45, 0.62));
+    out.task_types[i].name = "t" + std::to_string(i);
+    out.task_types[i].reward = 1.0 / base;
+    out.task_types[i].relative_deadline = 1.5 / out.ecs.ecs(i, 0, 1);
+    out.task_types[i].arrival_rate =
+        base * static_cast<double>(num_nodes * cores_per_node) / t;
+  }
+  // Budget that forces choices: roughly half of max compute + cooling slack.
+  out.p_const_kw = 0.2 * num_nodes + 0.1 * cores_per_node * num_nodes * 0.55 + 0.5;
+  return out;
+}
+
+TEST(Exact, FindsFeasibleOptimumOnMicroDc) {
+  const auto dc = make_micro_dc(2, 1);
+  const thermal::HeatFlowModel model(dc);
+  const ExactResult exact = solve_exact(dc, model);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_GT(exact.reward_rate, 0.0);
+  EXPECT_GT(exact.configurations, 1u);
+  EXPECT_TRUE(verify_assignment(dc, model, exact.assignment).ok());
+}
+
+TEST(Exact, DominatesThreeStageHeuristic) {
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    const auto dc = make_micro_dc(2, seed);
+    const thermal::HeatFlowModel model(dc);
+    const ExactResult exact = solve_exact(dc, model);
+    ASSERT_TRUE(exact.feasible) << "seed " << seed;
+    const ThreeStageAssigner three(dc, model);
+    const Assignment heuristic = three.assign();
+    ASSERT_TRUE(heuristic.feasible) << "seed " << seed;
+    EXPECT_GE(exact.reward_rate, heuristic.reward_rate - 1e-6) << "seed " << seed;
+  }
+}
+
+TEST(Exact, DominatesBaseline) {
+  for (std::uint64_t seed : {1, 2, 3}) {
+    const auto dc = make_micro_dc(2, seed);
+    const thermal::HeatFlowModel model(dc);
+    const ExactResult exact = solve_exact(dc, model);
+    const BaselineAssigner base(dc, model);
+    const Assignment b = base.assign();
+    ASSERT_TRUE(exact.feasible && b.feasible);
+    EXPECT_GE(exact.reward_rate, b.reward_rate - 1e-6);
+  }
+}
+
+TEST(Exact, HeuristicGapIsSmall) {
+  // The paper's Section VII.B: brute force on smaller problems "has shown no
+  // improvement" over the heuristic pipeline. At micro scale the three-stage
+  // result should sit within a few percent of the true optimum on average.
+  double gap_sum = 0.0;
+  int runs = 0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const auto dc = make_micro_dc(2, seed);
+    const thermal::HeatFlowModel model(dc);
+    const ExactResult exact = solve_exact(dc, model);
+    ThreeStageOptions o25, o50;
+    o25.stage1.psi = 25.0;
+    o50.stage1.psi = 50.0;
+    const ThreeStageAssigner three(dc, model);
+    const Assignment best = best_of({three.assign(o25), three.assign(o50)});
+    if (!exact.feasible || !best.feasible) continue;
+    gap_sum += (exact.reward_rate - best.reward_rate) / exact.reward_rate;
+    ++runs;
+  }
+  ASSERT_GE(runs, 4);
+  EXPECT_LT(gap_sum / runs, 0.10);
+}
+
+TEST(Exact, MatchesStage3WhenOnlyOneConfigFits) {
+  // With a budget below one active core, the only feasible configuration is
+  // everything off: reward 0.
+  auto dc = make_micro_dc(1, 7);
+  // Base power plus just enough cooling headroom (removing 0.2 kW at the
+  // warmest redline-feasible setpoint costs ~0.053 kW), but less than one
+  // active core's worth.
+  dc.p_const_kw = 0.2 + 0.07;
+  const thermal::HeatFlowModel model(dc);
+  const ExactResult exact = solve_exact(dc, model);
+  ASSERT_TRUE(exact.feasible);
+  EXPECT_DOUBLE_EQ(exact.reward_rate, 0.0);
+  for (std::size_t ps : exact.assignment.core_pstate) {
+    EXPECT_EQ(ps, dc.node_types[0].off_state());
+  }
+}
+
+TEST(Exact, InfeasibleWhenBudgetBelowIdle) {
+  auto dc = make_micro_dc(1, 7);
+  dc.p_const_kw = 0.05;  // below base power
+  const thermal::HeatFlowModel model(dc);
+  EXPECT_FALSE(solve_exact(dc, model).feasible);
+}
+
+TEST(Exact, ConfigurationCapAborts) {
+  const auto dc = make_micro_dc(3, 1, /*cores_per_node=*/6);
+  const thermal::HeatFlowModel model(dc);
+  ExactOptions options;
+  options.max_configurations = 10;
+  EXPECT_FALSE(solve_exact(dc, model, options).feasible);
+}
+
+TEST(Exact, FinerTempGridNeverHurts) {
+  const auto dc = make_micro_dc(2, 9);
+  const thermal::HeatFlowModel model(dc);
+  ExactOptions coarse, fine;
+  coarse.tcrac_step_c = 5.0;
+  fine.tcrac_step_c = 1.0;
+  const ExactResult a = solve_exact(dc, model, coarse);
+  const ExactResult b = solve_exact(dc, model, fine);
+  if (a.feasible && b.feasible) {
+    EXPECT_GE(b.reward_rate, a.reward_rate - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tapo::core

@@ -1,0 +1,97 @@
+#include "core/powermin.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assigner.h"
+#include "testutil.h"
+
+namespace tapo::core {
+namespace {
+
+TEST(PowerMin, MeetsRewardTarget) {
+  const auto scenario = test::make_small_scenario(121, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  // Ask for half of what the power-constrained assignment achieved.
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment reference = assigner.assign();
+  ASSERT_TRUE(reference.feasible);
+  const double target = 0.5 * reference.reward_rate;
+
+  const PowerMinResult result =
+      minimize_power_for_reward(scenario.dc, model, target);
+  ASSERT_TRUE(result.feasible);
+  EXPECT_TRUE(result.met_target);
+  EXPECT_GE(result.reward_rate, target * 0.999);
+}
+
+TEST(PowerMin, UsesLessPowerForSmallerTargets) {
+  const auto scenario = test::make_small_scenario(122, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment reference = assigner.assign();
+  ASSERT_TRUE(reference.feasible);
+
+  const PowerMinResult small =
+      minimize_power_for_reward(scenario.dc, model, 0.25 * reference.reward_rate);
+  const PowerMinResult large =
+      minimize_power_for_reward(scenario.dc, model, 0.75 * reference.reward_rate);
+  ASSERT_TRUE(small.feasible && large.feasible);
+  EXPECT_LT(small.total_power_kw, large.total_power_kw);
+}
+
+TEST(PowerMin, PowerBelowConstrainedRunForSameReward) {
+  // Minimizing power for the reward a budget-constrained run achieved should
+  // not need more power than that run used (modulo rounding retries).
+  const auto scenario = test::make_small_scenario(123, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment reference = assigner.assign();
+  ASSERT_TRUE(reference.feasible);
+
+  const PowerMinResult result = minimize_power_for_reward(
+      scenario.dc, model, 0.9 * reference.reward_rate);
+  ASSERT_TRUE(result.feasible);
+  if (result.met_target) {
+    EXPECT_LE(result.total_power_kw, reference.total_power_kw() * 1.1);
+  }
+}
+
+TEST(PowerMin, UnreachableTargetReportsInfeasible) {
+  const auto scenario = test::make_small_scenario(124, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  // Ask for more reward than the arrival rates can ever provide.
+  double max_possible = 0.0;
+  for (const auto& t : scenario.dc.task_types) {
+    max_possible += t.reward * t.arrival_rate;
+  }
+  const PowerMinResult result =
+      minimize_power_for_reward(scenario.dc, model, max_possible * 100.0);
+  EXPECT_FALSE(result.feasible);
+}
+
+TEST(PowerMin, AssignmentSatisfiesThermalConstraints) {
+  const auto scenario = test::make_small_scenario(125, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const ThreeStageAssigner assigner(scenario.dc, model);
+  const Assignment reference = assigner.assign();
+  ASSERT_TRUE(reference.feasible);
+  const PowerMinResult result = minimize_power_for_reward(
+      scenario.dc, model, 0.5 * reference.reward_rate);
+  ASSERT_TRUE(result.feasible);
+  const auto temps = model.solve(
+      result.assignment.crac_out_c,
+      scenario.dc.node_power_from_pstates(result.assignment.core_pstate));
+  EXPECT_TRUE(model.within_redlines(temps));
+}
+
+TEST(PowerMin, ZeroTargetCostsRoughlyPmin) {
+  const auto scenario = test::make_small_scenario(126, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const PowerMinResult result = minimize_power_for_reward(scenario.dc, model, 0.0);
+  ASSERT_TRUE(result.feasible);
+  // With no reward requirement the optimum is (close to) the all-off bound.
+  EXPECT_LT(result.total_power_kw, scenario.bounds.pmin_kw * 1.1 + 1e-9);
+}
+
+}  // namespace
+}  // namespace tapo::core

@@ -1,0 +1,165 @@
+#include "core/reward.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tapo::core {
+namespace {
+
+// The worked example of Section V.B.2: a core type with P-state powers
+// 0.15 / 0.1 / 0.05 / 0 (the last being "off") and ECS 1.2 / 0.9 / 0.5 / 0
+// for a task with reward 1. Realized through the Appendix-A power model with
+// zero static power and unit voltages so that pi_k = SC * f_k.
+dc::DataCenter make_fig3_dc(double deadline) {
+  dc::DataCenter out;
+  out.node_types.emplace_back(
+      "fig3", /*base_power_kw=*/0.0, /*cores_per_node=*/1,
+      /*p0_power_kw=*/0.15, /*static_fraction=*/0.0,
+      std::vector<dc::PStateSpec>{{1.5, 1.0}, {1.0, 1.0}, {0.5, 1.0}},
+      /*airflow_m3s=*/0.07);
+  out.nodes = {{0}};
+  out.layout = dc::make_hot_cold_aisle_layout(1, 1);
+  out.cracs = {dc::CracSpec{0.07}};
+  out.finalize();
+  out.alpha = test::proportional_alpha(out);
+  out.ecs = dc::EcsTable(1, 1, 4);
+  out.ecs.set_ecs(0, 0, 0, 1.2);
+  out.ecs.set_ecs(0, 0, 1, 0.9);
+  out.ecs.set_ecs(0, 0, 2, 0.5);
+  dc::TaskType task;
+  task.reward = 1.0;
+  task.relative_deadline = deadline;
+  task.arrival_rate = 10.0;
+  out.task_types = {task};
+  return out;
+}
+
+TEST(RewardRate, Fig3ExactBreakpoints) {
+  const auto dc = make_fig3_dc(/*deadline=*/100.0);
+  const auto rr = reward_rate_function(dc, 0, 0);
+  ASSERT_EQ(rr.points().size(), 4u);
+  EXPECT_NEAR(rr.points()[0].x, 0.0, 1e-12);
+  EXPECT_NEAR(rr.points()[0].y, 0.0, 1e-12);
+  EXPECT_NEAR(rr.points()[1].x, 0.05, 1e-12);
+  EXPECT_NEAR(rr.points()[1].y, 0.5, 1e-12);
+  EXPECT_NEAR(rr.points()[2].x, 0.10, 1e-12);
+  EXPECT_NEAR(rr.points()[2].y, 0.9, 1e-12);
+  EXPECT_NEAR(rr.points()[3].x, 0.15, 1e-12);
+  EXPECT_NEAR(rr.points()[3].y, 1.2, 1e-12);
+}
+
+TEST(RewardRate, Fig3InterpolationModelsStateSwitching) {
+  // At 0.075 W the core time-multiplexes P2 and P1: (0.5+0.9)/2 = 0.7.
+  const auto dc = make_fig3_dc(100.0);
+  const auto rr = reward_rate_function(dc, 0, 0);
+  EXPECT_NEAR(rr.value(0.075), 0.7, 1e-12);
+}
+
+TEST(RewardRate, Fig4DeadlineKillsSlowPState) {
+  // m_i = 1.5 < 1/0.5 = 2: P-state 2 cannot meet the deadline, its reward
+  // drops to 0 (the paper's Figure 4).
+  const auto dc = make_fig3_dc(/*deadline=*/1.5);
+  const auto rr = reward_rate_function(dc, 0, 0);
+  ASSERT_EQ(rr.points().size(), 4u);
+  EXPECT_NEAR(rr.points()[1].x, 0.05, 1e-12);
+  EXPECT_NEAR(rr.points()[1].y, 0.0, 1e-12);  // deadline-infeasible
+  EXPECT_NEAR(rr.points()[2].y, 0.9, 1e-12);
+  EXPECT_FALSE(rr.is_concave());
+}
+
+TEST(RewardRate, Fig5HullIgnoresBadPState) {
+  // The paper's Figure 5: the concave hull of the Fig. 4 function passes
+  // through (0,0), (0.1,0.9), (0.15,1.2) and values 0.45 at 0.05 W.
+  const auto dc = make_fig3_dc(1.5);
+  const auto hull = reward_rate_function(dc, 0, 0).upper_concave_hull();
+  ASSERT_EQ(hull.points().size(), 3u);
+  EXPECT_NEAR(hull.value(0.05), 0.45, 1e-12);
+  EXPECT_TRUE(hull.is_concave());
+}
+
+TEST(RewardRate, UnsupportedTaskTypeEarnsNothing) {
+  auto dc = make_fig3_dc(100.0);
+  dc.ecs.set_ecs(0, 0, 0, 0.0);
+  dc.ecs.set_ecs(0, 0, 1, 0.0);
+  dc.ecs.set_ecs(0, 0, 2, 0.0);
+  const auto rr = reward_rate_function(dc, 0, 0);
+  for (const auto& p : rr.points()) EXPECT_DOUBLE_EQ(p.y, 0.0);
+}
+
+TEST(RewardRate, RewardScalesFunction) {
+  auto dc = make_fig3_dc(100.0);
+  dc.task_types[0].reward = 2.5;
+  const auto rr = reward_rate_function(dc, 0, 0);
+  EXPECT_NEAR(rr.points()[3].y, 3.0, 1e-12);
+}
+
+TEST(MeanRatio, Fig3Value) {
+  // Mean over active P-states of RR(pi_k)/pi_k: (1.2/.15 + .9/.1 + .5/.05)/3.
+  const auto dc = make_fig3_dc(100.0);
+  const double expected = (8.0 + 9.0 + 10.0) / 3.0;
+  EXPECT_NEAR(mean_reward_power_ratio(dc, 0, 0), expected, 1e-9);
+}
+
+TEST(BestTaskTypes, PsiSelectsTopFraction) {
+  const auto scenario = test::make_small_scenario(21, 8, 2);
+  const auto& dc = scenario.dc;
+  const auto best25 = best_task_types(dc, 0, 25.0);
+  const auto best50 = best_task_types(dc, 0, 50.0);
+  const auto best100 = best_task_types(dc, 0, 100.0);
+  EXPECT_EQ(best25.size(), 2u);  // 25% of 8
+  EXPECT_EQ(best50.size(), 4u);
+  EXPECT_EQ(best100.size(), 8u);
+  // best25 is a prefix of best50 (same ranking).
+  for (std::size_t i = 0; i < best25.size(); ++i) EXPECT_EQ(best25[i], best50[i]);
+}
+
+TEST(BestTaskTypes, RankedByMeanRatio) {
+  const auto scenario = test::make_small_scenario(22, 8, 2);
+  const auto& dc = scenario.dc;
+  const auto order = best_task_types(dc, 1, 100.0);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(mean_reward_power_ratio(dc, order[i - 1], 1),
+              mean_reward_power_ratio(dc, order[i], 1) - 1e-12);
+  }
+}
+
+TEST(BestTaskTypes, AtLeastOneEvenForTinyPsi) {
+  const auto scenario = test::make_small_scenario(23, 6, 1);
+  EXPECT_EQ(best_task_types(scenario.dc, 0, 1.0).size(), 1u);
+}
+
+TEST(AggregateRewardRate, AverageOfSingleTypeIsItsRR) {
+  const auto dc = make_fig3_dc(100.0);
+  const auto arr = aggregate_reward_rate(dc, 0, 100.0);
+  const auto rr = reward_rate_function(dc, 0, 0);
+  for (const auto& p : rr.points()) {
+    EXPECT_NEAR(arr.value(p.x), p.y, 1e-12);
+  }
+}
+
+TEST(AggregateRewardRate, GeneratedScenarioIsNondecreasing) {
+  const auto scenario = test::make_small_scenario(24, 8, 2);
+  for (std::size_t t = 0; t < scenario.dc.node_types.size(); ++t) {
+    for (double psi : {25.0, 50.0, 100.0}) {
+      EXPECT_TRUE(aggregate_reward_rate(scenario.dc, t, psi).is_nondecreasing())
+          << "type " << t << " psi " << psi;
+    }
+  }
+}
+
+TEST(ConcaveAggregate, HullDominatesRawAndIsConcave) {
+  const auto scenario = test::make_small_scenario(25, 8, 2);
+  for (std::size_t t = 0; t < scenario.dc.node_types.size(); ++t) {
+    const auto raw = aggregate_reward_rate(scenario.dc, t, 50.0);
+    const auto hull = concave_aggregate_reward_rate(scenario.dc, t, 50.0);
+    EXPECT_TRUE(hull.is_concave(1e-7));
+    for (const auto& p : raw.points()) {
+      EXPECT_GE(hull.value(p.x), p.y - 1e-9);
+    }
+    EXPECT_NEAR(hull.value(hull.x_max()), raw.value(raw.x_max()), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tapo::core

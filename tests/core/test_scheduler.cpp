@@ -1,0 +1,227 @@
+#include "core/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "core/assigner.h"
+#include "testutil.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::core {
+namespace {
+
+struct SchedulerFixture : ::testing::Test {
+  void SetUp() override {
+    scenario = std::make_unique<scenario::Scenario>(test::make_small_scenario(111, 6, 1));
+    model = std::make_unique<thermal::HeatFlowModel>(scenario->dc);
+    const ThreeStageAssigner assigner(scenario->dc, *model);
+    assignment = assigner.assign();
+    ASSERT_TRUE(assignment.feasible);
+  }
+  std::unique_ptr<scenario::Scenario> scenario;
+  std::unique_ptr<thermal::HeatFlowModel> model;
+  Assignment assignment;
+};
+
+TEST_F(SchedulerFixture, CandidatesMatchPositiveTc) {
+  DynamicScheduler scheduler(scenario->dc, assignment);
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    for (std::size_t k : scheduler.candidates(i)) {
+      EXPECT_GT(assignment.tc(i, k), 0.0);
+    }
+  }
+}
+
+TEST_F(SchedulerFixture, RoutesToCandidateCore) {
+  DynamicScheduler scheduler(scenario->dc, assignment);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  // Find a task type with candidates.
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (scheduler.candidates(i).empty()) continue;
+    const auto d = scheduler.route(i, 0.0, free_time);
+    ASSERT_TRUE(d.assigned);
+    EXPECT_GT(assignment.tc(i, d.core), 0.0);
+    EXPECT_GT(d.exec_seconds, 0.0);
+    EXPECT_EQ(scheduler.assigned_count(i), 1u);
+    return;
+  }
+  FAIL() << "no task type had candidate cores";
+}
+
+TEST_F(SchedulerFixture, DropsWhenDeadlineUnreachable) {
+  DynamicScheduler scheduler(scenario->dc, assignment);
+  // Every core busy far beyond any deadline.
+  std::vector<double> free_time(scenario->dc.total_cores(), 1e9);
+  const auto d = scheduler.route(0, 0.0, free_time);
+  EXPECT_FALSE(d.assigned);
+  EXPECT_EQ(scheduler.dropped_count(0), 1u);
+}
+
+TEST_F(SchedulerFixture, DeadlineCheckCanBeDisabled) {
+  SchedulerOptions options;
+  options.deadline_check = false;
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  std::vector<double> free_time(scenario->dc.total_cores(), 1e9);
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (scheduler.candidates(i).empty()) continue;
+    EXPECT_TRUE(scheduler.route(i, 0.0, free_time).assigned);
+    return;
+  }
+}
+
+TEST_F(SchedulerFixture, BalancesAcrossCores) {
+  // Repeated arrivals of one type spread across candidate cores: with the
+  // min-ratio rule no single core should hog all the work.
+  DynamicScheduler scheduler(scenario->dc, assignment);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  std::size_t type = scenario->dc.num_task_types();
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (scheduler.candidates(i).size() >= 4) {
+      type = i;
+      break;
+    }
+  }
+  if (type == scenario->dc.num_task_types()) GTEST_SKIP() << "no wide type";
+  std::map<std::size_t, int> hits;
+  for (int n = 0; n < 40; ++n) {
+    const auto d = scheduler.route(type, 0.1 * n, free_time);
+    if (d.assigned) ++hits[d.core];
+  }
+  EXPECT_GE(hits.size(), 2u);
+}
+
+TEST_F(SchedulerFixture, AtcRatioGrowsWithAssignments) {
+  DynamicScheduler scheduler(scenario->dc, assignment);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  std::size_t type = 0;
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (!scheduler.candidates(i).empty()) {
+      type = i;
+      break;
+    }
+  }
+  const auto d = scheduler.route(type, 0.0, free_time);
+  ASSERT_TRUE(d.assigned);
+  EXPECT_GT(scheduler.atc(type, d.core, 1.0), 0.0);
+  EXPECT_GT(scheduler.atc_tc_ratio(type, d.core, 1.0), 0.0);
+}
+
+TEST_F(SchedulerFixture, RatioIsZeroForZeroTc) {
+  DynamicScheduler scheduler(scenario->dc, assignment);
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    for (std::size_t k = 0; k < scenario->dc.total_cores(); ++k) {
+      if (assignment.tc(i, k) == 0.0) {
+        EXPECT_DOUBLE_EQ(scheduler.atc_tc_ratio(i, k, 10.0), 0.0);
+        return;
+      }
+    }
+  }
+}
+
+TEST_F(SchedulerFixture, SaturatedCoresAreSkipped) {
+  // Flood a single type until every candidate core exceeds ratio 1 within
+  // the warm-up window; further arrivals must be dropped.
+  SchedulerOptions options;
+  options.warmup_seconds = 1.0;
+  options.deadline_check = false;
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  std::size_t type = 0;
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (!scheduler.candidates(i).empty()) {
+      type = i;
+      break;
+    }
+  }
+  double desired = 0.0;
+  for (std::size_t k : scheduler.candidates(type)) desired += assignment.tc(type, k);
+  // At t=0 (elapsed floored to 1 s) each candidate core saturates after
+  // floor(TC)+1 assignments, so ~desired + #candidates admissions suffice to
+  // push every ratio past 1; flood well beyond that.
+  const int flood = static_cast<int>(desired) +
+                    2 * static_cast<int>(scheduler.candidates(type).size()) + 10;
+  int dropped = 0;
+  for (int n = 0; n < flood; ++n) {
+    if (!scheduler.route(type, 0.0, free_time).assigned) ++dropped;
+  }
+  EXPECT_GT(dropped, 0);
+}
+
+TEST_F(SchedulerFixture, EarliestFinishUsesAllActiveCores) {
+  SchedulerOptions options;
+  options.policy = SchedulerPolicy::EarliestFinish;
+  DynamicScheduler ef(scenario->dc, assignment, options);
+  DynamicScheduler plan(scenario->dc, assignment);
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    // The ablation candidate set is a superset of the plan-based one.
+    EXPECT_GE(ef.candidates(i).size(), plan.candidates(i).size());
+    for (std::size_t k : ef.candidates(i)) {
+      const std::size_t type = scenario->dc.core_type(k);
+      EXPECT_NE(assignment.core_pstate[k],
+                scenario->dc.node_types[type].off_state());
+    }
+  }
+}
+
+TEST_F(SchedulerFixture, EarliestFinishPicksIdleCoreOverBusy) {
+  SchedulerOptions options;
+  options.policy = SchedulerPolicy::EarliestFinish;
+  options.deadline_check = false;  // isolate the min-finish rule
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  std::size_t type = scenario->dc.num_task_types();
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (scheduler.candidates(i).size() >= 2) {
+      type = i;
+      break;
+    }
+  }
+  if (type == scenario->dc.num_task_types()) GTEST_SKIP();
+  // Everyone else is busy far longer than any execution time, so the idle
+  // core finishes first regardless of per-core ECS differences.
+  std::vector<double> free_time(scenario->dc.total_cores(), 1e9);
+  const std::size_t idle = scheduler.candidates(type).back();
+  free_time[idle] = 0.0;
+  const auto d = scheduler.route(type, 0.0, free_time);
+  ASSERT_TRUE(d.assigned);
+  EXPECT_EQ(d.core, idle);
+}
+
+TEST_F(SchedulerFixture, RandomPolicyIsSeededDeterministic) {
+  SchedulerOptions options;
+  options.policy = SchedulerPolicy::Random;
+  options.random_seed = 99;
+  DynamicScheduler a(scenario->dc, assignment, options);
+  DynamicScheduler b(scenario->dc, assignment, options);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  for (int n = 0; n < 20; ++n) {
+    const auto da = a.route(0, 0.1 * n, free_time);
+    const auto db = b.route(0, 0.1 * n, free_time);
+    EXPECT_EQ(da.assigned, db.assigned);
+    if (da.assigned) {
+      EXPECT_EQ(da.core, db.core);
+    }
+  }
+}
+
+TEST_F(SchedulerFixture, RandomPolicySpreadsAcrossCores) {
+  SchedulerOptions options;
+  options.policy = SchedulerPolicy::Random;
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  std::size_t type = scenario->dc.num_task_types();
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (scheduler.candidates(i).size() >= 4) {
+      type = i;
+      break;
+    }
+  }
+  if (type == scenario->dc.num_task_types()) GTEST_SKIP();
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  std::map<std::size_t, int> hits;
+  for (int n = 0; n < 60; ++n) {
+    const auto d = scheduler.route(type, 0.1 * n, free_time);
+    if (d.assigned) ++hits[d.core];
+  }
+  EXPECT_GE(hits.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tapo::core

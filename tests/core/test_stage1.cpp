@@ -1,0 +1,138 @@
+#include "core/stage1.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testutil.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::core {
+namespace {
+
+TEST(Stage1, FeasibleOnGeneratedScenario) {
+  const auto scenario = test::make_small_scenario(31, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  const Stage1Result result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.objective, 0.0);
+  EXPECT_GT(result.lp_solves, 0u);
+  EXPECT_EQ(result.node_core_power_kw.size(), scenario.dc.num_nodes());
+}
+
+TEST(Stage1, RespectsPowerBudget) {
+  const auto scenario = test::make_small_scenario(32, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  const Stage1Result result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_LE(result.compute_power_kw + result.crac_power_kw,
+            scenario.dc.p_const_kw + 1e-6);
+}
+
+TEST(Stage1, NodePowersWithinPhysicalRange) {
+  const auto scenario = test::make_small_scenario(33, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  const Stage1Result result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  for (std::size_t j = 0; j < scenario.dc.num_nodes(); ++j) {
+    const auto& spec = scenario.dc.node_type(j);
+    EXPECT_GE(result.node_core_power_kw[j], -1e-9);
+    EXPECT_LE(result.node_core_power_kw[j],
+              spec.cores_per_node() * spec.core_power_kw(0) + 1e-9);
+  }
+}
+
+TEST(Stage1, ThermallyFeasibleAtSolution) {
+  const auto scenario = test::make_small_scenario(34, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  const Stage1Result result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  // Reconstruct total node powers and check the actual steady state.
+  std::vector<double> node_power = result.node_core_power_kw;
+  for (std::size_t j = 0; j < node_power.size(); ++j) {
+    node_power[j] += scenario.dc.node_type(j).base_power_kw();
+  }
+  EXPECT_TRUE(model.within_redlines(model.solve(result.crac_out_c, node_power)));
+}
+
+TEST(Stage1, InfeasibleWhenBudgetBelowBasePower) {
+  auto scenario = test::make_small_scenario(35, 6, 1);
+  scenario.dc.p_const_kw = scenario.dc.total_base_power_kw() * 0.5;
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  EXPECT_FALSE(solver.solve().feasible);
+}
+
+TEST(Stage1, LargerBudgetNeverHurts) {
+  auto scenario = test::make_small_scenario(36, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  const Stage1Result tight = solver.solve();
+  scenario.dc.p_const_kw *= 1.2;
+  const Stage1Result loose = solver.solve();
+  ASSERT_TRUE(tight.feasible && loose.feasible);
+  EXPECT_GE(loose.objective, tight.objective - 1e-6);
+}
+
+TEST(Stage1, SolveAtMatchesSearchBest) {
+  const auto scenario = test::make_small_scenario(37, 6, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  Stage1Options options;
+  const Stage1Result result = solver.solve(options);
+  ASSERT_TRUE(result.feasible);
+  const auto at = solver.solve_at(result.crac_out_c, options.psi);
+  ASSERT_TRUE(at.feasible);
+  EXPECT_NEAR(at.objective, result.objective, 1e-9);
+}
+
+TEST(Stage1, ObjectiveBudgetSaturation) {
+  // An oversubscribed data center leaves no slack in the budget: the LP
+  // should use (almost) all of Pconst.
+  const auto scenario = test::make_small_scenario(38, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  const Stage1Result result = solver.solve();
+  ASSERT_TRUE(result.feasible);
+  EXPECT_GT(result.compute_power_kw + result.crac_power_kw,
+            0.98 * scenario.dc.p_const_kw);
+}
+
+TEST(Stage1, FullGridAgreesWithDefaultSearchApproximately) {
+  const auto scenario = test::make_small_scenario(39, 6, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  Stage1Options fast;
+  Stage1Options grid;
+  grid.full_grid = true;
+  const auto a = solver.solve(fast);
+  const auto b = solver.solve(grid);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  // Both are heuristic searches over the same LP family; they must land
+  // within a few percent of each other.
+  EXPECT_NEAR(a.objective, b.objective, 0.05 * std::max(a.objective, b.objective));
+}
+
+TEST(Stage1, PsiChangesSelection) {
+  const auto scenario = test::make_small_scenario(40, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  Stage1Options p25;
+  p25.psi = 25.0;
+  Stage1Options p50;
+  p50.psi = 50.0;
+  const auto a = solver.solve(p25);
+  const auto b = solver.solve(p50);
+  ASSERT_TRUE(a.feasible && b.feasible);
+  // The relaxed objectives are averages over different task-type subsets:
+  // psi=25 uses only the most efficient types, so its relaxed bound is at
+  // least as high.
+  EXPECT_GE(a.objective, b.objective - 1e-6);
+}
+
+}  // namespace
+}  // namespace tapo::core

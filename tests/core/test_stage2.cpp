@@ -1,0 +1,127 @@
+#include "core/stage2.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+#include "util/rng.h"
+
+namespace tapo::core {
+namespace {
+
+using test::make_tiny_dc;
+
+TEST(Stage2, ZeroBudgetTurnsEverythingOff) {
+  const auto dc = make_tiny_dc({0, 1}, 1);
+  const auto result = convert_power_to_pstates(dc, {0.0, 0.0});
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    EXPECT_EQ(result.core_pstate[k], dc.node_types[dc.core_type(k)].off_state());
+  }
+  EXPECT_DOUBLE_EQ(result.node_core_power_kw[0], 0.0);
+}
+
+TEST(Stage2, FullBudgetRunsEverythingAtP0) {
+  const auto dc = make_tiny_dc({0, 1}, 1);
+  std::vector<double> budget(2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto& spec = dc.node_type(j);
+    budget[j] = spec.cores_per_node() * spec.core_power_kw(0);
+  }
+  const auto result = convert_power_to_pstates(dc, budget);
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    EXPECT_EQ(result.core_pstate[k], 0u);
+  }
+  EXPECT_NEAR(result.node_core_power_kw[0], budget[0], 1e-12);
+}
+
+TEST(Stage2, NeverExceedsBudget) {
+  const auto dc = make_tiny_dc({0, 1, 0}, 1);
+  util::Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<double> budget(3);
+    for (std::size_t j = 0; j < 3; ++j) {
+      const auto& spec = dc.node_type(j);
+      budget[j] = rng.uniform(0.0, spec.cores_per_node() * spec.core_power_kw(0));
+    }
+    const auto result = convert_power_to_pstates(dc, budget);
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_LE(result.node_core_power_kw[j], budget[j] + 1e-9);
+    }
+  }
+}
+
+TEST(Stage2, ActualPowerMatchesAssignedStates) {
+  const auto dc = make_tiny_dc({0, 1}, 1);
+  const auto result = convert_power_to_pstates(dc, {0.25, 0.4});
+  for (std::size_t j = 0; j < 2; ++j) {
+    const auto& spec = dc.node_type(j);
+    double power = 0.0;
+    for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+      power += spec.core_power_kw(result.core_pstate[dc.core_offset(j) + c]);
+    }
+    EXPECT_NEAR(power, result.node_core_power_kw[j], 1e-12);
+  }
+}
+
+TEST(Stage2, UsesAtMostTwoAdjacentStatesPerNode) {
+  // Even shares land between two adjacent P-states; the paper's procedure
+  // staggers cores between exactly those two.
+  const auto dc = make_tiny_dc({0}, 1);
+  util::Rng rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto& spec = dc.node_type(0);
+    const double budget =
+        rng.uniform(0.0, spec.cores_per_node() * spec.core_power_kw(0));
+    const auto result = convert_power_to_pstates(dc, {budget});
+    std::size_t lo = spec.off_state(), hi = 0;
+    for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+      lo = std::min(lo, result.core_pstate[c]);
+      hi = std::max(hi, result.core_pstate[c]);
+    }
+    EXPECT_LE(hi - lo, 1u) << "budget " << budget;
+  }
+}
+
+TEST(Stage2, PowerGapBelowOneStateStep) {
+  // The conversion loses at most one P-state step of power per node.
+  const auto dc = make_tiny_dc({0}, 1);
+  const auto& spec = dc.node_type(0);
+  double max_step = 0.0;
+  for (std::size_t k = 0; k + 1 <= spec.num_active_pstates(); ++k) {
+    const double lower =
+        (k + 1 == spec.num_active_pstates()) ? 0.0 : spec.core_power_kw(k + 1);
+    max_step = std::max(max_step, spec.core_power_kw(k) - lower);
+  }
+  util::Rng rng(11);
+  for (int trial = 0; trial < 40; ++trial) {
+    const double budget =
+        rng.uniform(0.0, spec.cores_per_node() * spec.core_power_kw(0));
+    const auto result = convert_power_to_pstates(dc, {budget});
+    EXPECT_LE(budget - result.node_core_power_kw[0], max_step + 1e-9);
+  }
+}
+
+TEST(Stage2, ExactPStatePowerIsPreserved) {
+  // A budget of exactly n * pi_1 should produce all cores in P-state 1.
+  const auto dc = make_tiny_dc({0}, 1);
+  const auto& spec = dc.node_type(0);
+  const double budget = spec.cores_per_node() * spec.core_power_kw(1);
+  const auto result = convert_power_to_pstates(dc, {budget});
+  for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+    EXPECT_EQ(result.core_pstate[c], 1u);
+  }
+  EXPECT_NEAR(result.node_core_power_kw[0], budget, 1e-9);
+}
+
+TEST(Stage2, MixedNodeTypesHandledIndependently) {
+  const auto dc = make_tiny_dc({0, 1}, 1);
+  const auto& hp = dc.node_types[0];
+  const auto& nec = dc.node_types[1];
+  const auto result = convert_power_to_pstates(
+      dc, {hp.cores_per_node() * hp.core_power_kw(2),
+           nec.cores_per_node() * nec.core_power_kw(1)});
+  for (std::size_t c = 0; c < 32; ++c) EXPECT_EQ(result.core_pstate[c], 2u);
+  for (std::size_t c = 32; c < 64; ++c) EXPECT_EQ(result.core_pstate[c], 1u);
+}
+
+}  // namespace
+}  // namespace tapo::core

@@ -1,0 +1,138 @@
+#include "core/stage3.h"
+
+#include <gtest/gtest.h>
+
+#include "testutil.h"
+
+namespace tapo::core {
+namespace {
+
+std::vector<std::size_t> all_at(const dc::DataCenter& dc, std::size_t state) {
+  std::vector<std::size_t> pstates(dc.total_cores());
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    const auto& spec = dc.node_types[dc.core_type(k)];
+    pstates[k] = std::min(state, spec.off_state());
+  }
+  return pstates;
+}
+
+TEST(Stage3, AllOffYieldsZeroReward) {
+  const auto scenario = test::make_small_scenario(51, 6, 1);
+  const auto result =
+      solve_stage3(scenario.dc, all_at(scenario.dc, 99));  // clamped to off
+  ASSERT_TRUE(result.optimal);
+  EXPECT_DOUBLE_EQ(result.reward_rate, 0.0);
+}
+
+TEST(Stage3, AllP0PositiveReward) {
+  const auto scenario = test::make_small_scenario(52, 6, 1);
+  const auto result = solve_stage3(scenario.dc, all_at(scenario.dc, 0));
+  ASSERT_TRUE(result.optimal);
+  EXPECT_GT(result.reward_rate, 0.0);
+}
+
+TEST(Stage3, RespectsCoreCapacity) {
+  const auto scenario = test::make_small_scenario(53, 6, 1);
+  const auto& dc = scenario.dc;
+  const auto pstates = all_at(dc, 1);
+  const auto result = solve_stage3(dc, pstates);
+  ASSERT_TRUE(result.optimal);
+  for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    double util = 0.0;
+    for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+      if (result.tc(i, k) > 0.0) {
+        util += result.tc(i, k) * dc.ecs.etc_seconds(i, dc.core_type(k), pstates[k]);
+      }
+    }
+    EXPECT_LE(util, 1.0 + 1e-7);
+  }
+}
+
+TEST(Stage3, RespectsArrivalRates) {
+  const auto scenario = test::make_small_scenario(54, 6, 1);
+  const auto& dc = scenario.dc;
+  const auto result = solve_stage3(dc, all_at(dc, 0));
+  ASSERT_TRUE(result.optimal);
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    EXPECT_LE(result.per_type_rate[i], dc.task_types[i].arrival_rate + 1e-7);
+  }
+}
+
+TEST(Stage3, DeadlineInfeasiblePairsGetZeroRate) {
+  const auto scenario = test::make_small_scenario(55, 6, 1);
+  const auto& dc = scenario.dc;
+  const auto pstates = all_at(dc, 3);  // slowest active state
+  const auto result = solve_stage3(dc, pstates);
+  ASSERT_TRUE(result.optimal);
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      if (!dc.ecs.can_meet_deadline(i, dc.core_type(k), pstates[k],
+                                    dc.task_types[i].relative_deadline)) {
+        EXPECT_DOUBLE_EQ(result.tc(i, k), 0.0);
+      }
+    }
+  }
+}
+
+TEST(Stage3, AggregatedMatchesPerCoreLP) {
+  // The class aggregation must be lossless: identical cores are fungible.
+  for (std::uint64_t seed : {61, 62, 63}) {
+    const auto scenario = test::make_small_scenario(seed, 4, 1);
+    const auto& dc = scenario.dc;
+    // A mixed P-state pattern across cores.
+    std::vector<std::size_t> pstates(dc.total_cores());
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      const auto& spec = dc.node_types[dc.core_type(k)];
+      pstates[k] = k % (spec.off_state() + 1);
+    }
+    const auto fast = solve_stage3(dc, pstates);
+    const auto reference = solve_stage3_percore(dc, pstates);
+    ASSERT_TRUE(fast.optimal && reference.optimal);
+    EXPECT_NEAR(fast.reward_rate, reference.reward_rate,
+                1e-6 * std::max(1.0, reference.reward_rate))
+        << "seed " << seed;
+  }
+}
+
+TEST(Stage3, RewardMatchesTcSum) {
+  const auto scenario = test::make_small_scenario(56, 6, 1);
+  const auto& dc = scenario.dc;
+  const auto result = solve_stage3(dc, all_at(dc, 0));
+  ASSERT_TRUE(result.optimal);
+  double reward = 0.0;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    reward += dc.task_types[i].reward * result.per_type_rate[i];
+  }
+  EXPECT_NEAR(reward, result.reward_rate, 1e-7 * std::max(1.0, reward));
+}
+
+TEST(Stage3, MorePowerfulStatesEarnMore) {
+  const auto scenario = test::make_small_scenario(57, 6, 1);
+  const auto& dc = scenario.dc;
+  const auto p0 = solve_stage3(dc, all_at(dc, 0));
+  const auto p2 = solve_stage3(dc, all_at(dc, 2));
+  ASSERT_TRUE(p0.optimal && p2.optimal);
+  EXPECT_GE(p0.reward_rate, p2.reward_rate - 1e-9);
+}
+
+TEST(Stage3, UniformWithinClassExpansion) {
+  const auto scenario = test::make_small_scenario(58, 6, 1);
+  const auto& dc = scenario.dc;
+  const auto pstates = all_at(dc, 0);
+  const auto result = solve_stage3(dc, pstates);
+  ASSERT_TRUE(result.optimal);
+  // Cores of the same node type at the same P-state carry identical rates.
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    for (std::size_t k1 = 0; k1 < dc.total_cores(); ++k1) {
+      for (std::size_t k2 = k1 + 1; k2 < dc.total_cores(); ++k2) {
+        if (dc.core_type(k1) == dc.core_type(k2)) {
+          EXPECT_NEAR(result.tc(i, k1), result.tc(i, k2), 1e-9);
+        }
+      }
+    }
+    break;  // one task type suffices; the loop is O(cores^2)
+  }
+}
+
+}  // namespace
+}  // namespace tapo::core

@@ -1,0 +1,76 @@
+#include "dc/crac.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::dc {
+namespace {
+
+CracSpec make_crac(double flow = 1.0) {
+  CracSpec c;
+  c.flow_m3s = flow;
+  return c;
+}
+
+TEST(Crac, CopMatchesEq8) {
+  const CracSpec c = make_crac();
+  // CoP(tau) = 0.0068 tau^2 + 0.0008 tau + 0.458 (HP Utility Data Center).
+  EXPECT_NEAR(c.cop(15.0), 0.0068 * 225 + 0.0008 * 15 + 0.458, 1e-12);
+  EXPECT_NEAR(c.cop(0.0), 0.458, 1e-12);
+  EXPECT_NEAR(c.cop(25.0), 4.728, 1e-12);
+}
+
+TEST(Crac, CopIncreasesWithOutletTemperature) {
+  const CracSpec c = make_crac();
+  double prev = 0.0;
+  for (double t = 5.0; t <= 30.0; t += 1.0) {
+    EXPECT_GT(c.cop(t), prev);
+    prev = c.cop(t);
+  }
+}
+
+TEST(Crac, HeatRemovedEq2) {
+  const CracSpec c = make_crac(2.0);
+  // rho * Cp * F * (Tin - Tout) = 1.205 * 1 * 2 * 10.
+  EXPECT_NEAR(c.heat_removed_kw(25.0, 15.0), 24.1, 1e-12);
+}
+
+TEST(Crac, NoHeatRemovedWhenInletColderThanSetpoint) {
+  const CracSpec c = make_crac(2.0);
+  EXPECT_DOUBLE_EQ(c.heat_removed_kw(10.0, 15.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.power_kw(10.0, 15.0), 0.0);
+  EXPECT_DOUBLE_EQ(c.power_kw(15.0, 15.0), 0.0);
+}
+
+TEST(Crac, PowerEq3) {
+  const CracSpec c = make_crac(1.5);
+  const double t_in = 28.0, t_out = 18.0;
+  const double q = 1.205 * 1.0 * 1.5 * (t_in - t_out);
+  EXPECT_NEAR(c.power_kw(t_in, t_out), q / c.cop(t_out), 1e-12);
+}
+
+TEST(Crac, HigherSetpointIsCheaperForSameInlet) {
+  // Raising Tout both removes less heat and runs at a better CoP.
+  const CracSpec c = make_crac(1.0);
+  EXPECT_LT(c.power_kw(30.0, 20.0), c.power_kw(30.0, 15.0));
+  EXPECT_LT(c.power_kw(30.0, 15.0), c.power_kw(30.0, 10.0));
+}
+
+TEST(Crac, PowerScalesWithFlow) {
+  const CracSpec c1 = make_crac(1.0);
+  const CracSpec c2 = make_crac(2.0);
+  EXPECT_NEAR(2.0 * c1.power_kw(30.0, 20.0), c2.power_kw(30.0, 20.0), 1e-12);
+}
+
+TEST(Crac, EnergyBalanceWorkedExample) {
+  // A 0.793 kW node heats its 0.07 m^3/s airflow by ~9.4 degC; one CRAC with
+  // the same flow removing that heat at Tout=20 spends q/CoP(20).
+  const CracSpec c = make_crac(0.07);
+  const double t_in = 20.0 + 0.793 / (1.205 * 0.07);
+  const double power = c.power_kw(t_in, 20.0);
+  EXPECT_NEAR(power, 0.793 / c.cop(20.0), 1e-12);
+  EXPECT_GT(power, 0.2);
+  EXPECT_LT(power, 0.3);
+}
+
+}  // namespace
+}  // namespace tapo::dc

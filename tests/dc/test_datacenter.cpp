@@ -1,0 +1,96 @@
+#include "dc/datacenter.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::dc {
+namespace {
+
+DataCenter make_small_dc() {
+  DataCenter dc;
+  dc.node_types = table1_node_types(0.3);
+  dc.nodes = {{0}, {1}, {0}};
+  dc.layout = make_hot_cold_aisle_layout(3, 2);
+  CracSpec crac;
+  crac.flow_m3s = (0.07 * 2 + 0.0828) / 2.0;
+  dc.cracs = {crac, crac};
+  dc.finalize();
+  return dc;
+}
+
+TEST(DataCenter, CountsAndIndexing) {
+  const DataCenter dc = make_small_dc();
+  EXPECT_EQ(dc.num_nodes(), 3u);
+  EXPECT_EQ(dc.num_cracs(), 2u);
+  EXPECT_EQ(dc.num_entities(), 5u);
+  EXPECT_EQ(dc.total_cores(), 96u);
+}
+
+TEST(DataCenter, CoreOffsetsAreContiguous) {
+  const DataCenter dc = make_small_dc();
+  EXPECT_EQ(dc.core_offset(0), 0u);
+  EXPECT_EQ(dc.core_offset(1), 32u);
+  EXPECT_EQ(dc.core_offset(2), 64u);
+}
+
+TEST(DataCenter, CoreToNodeAndType) {
+  const DataCenter dc = make_small_dc();
+  EXPECT_EQ(dc.core_node(0), 0u);
+  EXPECT_EQ(dc.core_node(31), 0u);
+  EXPECT_EQ(dc.core_node(32), 1u);
+  EXPECT_EQ(dc.core_node(95), 2u);
+  EXPECT_EQ(dc.core_type(0), 0u);
+  EXPECT_EQ(dc.core_type(40), 1u);  // node 1 is type 1 (NEC)
+  EXPECT_EQ(dc.core_type(70), 0u);
+}
+
+TEST(DataCenter, EntityFlows) {
+  const DataCenter dc = make_small_dc();
+  EXPECT_DOUBLE_EQ(dc.entity_flow(0), dc.cracs[0].flow_m3s);
+  EXPECT_DOUBLE_EQ(dc.entity_flow(2), 0.07);    // node 0, HP type
+  EXPECT_DOUBLE_EQ(dc.entity_flow(3), 0.0828);  // node 1, NEC type
+  EXPECT_NEAR(dc.total_node_flow(), 0.07 * 2 + 0.0828, 1e-12);
+}
+
+TEST(DataCenter, BasePower) {
+  const DataCenter dc = make_small_dc();
+  EXPECT_NEAR(dc.total_base_power_kw(), 0.353 * 2 + 0.418, 1e-12);
+}
+
+TEST(DataCenter, MaxComputePower) {
+  const DataCenter dc = make_small_dc();
+  const double expected = 2 * (0.353 + 32 * 0.01375) + (0.418 + 32 * 0.01625);
+  EXPECT_NEAR(dc.max_compute_power_kw(), expected, 1e-12);
+}
+
+TEST(DataCenter, NodePowerFromPstates) {
+  const DataCenter dc = make_small_dc();
+  std::vector<std::size_t> pstates(dc.total_cores(), dc.node_types[0].off_state());
+  // Node 1 is NEC type: fix its off state index too (same value, 4).
+  auto powers = dc.node_power_from_pstates(pstates);
+  EXPECT_NEAR(powers[0], 0.353, 1e-12);
+  EXPECT_NEAR(powers[1], 0.418, 1e-12);
+
+  pstates[0] = 0;   // one HP core at P0
+  pstates[32] = 0;  // one NEC core at P0
+  powers = dc.node_power_from_pstates(pstates);
+  EXPECT_NEAR(powers[0], 0.353 + 0.01375, 1e-12);
+  EXPECT_NEAR(powers[1], 0.418 + 0.01625, 1e-12);
+}
+
+TEST(DataCenter, FinalizeRejectsEmpty) {
+  DataCenter dc;
+  dc.node_types = table1_node_types(0.3);
+  EXPECT_DEATH(dc.finalize(), "no compute nodes");
+}
+
+TEST(DataCenter, FinalizeRejectsLayoutMismatch) {
+  DataCenter dc;
+  dc.node_types = table1_node_types(0.3);
+  dc.nodes = {{0}, {0}};
+  dc.cracs = {CracSpec{0.1}};
+  dc.layout = make_hot_cold_aisle_layout(3, 1);  // 3 != 2
+  EXPECT_DEATH(dc.finalize(), "out of sync");
+}
+
+}  // namespace
+}  // namespace tapo::dc

@@ -1,0 +1,92 @@
+#include "dc/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tapo::dc {
+namespace {
+
+TEST(Layout, PaperConfiguration150Nodes3Cracs) {
+  const Layout layout = make_hot_cold_aisle_layout(150, 3);
+  EXPECT_EQ(layout.num_cracs, 3u);
+  EXPECT_EQ(layout.num_hot_aisles, 3u);
+  EXPECT_EQ(layout.nodes.size(), 150u);
+  // 150 nodes = 30 full racks of 5.
+  std::set<std::size_t> racks;
+  for (const auto& n : layout.nodes) racks.insert(n.rack);
+  EXPECT_EQ(racks.size(), 30u);
+}
+
+TEST(Layout, LabelsFollowRackSlots) {
+  const Layout layout = make_hot_cold_aisle_layout(10, 1);
+  for (const auto& n : layout.nodes) {
+    EXPECT_EQ(static_cast<std::size_t>(n.label), n.slot);
+  }
+  EXPECT_EQ(layout.nodes[0].label, RackLabel::A);  // bottom
+  EXPECT_EQ(layout.nodes[4].label, RackLabel::E);  // top
+  EXPECT_EQ(layout.nodes[5].label, RackLabel::A);  // next rack bottom
+}
+
+TEST(Layout, HotAislesCoverAllCracs) {
+  const Layout layout = make_hot_cold_aisle_layout(150, 3);
+  std::set<std::size_t> aisles;
+  for (const auto& n : layout.nodes) {
+    EXPECT_LT(n.hot_aisle, 3u);
+    aisles.insert(n.hot_aisle);
+  }
+  EXPECT_EQ(aisles.size(), 3u);
+}
+
+TEST(Layout, TwoRackRowsPerHotAisle) {
+  const Layout layout = make_hot_cold_aisle_layout(60, 2);
+  // Racks 0,1 -> aisle 0; racks 2,3 -> aisle 1; racks 4,5 -> aisle 0; ...
+  EXPECT_EQ(layout.nodes[0].hot_aisle, 0u);               // rack 0
+  EXPECT_EQ(layout.nodes[2 * 5].hot_aisle, 1u);           // rack 2
+  EXPECT_EQ(layout.nodes[4 * 5].hot_aisle, 0u);           // rack 4
+}
+
+TEST(Layout, SplitMatrixRowsSumToOne) {
+  for (std::size_t cracs : {1u, 2u, 3u, 5u}) {
+    const Layout layout = make_hot_cold_aisle_layout(25, cracs);
+    for (std::size_t a = 0; a < cracs; ++a) {
+      double sum = 0.0;
+      for (std::size_t c = 0; c < cracs; ++c) {
+        EXPECT_GE(layout.hot_aisle_to_crac(a, c), 0.0);
+        sum += layout.hot_aisle_to_crac(a, c);
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(Layout, FacingCracGetsDominantShare) {
+  const Layout layout = make_hot_cold_aisle_layout(25, 3);
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      if (c != a) {
+        EXPECT_GT(layout.hot_aisle_to_crac(a, a), layout.hot_aisle_to_crac(a, c));
+      }
+    }
+  }
+}
+
+TEST(Layout, PartialLastRack) {
+  const Layout layout = make_hot_cold_aisle_layout(7, 1);
+  EXPECT_EQ(layout.nodes.size(), 7u);
+  EXPECT_EQ(layout.nodes[6].rack, 1u);
+  EXPECT_EQ(layout.nodes[6].label, RackLabel::B);
+}
+
+TEST(Layout, SingleCracDegenerate) {
+  const Layout layout = make_hot_cold_aisle_layout(5, 1);
+  EXPECT_DOUBLE_EQ(layout.hot_aisle_to_crac(0, 0), 1.0);
+}
+
+TEST(RackLabelNames, ToString) {
+  EXPECT_STREQ(to_string(RackLabel::A), "A");
+  EXPECT_STREQ(to_string(RackLabel::E), "E");
+}
+
+}  // namespace
+}  // namespace tapo::dc

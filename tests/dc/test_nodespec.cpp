@@ -1,0 +1,93 @@
+#include "dc/nodespec.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::dc {
+namespace {
+
+TEST(Table1, TwoNodeTypes) {
+  const auto types = table1_node_types(0.3);
+  ASSERT_EQ(types.size(), 2u);
+  EXPECT_EQ(types[0].name(), "HP ProLiant DL785 G5");
+  EXPECT_EQ(types[1].name(), "NEC Express5800/A1080a-S");
+}
+
+TEST(Table1, MatchesPaperParameters) {
+  const auto types = table1_node_types(0.3);
+  // Row "Base power consumption (kW)".
+  EXPECT_NEAR(types[0].base_power_kw(), 0.353, 1e-12);
+  EXPECT_NEAR(types[1].base_power_kw(), 0.418, 1e-12);
+  // Row "Number of cores".
+  EXPECT_EQ(types[0].cores_per_node(), 32u);
+  EXPECT_EQ(types[1].cores_per_node(), 32u);
+  // Row "Number of P-states".
+  EXPECT_EQ(types[0].num_active_pstates(), 4u);
+  EXPECT_EQ(types[1].num_active_pstates(), 4u);
+  // Row "Power consumption of P-state 0 (kW)".
+  EXPECT_NEAR(types[0].core_power_kw(0), 0.01375, 1e-12);
+  EXPECT_NEAR(types[1].core_power_kw(0), 0.01625, 1e-12);
+  // Row "Clock frequencies of P-states (MHz)".
+  const double f1[4] = {2500, 2100, 1700, 800};
+  const double f2[4] = {2666, 2200, 1700, 1000};
+  for (std::size_t k = 0; k < 4; ++k) {
+    EXPECT_DOUBLE_EQ(types[0].freq_mhz(k), f1[k]);
+    EXPECT_DOUBLE_EQ(types[1].freq_mhz(k), f2[k]);
+  }
+  // Row "Air flow rate (m^3/s)".
+  EXPECT_NEAR(types[0].airflow_m3s(), 0.07, 1e-12);
+  EXPECT_NEAR(types[1].airflow_m3s(), 0.0828, 1e-12);
+}
+
+TEST(NodeTypeSpec, OffStateIndexAndPower) {
+  const auto types = table1_node_types(0.3);
+  EXPECT_EQ(types[0].off_state(), 4u);
+  EXPECT_EQ(types[0].num_pstates_with_off(), 5u);
+  EXPECT_DOUBLE_EQ(types[0].core_power_kw(types[0].off_state()), 0.0);
+  EXPECT_DOUBLE_EQ(types[0].freq_mhz(types[0].off_state()), 0.0);
+  EXPECT_DOUBLE_EQ(types[0].core_static_power_kw(types[0].off_state()), 0.0);
+}
+
+TEST(NodeTypeSpec, NodePowerEq1) {
+  const auto types = table1_node_types(0.3);
+  const NodeTypeSpec& spec = types[0];
+  std::vector<std::size_t> states(32, spec.off_state());
+  EXPECT_NEAR(spec.node_power_kw(states), 0.353, 1e-12);
+  states[0] = 0;
+  states[1] = 2;
+  EXPECT_NEAR(spec.node_power_kw(states),
+              0.353 + spec.core_power_kw(0) + spec.core_power_kw(2), 1e-12);
+}
+
+TEST(NodeTypeSpec, MaxNodePowerMatchesAppendixA) {
+  // Full-load HP DL785 G5 draws 0.793 kW (base 0.353 + 32 * 0.01375).
+  const auto types = table1_node_types(0.3);
+  EXPECT_NEAR(types[0].max_node_power_kw(), 0.793, 1e-12);
+}
+
+TEST(NodeTypeSpec, MaxAirTemperatureRiseMatchesAppendixA) {
+  // Appendix A: 0.07 m^3/s guarantees at most ~9.4 degC rise at full load.
+  const auto types = table1_node_types(0.3);
+  const double rise =
+      types[0].max_node_power_kw() / (1.205 * 1.0 * types[0].airflow_m3s());
+  EXPECT_NEAR(rise, 9.4, 0.05);
+}
+
+TEST(NodeTypeSpec, StaticFractionPropagates) {
+  const auto types = table1_node_types(0.2);
+  EXPECT_NEAR(types[0].core_static_power_kw(0) / types[0].core_power_kw(0), 0.2,
+              1e-12);
+  EXPECT_NEAR(types[1].core_static_power_kw(0) / types[1].core_power_kw(0), 0.2,
+              1e-12);
+}
+
+TEST(NodeTypeSpec, XeonVoltagesFromAppendixA) {
+  const auto types = table1_node_types(0.3);
+  const auto& pm = types[1].power_model();
+  EXPECT_DOUBLE_EQ(pm.state(0).voltage, 1.35);
+  EXPECT_DOUBLE_EQ(pm.state(1).voltage, 1.268);
+  EXPECT_DOUBLE_EQ(pm.state(2).voltage, 1.18);
+  EXPECT_DOUBLE_EQ(pm.state(3).voltage, 1.056);
+}
+
+}  // namespace
+}  // namespace tapo::dc

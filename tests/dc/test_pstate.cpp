@@ -1,0 +1,85 @@
+#include "dc/pstate.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::dc {
+namespace {
+
+// The paper's node type 1 core: AMD Opteron 8381 HE, pi_0 = 0.01375 kW.
+CorePowerModel opteron_model(double static_fraction) {
+  return CorePowerModel(0.01375, static_fraction,
+                        {{2500.0, 1.325}, {2100.0, 1.25}, {1700.0, 1.175},
+                         {800.0, 1.025}});
+}
+
+TEST(CorePowerModel, P0PowerMatchesInput) {
+  const auto m = opteron_model(0.3);
+  EXPECT_NEAR(m.power_kw(0), 0.01375, 1e-12);
+}
+
+TEST(CorePowerModel, StaticFractionAtP0) {
+  const auto m = opteron_model(0.3);
+  EXPECT_NEAR(m.static_power_kw(0) / m.power_kw(0), 0.3, 1e-12);
+  EXPECT_NEAR(m.dynamic_power_kw(0) / m.power_kw(0), 0.7, 1e-12);
+}
+
+TEST(CorePowerModel, PowerDecreasesWithPState) {
+  for (double sf : {0.2, 0.3}) {
+    const auto m = opteron_model(sf);
+    for (std::size_t k = 1; k < m.num_active_states(); ++k) {
+      EXPECT_LT(m.power_kw(k), m.power_kw(k - 1)) << "static fraction " << sf;
+    }
+  }
+}
+
+TEST(CorePowerModel, StaticShareGrowsInHigherPStates) {
+  // Dynamic power falls with f*V^2 while static falls only with V, so the
+  // static share must increase with the P-state index (the paper's first
+  // observation in Section VII.B).
+  const auto m = opteron_model(0.3);
+  double prev = 0.0;
+  for (std::size_t k = 0; k < m.num_active_states(); ++k) {
+    const double share = m.static_power_kw(k) / m.power_kw(k);
+    EXPECT_GT(share, prev);
+    prev = share;
+  }
+}
+
+TEST(CorePowerModel, Eq23Decomposition) {
+  const auto m = opteron_model(0.3);
+  for (std::size_t k = 0; k < m.num_active_states(); ++k) {
+    const auto& s = m.state(k);
+    const double expected =
+        m.sc() * s.freq_mhz * s.voltage * s.voltage + m.beta() * s.voltage;
+    EXPECT_NEAR(m.power_kw(k), expected, 1e-15);
+  }
+}
+
+TEST(CorePowerModel, SCAndBetaFromAppendixA) {
+  const auto m = opteron_model(0.3);
+  // beta = s*pi0/V0; SC = (1-s)*pi0/(f0*V0^2).
+  EXPECT_NEAR(m.beta(), 0.3 * 0.01375 / 1.325, 1e-15);
+  EXPECT_NEAR(m.sc(), 0.7 * 0.01375 / (2500.0 * 1.325 * 1.325), 1e-18);
+}
+
+TEST(CorePowerModel, LowerStaticFractionMakesMidStatesMoreEfficient) {
+  // The headline mechanism behind the paper's set-3 result: with 20% static
+  // share, intermediate P-states have better frequency-per-watt than P0.
+  const auto m20 = opteron_model(0.2);
+  const auto m30 = opteron_model(0.3);
+  const auto ratio = [](const CorePowerModel& m, std::size_t k) {
+    return m.state(k).freq_mhz / m.power_kw(k);
+  };
+  // P2 beats P0 in both, by a wider margin at 20%.
+  EXPECT_GT(ratio(m30, 2), ratio(m30, 0));
+  EXPECT_GT(ratio(m20, 2) / ratio(m20, 0), ratio(m30, 2) / ratio(m30, 0));
+}
+
+TEST(CorePowerModel, ZeroStaticFraction) {
+  const auto m = opteron_model(0.0);
+  EXPECT_DOUBLE_EQ(m.static_power_kw(0), 0.0);
+  EXPECT_NEAR(m.power_kw(0), 0.01375, 1e-15);
+}
+
+}  // namespace
+}  // namespace tapo::dc

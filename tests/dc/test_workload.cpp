@@ -1,0 +1,61 @@
+#include "dc/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tapo::dc {
+namespace {
+
+TEST(EcsTable, StoresAndReads) {
+  EcsTable ecs(2, 2, 3);
+  ecs.set_ecs(0, 1, 0, 1.5);
+  ecs.set_ecs(1, 0, 1, 0.25);
+  EXPECT_DOUBLE_EQ(ecs.ecs(0, 1, 0), 1.5);
+  EXPECT_DOUBLE_EQ(ecs.ecs(1, 0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(ecs.ecs(0, 0, 0), 0.0);  // defaults to 0
+}
+
+TEST(EcsTable, Dimensions) {
+  EcsTable ecs(8, 2, 5);
+  EXPECT_EQ(ecs.num_task_types(), 8u);
+  EXPECT_EQ(ecs.num_node_types(), 2u);
+  EXPECT_EQ(ecs.num_states(), 5u);
+}
+
+TEST(EcsTable, EtcIsReciprocal) {
+  EcsTable ecs(1, 1, 2);
+  ecs.set_ecs(0, 0, 0, 4.0);
+  EXPECT_DOUBLE_EQ(ecs.etc_seconds(0, 0, 0), 0.25);
+}
+
+TEST(EcsTable, ZeroEcsHasInfiniteEtc) {
+  // Section V.B.1: 1/ECS undefined at 0; we use +inf, which makes every
+  // deadline test fail - equivalent to the paper's "small enough" epsilon.
+  EcsTable ecs(1, 1, 2);
+  EXPECT_TRUE(std::isinf(ecs.etc_seconds(0, 0, 0)));
+  EXPECT_FALSE(ecs.can_meet_deadline(0, 0, 0, 1e9));
+}
+
+TEST(EcsTable, OffStateAlwaysZero) {
+  EcsTable ecs(1, 1, 3);
+  // Setting a nonzero ECS on the off state (last index) is a modelling error.
+  EXPECT_DEATH(ecs.set_ecs(0, 0, 2, 1.0), "off state");
+}
+
+TEST(EcsTable, DeadlineBoundary) {
+  EcsTable ecs(1, 1, 2);
+  ecs.set_ecs(0, 0, 0, 2.0);  // etc = 0.5 s
+  EXPECT_TRUE(ecs.can_meet_deadline(0, 0, 0, 0.5));
+  EXPECT_TRUE(ecs.can_meet_deadline(0, 0, 0, 0.6));
+  EXPECT_FALSE(ecs.can_meet_deadline(0, 0, 0, 0.49));
+}
+
+TEST(TaskType, Defaults) {
+  TaskType t;
+  EXPECT_DOUBLE_EQ(t.reward, 1.0);
+  EXPECT_DOUBLE_EQ(t.arrival_rate, 0.0);
+}
+
+}  // namespace
+}  // namespace tapo::dc

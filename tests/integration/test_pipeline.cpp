@@ -1,0 +1,134 @@
+// End-to-end pipeline tests: scenario -> first-step assignment (both
+// techniques) -> verification -> online simulation.
+#include <gtest/gtest.h>
+
+#include "core/assigner.h"
+#include "core/baseline.h"
+#include "sim/des.h"
+#include "testutil.h"
+
+namespace tapo {
+namespace {
+
+class PipelineSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PipelineSeeds, BothTechniquesProduceVerifiedAssignments) {
+  const auto scenario = test::make_small_scenario(GetParam(), 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+
+  const core::ThreeStageAssigner three(scenario.dc, model);
+  const core::Assignment a = three.assign();
+  ASSERT_TRUE(a.feasible);
+  EXPECT_TRUE(core::verify_assignment(scenario.dc, model, a).ok());
+
+  const core::BaselineAssigner base(scenario.dc, model);
+  const core::Assignment b = base.assign();
+  ASSERT_TRUE(b.feasible);
+  EXPECT_TRUE(core::verify_assignment(scenario.dc, model, b).ok());
+
+  // Both saturate most of the budget in an oversubscribed data center.
+  EXPECT_GT(a.total_power_kw(), 0.85 * scenario.dc.p_const_kw);
+  EXPECT_GT(b.total_power_kw(), 0.70 * scenario.dc.p_const_kw);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineSeeds,
+                         ::testing::Values(201, 202, 203, 204, 205));
+
+TEST(Pipeline, PowerBudgetScalingMonotone) {
+  // More budget never hurts either technique.
+  auto scenario = test::make_small_scenario(211, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const double mid = scenario.dc.p_const_kw;
+
+  std::vector<double> rewards_three, rewards_base;
+  for (double factor : {0.85, 1.0, 1.15}) {
+    scenario.dc.p_const_kw = mid * factor;
+    const core::ThreeStageAssigner three(scenario.dc, model);
+    const core::BaselineAssigner base(scenario.dc, model);
+    const auto a = three.assign();
+    const auto b = base.assign();
+    ASSERT_TRUE(a.feasible && b.feasible);
+    rewards_three.push_back(a.reward_rate);
+    rewards_base.push_back(b.reward_rate);
+  }
+  // Heuristic CRAC search + rounding introduce small non-monotonicities; the
+  // trend over a 30% budget swing must still be upward.
+  EXPECT_GT(rewards_three.back(), rewards_three.front() * 0.99);
+  EXPECT_GT(rewards_base.back(), rewards_base.front() * 0.99);
+}
+
+TEST(Pipeline, RewardIsBoundedByArrivalValue) {
+  const auto scenario = test::make_small_scenario(212, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  double max_value = 0.0;
+  for (const auto& t : scenario.dc.task_types) {
+    max_value += t.reward * t.arrival_rate;
+  }
+  const core::ThreeStageAssigner three(scenario.dc, model);
+  const auto a = three.assign();
+  ASSERT_TRUE(a.feasible);
+  EXPECT_LE(a.reward_rate, max_value + 1e-6);
+}
+
+TEST(Pipeline, SimulationConfirmsFirstStepPrediction) {
+  const auto scenario = test::make_small_scenario(213, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const core::ThreeStageAssigner three(scenario.dc, model);
+  const auto a = three.assign();
+  ASSERT_TRUE(a.feasible);
+
+  sim::SimOptions options;
+  options.duration_seconds = 500.0;
+  options.warmup_seconds = 100.0;
+  const auto result = sim::simulate(scenario.dc, a, options);
+  EXPECT_GT(result.reward_rate, 0.7 * a.reward_rate);
+}
+
+TEST(Pipeline, ThreeStageAdvantageOnFavorableConfig) {
+  // Set-3 conditions (20% static power, Vprop = 0.3) are where the paper
+  // reports the largest gains; averaged over seeds the advantage must be
+  // positive at test scale too.
+  double sum_improvement = 0.0;
+  int runs = 0;
+  for (std::uint64_t seed : {221, 222, 223, 224, 225, 226}) {
+    scenario::ScenarioConfig config;
+    config.num_nodes = 10;
+    config.num_cracs = 2;
+    config.static_fraction = 0.2;
+    config.v_prop = 0.3;
+    config.seed = seed;
+    const auto scenario = scenario::generate_scenario(config);
+    ASSERT_TRUE(scenario);
+    const thermal::HeatFlowModel model(scenario->dc);
+    core::ThreeStageOptions o25, o50;
+    o25.stage1.psi = 25.0;
+    o50.stage1.psi = 50.0;
+    const core::ThreeStageAssigner three(scenario->dc, model);
+    const auto best = core::best_of({three.assign(o25), three.assign(o50)});
+    const core::BaselineAssigner base(scenario->dc, model);
+    const auto b = base.assign();
+    if (!best.feasible || !b.feasible) continue;
+    sum_improvement += (best.reward_rate - b.reward_rate) / b.reward_rate;
+    ++runs;
+  }
+  ASSERT_GE(runs, 4);
+  EXPECT_GT(sum_improvement / runs, 0.0);
+}
+
+TEST(Pipeline, AssignmentsRemainValidUnderIndependentThermalCheck) {
+  // Rebuild the heat-flow model from scratch and re-verify - guards against
+  // accidental state sharing between solver and verifier.
+  const auto scenario = test::make_small_scenario(231, 8, 2);
+  core::Assignment a;
+  {
+    const thermal::HeatFlowModel model(scenario.dc);
+    const core::ThreeStageAssigner three(scenario.dc, model);
+    a = three.assign();
+  }
+  ASSERT_TRUE(a.feasible);
+  const thermal::HeatFlowModel fresh(scenario.dc);
+  EXPECT_TRUE(core::verify_assignment(scenario.dc, fresh, a).ok());
+}
+
+}  // namespace
+}  // namespace tapo

@@ -1,0 +1,203 @@
+#include "scenario/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "thermal/crossinterference.h"
+
+namespace tapo::scenario {
+namespace {
+
+ScenarioConfig small_config(std::uint64_t seed) {
+  ScenarioConfig config;
+  config.num_nodes = 12;
+  config.num_cracs = 2;
+  config.seed = seed;
+  return config;
+}
+
+TEST(Generator, ProducesCompleteScenario) {
+  const auto scenario = generate_scenario(small_config(1));
+  ASSERT_TRUE(scenario.has_value());
+  const auto& dc = scenario->dc;
+  EXPECT_EQ(dc.num_nodes(), 12u);
+  EXPECT_EQ(dc.num_cracs(), 2u);
+  EXPECT_EQ(dc.num_task_types(), 8u);
+  EXPECT_EQ(dc.total_cores(), 12u * 32u);
+  EXPECT_GT(dc.p_const_kw, 0.0);
+  EXPECT_TRUE(scenario->bounds.feasible);
+}
+
+TEST(Generator, ReproducibleForSameSeed) {
+  const auto a = generate_scenario(small_config(5));
+  const auto b = generate_scenario(small_config(5));
+  ASSERT_TRUE(a && b);
+  EXPECT_DOUBLE_EQ(a->dc.p_const_kw, b->dc.p_const_kw);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(a->dc.task_types[i].arrival_rate,
+                     b->dc.task_types[i].arrival_rate);
+    EXPECT_DOUBLE_EQ(a->dc.task_types[i].relative_deadline,
+                     b->dc.task_types[i].relative_deadline);
+  }
+  for (std::size_t i = 0; i < a->dc.alpha.rows(); ++i) {
+    for (std::size_t j = 0; j < a->dc.alpha.cols(); ++j) {
+      EXPECT_DOUBLE_EQ(a->dc.alpha(i, j), b->dc.alpha(i, j));
+    }
+  }
+}
+
+TEST(Generator, DifferentSeedsDiffer) {
+  const auto a = generate_scenario(small_config(1));
+  const auto b = generate_scenario(small_config(2));
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->dc.task_types[0].arrival_rate, b->dc.task_types[0].arrival_rate);
+}
+
+TEST(Generator, PconstBetweenBounds) {
+  const auto scenario = generate_scenario(small_config(3));
+  ASSERT_TRUE(scenario);
+  EXPECT_GT(scenario->dc.p_const_kw, scenario->bounds.pmin_kw);
+  EXPECT_LT(scenario->dc.p_const_kw, scenario->bounds.pmax_kw);
+  EXPECT_NEAR(scenario->dc.p_const_kw,
+              0.5 * (scenario->bounds.pmin_kw + scenario->bounds.pmax_kw), 1e-9);
+}
+
+TEST(Generator, EcsMonotoneInPState) {
+  const auto scenario = generate_scenario(small_config(4));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    for (std::size_t j = 0; j < dc.node_types.size(); ++j) {
+      for (std::size_t k = 1; k < dc.node_types[j].num_active_pstates(); ++k) {
+        EXPECT_LE(dc.ecs.ecs(i, j, k), dc.ecs.ecs(i, j, k - 1) + 1e-12);
+      }
+      EXPECT_DOUBLE_EQ(dc.ecs.ecs(i, j, dc.node_types[j].off_state()), 0.0);
+    }
+  }
+}
+
+TEST(Generator, TaskEasinessDoublesPerType) {
+  // Section VI.C: avg ECS of type i is half that of type i+1; with the
+  // +-10% affinity noise the ratio lands near 0.5.
+  const auto scenario = generate_scenario(small_config(6));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  for (std::size_t i = 0; i + 1 < dc.num_task_types(); ++i) {
+    double avg_i = 0.0, avg_next = 0.0;
+    for (std::size_t j = 0; j < dc.node_types.size(); ++j) {
+      avg_i += dc.ecs.ecs(i, j, 0);
+      avg_next += dc.ecs.ecs(i + 1, j, 0);
+    }
+    EXPECT_NEAR(avg_i / avg_next, 0.5, 0.12);
+  }
+}
+
+TEST(Generator, NodeTypePerformanceRatio) {
+  const auto scenario = generate_scenario(small_config(7));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  double type0 = 0.0, type1 = 0.0;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    type0 += dc.ecs.ecs(i, 0, 0);
+    type1 += dc.ecs.ecs(i, 1, 0);
+  }
+  EXPECT_NEAR(type0 / type1, 0.6, 0.08);
+}
+
+TEST(Generator, RewardIsReciprocalOfMeanEcs) {
+  const auto scenario = generate_scenario(small_config(8));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    const double avg = (dc.ecs.ecs(i, 0, 0) + dc.ecs.ecs(i, 1, 0)) / 2.0;
+    EXPECT_NEAR(dc.task_types[i].reward, 1.0 / avg, 1e-12);
+  }
+}
+
+TEST(Generator, DeadlineGuaranteesSomeCoreCanServe) {
+  // Eq. 14 makes m_i >= 1.5/MaxECS_i: at least P-state 0 of the best node
+  // type meets every deadline.
+  const auto scenario = generate_scenario(small_config(9));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    bool any = false;
+    for (std::size_t j = 0; j < dc.node_types.size(); ++j) {
+      any |= dc.ecs.can_meet_deadline(i, j, 0, dc.task_types[i].relative_deadline);
+    }
+    EXPECT_TRUE(any) << "task " << i;
+  }
+}
+
+TEST(Generator, ArrivalRatesNearFullCapacity) {
+  // Eq. 15-16: lambda_i ~ SumECS_i +- 30%.
+  const auto scenario = generate_scenario(small_config(10));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    double sum_ecs = 0.0;
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      sum_ecs += dc.ecs.ecs(i, dc.core_type(k), 0);
+    }
+    sum_ecs /= static_cast<double>(dc.num_task_types());
+    EXPECT_GE(dc.task_types[i].arrival_rate, sum_ecs * 0.69);
+    EXPECT_LE(dc.task_types[i].arrival_rate, sum_ecs * 1.31);
+  }
+}
+
+TEST(Generator, CracFlowBalancesNodeFlow) {
+  const auto scenario = generate_scenario(small_config(11));
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  double crac_flow = 0.0;
+  for (const auto& crac : dc.cracs) crac_flow += crac.flow_m3s;
+  EXPECT_NEAR(crac_flow, dc.total_node_flow(), 1e-12);
+}
+
+TEST(Generator, AlphaSatisfiesAppendixB) {
+  // 10 nodes = two full racks: the strict Table-II ranges are feasible.
+  ScenarioConfig config = small_config(12);
+  config.num_nodes = 10;
+  const auto scenario = generate_scenario(config);
+  ASSERT_TRUE(scenario);
+  const auto& dc = scenario->dc;
+  std::vector<double> flows;
+  for (std::size_t e = 0; e < dc.num_entities(); ++e) {
+    flows.push_back(dc.entity_flow(e));
+  }
+  EXPECT_TRUE(thermal::verify_cross_interference(dc.alpha, dc.layout, flows).ok);
+}
+
+TEST(Generator, NodeMixUsesBothTypes) {
+  ScenarioConfig config = small_config(13);
+  config.num_nodes = 30;
+  const auto scenario = generate_scenario(config);
+  ASSERT_TRUE(scenario);
+  std::set<std::size_t> types;
+  for (const auto& node : scenario->dc.nodes) types.insert(node.type);
+  EXPECT_EQ(types.size(), 2u);
+}
+
+TEST(Generator, StaticFractionPropagatesToNodeTypes) {
+  ScenarioConfig config = small_config(14);
+  config.static_fraction = 0.2;
+  const auto scenario = generate_scenario(config);
+  ASSERT_TRUE(scenario);
+  const auto& spec = scenario->dc.node_types[0];
+  EXPECT_NEAR(spec.core_static_power_kw(0) / spec.core_power_kw(0), 0.2, 1e-12);
+}
+
+TEST(Generator, PaperScaleSucceeds) {
+  ScenarioConfig config;
+  config.num_nodes = 150;
+  config.num_cracs = 3;
+  config.seed = 99;
+  const auto scenario = generate_scenario(config);
+  ASSERT_TRUE(scenario.has_value());
+  EXPECT_EQ(scenario->dc.total_cores(), 4800u);
+}
+
+}  // namespace
+}  // namespace tapo::scenario

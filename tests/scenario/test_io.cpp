@@ -1,0 +1,174 @@
+#include "scenario/io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/assigner.h"
+#include "testutil.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::scenario {
+namespace {
+
+dc::DataCenter generated_dc() { return test::make_small_scenario(801, 10, 2).dc; }
+
+TEST(Io, RoundTripPreservesStructure) {
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  const LoadResult loaded = load_data_center(buffer);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+
+  EXPECT_EQ(loaded.dc.num_nodes(), original.num_nodes());
+  EXPECT_EQ(loaded.dc.num_cracs(), original.num_cracs());
+  EXPECT_EQ(loaded.dc.total_cores(), original.total_cores());
+  EXPECT_EQ(loaded.dc.node_types.size(), original.node_types.size());
+  EXPECT_EQ(loaded.dc.num_task_types(), original.num_task_types());
+  for (std::size_t j = 0; j < original.num_nodes(); ++j) {
+    EXPECT_EQ(loaded.dc.nodes[j].type, original.nodes[j].type);
+    EXPECT_EQ(loaded.dc.layout.nodes[j].rack, original.layout.nodes[j].rack);
+    EXPECT_EQ(loaded.dc.layout.nodes[j].label, original.layout.nodes[j].label);
+    EXPECT_EQ(loaded.dc.layout.nodes[j].hot_aisle,
+              original.layout.nodes[j].hot_aisle);
+  }
+}
+
+TEST(Io, RoundTripIsBitExact) {
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  const LoadResult loaded = load_data_center(buffer);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+
+  EXPECT_EQ(loaded.dc.p_const_kw, original.p_const_kw);  // exact, hex floats
+  EXPECT_EQ(loaded.dc.redline_node_c, original.redline_node_c);
+  for (std::size_t i = 0; i < original.alpha.rows(); ++i) {
+    for (std::size_t j = 0; j < original.alpha.cols(); ++j) {
+      EXPECT_EQ(loaded.dc.alpha(i, j), original.alpha(i, j));
+    }
+  }
+  for (std::size_t i = 0; i < original.num_task_types(); ++i) {
+    EXPECT_EQ(loaded.dc.task_types[i].reward, original.task_types[i].reward);
+    EXPECT_EQ(loaded.dc.task_types[i].relative_deadline,
+              original.task_types[i].relative_deadline);
+    EXPECT_EQ(loaded.dc.task_types[i].arrival_rate,
+              original.task_types[i].arrival_rate);
+    for (std::size_t j = 0; j < original.node_types.size(); ++j) {
+      for (std::size_t k = 0; k < original.ecs.num_states(); ++k) {
+        EXPECT_EQ(loaded.dc.ecs.ecs(i, j, k), original.ecs.ecs(i, j, k));
+      }
+    }
+  }
+  for (std::size_t t = 0; t < original.node_types.size(); ++t) {
+    EXPECT_EQ(loaded.dc.node_types[t].name(), original.node_types[t].name());
+    EXPECT_EQ(loaded.dc.node_types[t].base_power_kw(),
+              original.node_types[t].base_power_kw());
+    for (std::size_t k = 0; k < original.node_types[t].num_active_pstates(); ++k) {
+      EXPECT_EQ(loaded.dc.node_types[t].core_power_kw(k),
+                original.node_types[t].core_power_kw(k));
+    }
+  }
+}
+
+TEST(Io, RoundTripProducesIdenticalAssignments) {
+  // The acid test: the pipeline result on the loaded copy is bit-identical.
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  const LoadResult loaded = load_data_center(buffer);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+
+  const thermal::HeatFlowModel model_a(original);
+  const thermal::HeatFlowModel model_b(loaded.dc);
+  const core::Assignment a = core::ThreeStageAssigner(original, model_a).assign();
+  const core::Assignment b = core::ThreeStageAssigner(loaded.dc, model_b).assign();
+  ASSERT_TRUE(a.feasible && b.feasible);
+  EXPECT_EQ(a.reward_rate, b.reward_rate);
+  EXPECT_EQ(a.core_pstate, b.core_pstate);
+}
+
+TEST(Io, NamesWithSpacesSurvive) {
+  const auto original = generated_dc();  // "HP ProLiant DL785 G5" has spaces
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  const LoadResult loaded = load_data_center(buffer);
+  ASSERT_TRUE(loaded.ok);
+  EXPECT_EQ(loaded.dc.node_types[0].name(), "HP ProLiant DL785 G5");
+}
+
+TEST(Io, SecondSaveIsIdentical) {
+  const auto original = generated_dc();
+  std::stringstream first, second;
+  save_data_center(original, first);
+  const LoadResult loaded = load_data_center(first);
+  ASSERT_TRUE(loaded.ok);
+  save_data_center(loaded.dc, second);
+  // Compare documents: save(load(save(x))) == save(x).
+  std::stringstream again;
+  save_data_center(original, again);
+  EXPECT_EQ(second.str(), again.str());
+}
+
+TEST(Io, RejectsWrongMagic) {
+  std::stringstream buffer("not-a-tapo-file v1");
+  const LoadResult loaded = load_data_center(buffer);
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_FALSE(loaded.error.empty());
+}
+
+TEST(Io, RejectsTruncatedDocument) {
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  std::string doc = buffer.str();
+  doc.resize(doc.size() / 2);
+  std::stringstream truncated(doc);
+  EXPECT_FALSE(load_data_center(truncated).ok);
+}
+
+TEST(Io, RejectsInconsistentSizes) {
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  std::string doc = buffer.str();
+  // Corrupt the node count (nodes <N> line).
+  const auto pos = doc.find("nodes ");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, 8, "nodes 3\n");
+  std::stringstream corrupted(doc);
+  EXPECT_FALSE(load_data_center(corrupted).ok);
+}
+
+TEST(Io, RejectsBadNodeTypeReference) {
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  std::string doc = buffer.str();
+  const auto pos = doc.find("nodes ");
+  ASSERT_NE(pos, std::string::npos);
+  const auto line_end = doc.find('\n', pos);
+  doc.insert(line_end + 1, "99 ");
+  std::stringstream corrupted(doc);
+  const auto loaded = load_data_center(corrupted);
+  EXPECT_FALSE(loaded.ok);
+}
+
+TEST(Io, FileHelpersWork) {
+  const auto original = generated_dc();
+  const std::string path = "/tmp/tapo_io_test_dc.txt";
+  ASSERT_TRUE(save_data_center_file(original, path));
+  const LoadResult loaded = load_data_center_file(path);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.dc.num_nodes(), original.num_nodes());
+  std::remove(path.c_str());
+}
+
+TEST(Io, MissingFileReportsError) {
+  const LoadResult loaded = load_data_center_file("/nonexistent/nowhere.txt");
+  EXPECT_FALSE(loaded.ok);
+  EXPECT_NE(loaded.error.find("cannot open"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tapo::scenario

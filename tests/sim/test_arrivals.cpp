@@ -1,0 +1,77 @@
+#include "sim/arrivals.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tapo::sim {
+namespace {
+
+std::vector<dc::TaskType> two_types(double r1, double r2) {
+  dc::TaskType a, b;
+  a.arrival_rate = r1;
+  b.arrival_rate = r2;
+  return {a, b};
+}
+
+TEST(Arrivals, MeanInterarrivalMatchesRate) {
+  ArrivalProcess arrivals(two_types(5.0, 0.5), util::Rng(3));
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += arrivals.next_interarrival(0);
+  EXPECT_NEAR(sum / n, 0.2, 0.005);
+}
+
+TEST(Arrivals, ZeroRateNeverArrives) {
+  ArrivalProcess arrivals(two_types(0.0, 1.0), util::Rng(3));
+  EXPECT_TRUE(std::isinf(arrivals.next_interarrival(0)));
+  EXPECT_TRUE(std::isfinite(arrivals.next_interarrival(1)));
+}
+
+TEST(Arrivals, StreamsAreIndependentOfDrawOrder) {
+  // Drawing from type 0 must not perturb type 1's stream.
+  ArrivalProcess a(two_types(2.0, 3.0), util::Rng(9));
+  ArrivalProcess b(two_types(2.0, 3.0), util::Rng(9));
+  for (int i = 0; i < 5; ++i) a.next_interarrival(0);
+  EXPECT_DOUBLE_EQ(a.next_interarrival(1), b.next_interarrival(1));
+}
+
+TEST(Arrivals, Reproducible) {
+  ArrivalProcess a(two_types(2.0, 3.0), util::Rng(10));
+  ArrivalProcess b(two_types(2.0, 3.0), util::Rng(10));
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.next_interarrival(0), b.next_interarrival(0));
+    EXPECT_DOUBLE_EQ(a.next_interarrival(1), b.next_interarrival(1));
+  }
+}
+
+TEST(Arrivals, RateAccessors) {
+  ArrivalProcess arrivals(two_types(2.0, 3.0), util::Rng(1));
+  EXPECT_EQ(arrivals.num_task_types(), 2u);
+  EXPECT_DOUBLE_EQ(arrivals.rate(0), 2.0);
+  EXPECT_DOUBLE_EQ(arrivals.rate(1), 3.0);
+}
+
+TEST(Arrivals, PoissonCountVariance) {
+  // Count arrivals in 1-second windows: Poisson => variance ~= mean.
+  ArrivalProcess arrivals(two_types(10.0, 1.0), util::Rng(17));
+  const int windows = 5000;
+  double sum = 0.0, sq = 0.0;
+  for (int w = 0; w < windows; ++w) {
+    double t = 0.0;
+    int count = -1;
+    while (t < 1.0) {
+      t += arrivals.next_interarrival(0);
+      ++count;
+    }
+    sum += count;
+    sq += static_cast<double>(count) * count;
+  }
+  const double mean = sum / windows;
+  const double var = sq / windows - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.3);
+  EXPECT_NEAR(var / mean, 1.0, 0.1);
+}
+
+}  // namespace
+}  // namespace tapo::sim

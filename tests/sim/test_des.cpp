@@ -1,0 +1,158 @@
+#include "sim/des.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/assigner.h"
+#include "testutil.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::sim {
+namespace {
+
+struct DesFixture : ::testing::Test {
+  void SetUp() override {
+    scenario = std::make_unique<scenario::Scenario>(
+        test::make_small_scenario(131, 8, 2));
+    model = std::make_unique<thermal::HeatFlowModel>(scenario->dc);
+    const core::ThreeStageAssigner assigner(scenario->dc, *model);
+    assignment = assigner.assign();
+    ASSERT_TRUE(assignment.feasible);
+  }
+  std::unique_ptr<scenario::Scenario> scenario;
+  std::unique_ptr<thermal::HeatFlowModel> model;
+  core::Assignment assignment;
+};
+
+TEST_F(DesFixture, AchievedRewardTracksPrediction) {
+  // The window must dwarf the longest service times (minutes for the slow
+  // task types) or completion-side accounting truncates the tail.
+  SimOptions options;
+  options.duration_seconds = 500.0;
+  options.warmup_seconds = 100.0;
+  const SimResult result = simulate(scenario->dc, assignment, options);
+  // The online scheduler should realize most of the steady-state prediction;
+  // it can exceed it slightly (it may admit work the LP reserved headroom for).
+  EXPECT_GT(result.reward_rate, 0.7 * assignment.reward_rate);
+  EXPECT_LT(result.reward_rate, 1.3 * assignment.reward_rate);
+}
+
+TEST_F(DesFixture, AdmittedTasksMeetDeadlines) {
+  // The scheduler's admission test is exact for FIFO cores, so no admitted
+  // task may finish late; completions cannot exceed admissions (some
+  // admitted work may still be queued at the horizon).
+  SimOptions options;
+  options.duration_seconds = 30.0;
+  const SimResult result = simulate(scenario->dc, assignment, options);
+  for (const auto& m : result.per_type) {
+    EXPECT_EQ(m.completed_late, 0u);
+    EXPECT_LE(m.completed_in_time, m.assigned);
+  }
+}
+
+TEST_F(DesFixture, OversubscriptionCausesDrops) {
+  // Arrival rates were sized for all-P0 capacity; the power budget admits
+  // only part of it, so a healthy share of tasks must be dropped.
+  SimOptions options;
+  options.duration_seconds = 30.0;
+  const SimResult result = simulate(scenario->dc, assignment, options);
+  EXPECT_GT(result.drop_fraction(), 0.05);
+  EXPECT_LT(result.drop_fraction(), 0.95);
+}
+
+TEST_F(DesFixture, ArrivalCountsMatchRates) {
+  SimOptions options;
+  options.duration_seconds = 100.0;
+  const SimResult result = simulate(scenario->dc, assignment, options);
+  for (std::size_t i = 0; i < result.per_type.size(); ++i) {
+    const double expected =
+        scenario->dc.task_types[i].arrival_rate * options.duration_seconds;
+    EXPECT_NEAR(result.per_type[i].arrived, expected, 5 * std::sqrt(expected) + 1)
+        << "type " << i;
+  }
+}
+
+TEST_F(DesFixture, ReproducibleForSameSeed) {
+  SimOptions options;
+  options.duration_seconds = 20.0;
+  options.seed = 77;
+  const SimResult a = simulate(scenario->dc, assignment, options);
+  const SimResult b = simulate(scenario->dc, assignment, options);
+  EXPECT_DOUBLE_EQ(a.total_reward, b.total_reward);
+  EXPECT_EQ(a.per_type[0].arrived, b.per_type[0].arrived);
+}
+
+TEST_F(DesFixture, DifferentSeedsDiffer) {
+  SimOptions a_opts, b_opts;
+  a_opts.duration_seconds = b_opts.duration_seconds = 20.0;
+  a_opts.seed = 1;
+  b_opts.seed = 2;
+  const SimResult a = simulate(scenario->dc, assignment, a_opts);
+  const SimResult b = simulate(scenario->dc, assignment, b_opts);
+  EXPECT_NE(a.total_reward, b.total_reward);
+}
+
+TEST_F(DesFixture, WarmupExcludedFromMetrics) {
+  SimOptions with_warmup;
+  with_warmup.duration_seconds = 30.0;
+  with_warmup.warmup_seconds = 10.0;
+  const SimResult result = simulate(scenario->dc, assignment, with_warmup);
+  EXPECT_DOUBLE_EQ(result.measured_seconds, 20.0);
+  // Rates must still be sane with the shortened window.
+  EXPECT_GT(result.reward_rate, 0.0);
+}
+
+TEST_F(DesFixture, AccountingIsConsistent) {
+  SimOptions options;
+  options.duration_seconds = 25.0;
+  const SimResult result = simulate(scenario->dc, assignment, options);
+  double reward = 0.0;
+  for (const auto& m : result.per_type) {
+    EXPECT_EQ(m.arrived, m.assigned + m.dropped);
+    reward += m.reward;
+  }
+  EXPECT_NEAR(reward, result.total_reward, 1e-9);
+}
+
+TEST_F(DesFixture, LongerRunsTightenTracking) {
+  SimOptions short_run, long_run;
+  short_run.duration_seconds = 10.0;
+  long_run.duration_seconds = 120.0;
+  const SimResult a = simulate(scenario->dc, assignment, short_run);
+  const SimResult b = simulate(scenario->dc, assignment, long_run);
+  // The TC-weighted deviation is noisy but must not grow with duration, and
+  // the long-run aggregate deviation stays below 100% of the desired rates.
+  EXPECT_LT(b.mean_tracking_error, a.mean_tracking_error + 0.15);
+  EXPECT_LT(b.mean_tracking_error, 1.0);
+}
+
+TEST_F(DesFixture, EnergyAccountingMatchesPowerTimesTime) {
+  SimOptions options;
+  options.duration_seconds = 36.0;  // 0.01 h
+  const SimResult result = simulate(scenario->dc, assignment, options);
+  EXPECT_NEAR(result.energy_kwh, assignment.total_power_kw() * 0.01, 1e-9);
+  EXPECT_NEAR(result.reward_per_kwh, result.total_reward / result.energy_kwh,
+              1e-9);
+  EXPECT_GT(result.reward_per_kwh, 0.0);
+}
+
+TEST(Des, ZeroRatesProduceNoWork) {
+  const auto scenario = test::make_small_scenario(132, 4, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  core::Assignment idle;
+  idle.feasible = true;
+  idle.technique = "idle";
+  idle.crac_out_c.assign(scenario.dc.num_cracs(), 18.0);
+  idle.core_pstate.assign(scenario.dc.total_cores(),
+                          scenario.dc.node_types[0].off_state());
+  idle.tc = solver::Matrix(scenario.dc.num_task_types(), scenario.dc.total_cores());
+  SimOptions options;
+  options.duration_seconds = 10.0;
+  const SimResult result = simulate(scenario.dc, idle, options);
+  EXPECT_DOUBLE_EQ(result.total_reward, 0.0);
+  EXPECT_DOUBLE_EQ(result.drop_fraction(), 1.0);
+}
+
+}  // namespace
+}  // namespace tapo::sim

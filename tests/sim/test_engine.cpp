@@ -1,0 +1,102 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tapo::sim {
+namespace {
+
+TEST(Engine, RunsEventsInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(3.0, [&] { order.push_back(3); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run_until(10.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, TieBreaksByInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] { order.push_back(0); });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  engine.schedule_at(1.0, [&] { order.push_back(2); });
+  engine.run_until(2.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Engine, HorizonStopsExecution) {
+  Engine engine;
+  int count = 0;
+  engine.schedule_at(1.0, [&] { ++count; });
+  engine.schedule_at(5.0, [&] { ++count; });
+  EXPECT_EQ(engine.run_until(2.0), 1u);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(engine.pending(), 1u);
+  // Resuming executes the remainder.
+  EXPECT_EQ(engine.run_until(10.0), 1u);
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Engine, EventExactlyAtHorizonRuns) {
+  Engine engine;
+  bool ran = false;
+  engine.schedule_at(2.0, [&] { ran = true; });
+  engine.run_until(2.0);
+  EXPECT_TRUE(ran);
+}
+
+TEST(Engine, NowAdvancesWithEvents) {
+  Engine engine;
+  double seen = -1.0;
+  engine.schedule_at(4.5, [&] { seen = engine.now(); });
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(seen, 4.5);
+  EXPECT_DOUBLE_EQ(engine.now(), 10.0);  // clamped to horizon afterwards
+}
+
+TEST(Engine, EventsCanScheduleEvents) {
+  Engine engine;
+  int chain = 0;
+  std::function<void()> step = [&] {
+    ++chain;
+    if (chain < 5) engine.schedule_in(1.0, step);
+  };
+  engine.schedule_at(0.0, step);
+  engine.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(Engine, ScheduleInUsesCurrentTime) {
+  Engine engine;
+  double when = -1.0;
+  engine.schedule_at(3.0, [&] {
+    engine.schedule_in(2.0, [&] { when = engine.now(); });
+  });
+  engine.run_until(10.0);
+  EXPECT_DOUBLE_EQ(when, 5.0);
+}
+
+TEST(Engine, RejectsPastScheduling) {
+  Engine engine;
+  engine.schedule_at(5.0, [] {});
+  engine.run_until(6.0);
+  EXPECT_DEATH(engine.schedule_at(1.0, [] {}), "past");
+}
+
+TEST(Engine, ChainBeyondHorizonIsCut) {
+  Engine engine;
+  int count = 0;
+  std::function<void()> step = [&] {
+    ++count;
+    engine.schedule_in(1.0, step);
+  };
+  engine.schedule_at(0.0, step);
+  engine.run_until(3.5);
+  EXPECT_EQ(count, 4);  // t = 0, 1, 2, 3
+}
+
+}  // namespace
+}  // namespace tapo::sim

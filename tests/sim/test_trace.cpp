@@ -1,0 +1,187 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/assigner.h"
+#include "testutil.h"
+#include "thermal/heatflow.h"
+
+namespace tapo::sim {
+namespace {
+
+std::vector<dc::TaskType> two_types(double r1, double r2) {
+  dc::TaskType a, b;
+  a.arrival_rate = r1;
+  b.arrival_rate = r2;
+  return {a, b};
+}
+
+TEST(Trace, PoissonMeanRateMatches) {
+  const auto trace = generate_poisson_trace(two_types(5.0, 0.5), 2000.0,
+                                            util::Rng(1));
+  const auto rates = trace_rates(trace, 2, 2000.0);
+  EXPECT_NEAR(rates[0], 5.0, 0.2);
+  EXPECT_NEAR(rates[1], 0.5, 0.07);
+}
+
+TEST(Trace, PoissonIsSortedAndInRange) {
+  const auto trace = generate_poisson_trace(two_types(3.0, 3.0), 100.0,
+                                            util::Rng(2));
+  for (std::size_t e = 1; e < trace.size(); ++e) {
+    EXPECT_GE(trace[e].time, trace[e - 1].time);
+  }
+  for (const auto& e : trace) {
+    EXPECT_GE(e.time, 0.0);
+    EXPECT_LT(e.time, 100.0);
+    EXPECT_LT(e.task_type, 2u);
+  }
+}
+
+TEST(Trace, ZeroRateTypeNeverAppears) {
+  const auto trace = generate_poisson_trace(two_types(0.0, 2.0), 200.0,
+                                            util::Rng(3));
+  for (const auto& e : trace) EXPECT_EQ(e.task_type, 1u);
+}
+
+TEST(Trace, MmppPreservesMeanRate) {
+  MmppConfig config;
+  config.burst_multiplier = 6.0;
+  const auto trace = generate_mmpp_trace(two_types(5.0, 1.0), 5000.0, config,
+                                         util::Rng(4));
+  const auto rates = trace_rates(trace, 2, 5000.0);
+  EXPECT_NEAR(rates[0], 5.0, 0.4);
+  EXPECT_NEAR(rates[1], 1.0, 0.15);
+}
+
+TEST(Trace, MmppIsBurstierThanPoisson) {
+  // Compare the variance of per-window counts at equal mean rate; the MMPP
+  // index of dispersion must exceed Poisson's (which is ~1).
+  const auto count_dispersion = [](const Trace& trace, double horizon) {
+    const double window = 5.0;
+    const int windows = static_cast<int>(horizon / window);
+    std::vector<int> counts(windows, 0);
+    for (const auto& e : trace) {
+      const int w = static_cast<int>(e.time / window);
+      if (w < windows) ++counts[w];
+    }
+    double mean = 0.0, sq = 0.0;
+    for (int c : counts) {
+      mean += c;
+      sq += static_cast<double>(c) * c;
+    }
+    mean /= windows;
+    const double var = sq / windows - mean * mean;
+    return var / mean;
+  };
+  const auto types = two_types(8.0, 0.0);
+  const auto poisson = generate_poisson_trace(types, 3000.0, util::Rng(5));
+  MmppConfig config;
+  config.burst_multiplier = 8.0;
+  const auto mmpp = generate_mmpp_trace(types, 3000.0, config, util::Rng(5));
+  EXPECT_NEAR(count_dispersion(poisson, 3000.0), 1.0, 0.3);
+  EXPECT_GT(count_dispersion(mmpp, 3000.0), 2.0);
+}
+
+TEST(Trace, MmppWithUnitMultiplierIsPoissonLike) {
+  MmppConfig config;
+  config.burst_multiplier = 1.0;
+  const auto trace = generate_mmpp_trace(two_types(4.0, 0.0), 2000.0, config,
+                                         util::Rng(6));
+  const auto rates = trace_rates(trace, 2, 2000.0);
+  EXPECT_NEAR(rates[0], 4.0, 0.25);
+}
+
+TEST(Trace, CsvRoundTrip) {
+  const auto trace = generate_poisson_trace(two_types(2.0, 1.0), 50.0,
+                                            util::Rng(7));
+  const std::string path = "/tmp/tapo_trace_test.csv";
+  ASSERT_TRUE(save_trace_csv(trace, path));
+  const auto loaded = load_trace_csv(path, 2);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), trace.size());
+  for (std::size_t e = 0; e < trace.size(); ++e) {
+    EXPECT_NEAR((*loaded)[e].time, trace[e].time, 1e-8);
+    EXPECT_EQ((*loaded)[e].task_type, trace[e].task_type);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Trace, CsvRejectsBadHeaderAndOutOfRangeTypes) {
+  const std::string path = "/tmp/tapo_trace_bad.csv";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("wrong,header\n1.0,0\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_trace_csv(path, 2).has_value());
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("time,task_type\n1.0,9\n", f);
+    std::fclose(f);
+  }
+  EXPECT_FALSE(load_trace_csv(path, 2).has_value());
+  std::remove(path.c_str());
+}
+
+struct TraceSimFixture : ::testing::Test {
+  void SetUp() override {
+    scenario = std::make_unique<scenario::Scenario>(
+        test::make_small_scenario(601, 8, 2));
+    model = std::make_unique<thermal::HeatFlowModel>(scenario->dc);
+    const core::ThreeStageAssigner assigner(scenario->dc, *model);
+    assignment = assigner.assign();
+    ASSERT_TRUE(assignment.feasible);
+  }
+  std::unique_ptr<scenario::Scenario> scenario;
+  std::unique_ptr<thermal::HeatFlowModel> model;
+  core::Assignment assignment;
+};
+
+TEST_F(TraceSimFixture, PoissonTraceReplayMatchesLiveSimulator) {
+  // simulate() and simulate_trace() share the accounting; with the same
+  // arrival sample path (same per-type substreams) results must agree.
+  SimOptions options;
+  options.duration_seconds = 100.0;
+  options.seed = 33;
+  const auto live = simulate(scenario->dc, assignment, options);
+  const auto trace = generate_poisson_trace(scenario->dc.task_types, 100.0,
+                                            util::Rng(33));
+  const auto replay = simulate_trace(scenario->dc, assignment, trace, options);
+  EXPECT_NEAR(replay.total_reward, live.total_reward,
+              1e-9 * std::max(1.0, live.total_reward));
+  for (std::size_t i = 0; i < replay.per_type.size(); ++i) {
+    EXPECT_EQ(replay.per_type[i].arrived, live.per_type[i].arrived);
+    EXPECT_EQ(replay.per_type[i].dropped, live.per_type[i].dropped);
+  }
+}
+
+TEST_F(TraceSimFixture, BurstinessDoesNotRaiseReward) {
+  // At equal offered load, burstier arrivals can only hurt a deadline-based
+  // admission policy (idle valleys cannot be banked).
+  SimOptions options;
+  options.duration_seconds = 400.0;
+  options.warmup_seconds = 50.0;
+  const auto poisson = generate_poisson_trace(scenario->dc.task_types, 400.0,
+                                              util::Rng(8));
+  MmppConfig config;
+  config.burst_multiplier = 8.0;
+  const auto bursty = generate_mmpp_trace(scenario->dc.task_types, 400.0,
+                                          config, util::Rng(8));
+  const auto smooth = simulate_trace(scenario->dc, assignment, poisson, options);
+  const auto rough = simulate_trace(scenario->dc, assignment, bursty, options);
+  EXPECT_LE(rough.reward_rate, smooth.reward_rate * 1.05);
+}
+
+TEST_F(TraceSimFixture, EmptyTraceYieldsNothing) {
+  SimOptions options;
+  options.duration_seconds = 10.0;
+  const auto result = simulate_trace(scenario->dc, assignment, {}, options);
+  EXPECT_DOUBLE_EQ(result.total_reward, 0.0);
+  EXPECT_DOUBLE_EQ(result.drop_fraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace tapo::sim

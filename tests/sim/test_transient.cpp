@@ -1,0 +1,104 @@
+#include "sim/transient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testutil.h"
+
+namespace tapo::thermal {
+namespace {
+
+using test::make_tiny_dc;
+
+TEST(Transient, SettlesToSteadyState) {
+  const auto dc = make_tiny_dc({0, 1}, 1);
+  const HeatFlowModel model(dc);
+  const std::vector<double> cold{16.0};
+  const std::vector<double> idle{0.36, 0.42};
+  const std::vector<double> busy{0.7, 0.8};
+  TransientOptions options;
+  options.horizon_s = 3600.0;
+  const auto result =
+      simulate_transition(dc, model, cold, idle, cold, busy, options);
+  EXPECT_TRUE(std::isfinite(result.settle_time_s));
+
+  // Final inlet temperatures approach the steady state of the target load.
+  const auto steady = model.solve(cold, busy);
+  const double steady_max =
+      *std::max_element(steady.node_in.begin(), steady.node_in.end());
+  EXPECT_NEAR(result.max_node_inlet_c.back(), steady_max, 0.1);
+}
+
+TEST(Transient, NoTransitionMeansFlatTrace) {
+  const auto dc = make_tiny_dc({0, 0}, 1);
+  const HeatFlowModel model(dc);
+  const std::vector<double> cold{17.0};
+  const std::vector<double> load{0.5, 0.5};
+  const auto result = simulate_transition(dc, model, cold, load, cold, load);
+  EXPECT_NEAR(result.max_node_inlet_c.front(), result.max_node_inlet_c.back(), 1e-6);
+  EXPECT_DOUBLE_EQ(result.settle_time_s, 0.0);
+}
+
+TEST(Transient, MonotoneApproachHasNoOvershoot) {
+  // With a pure relaxation model, stepping power up cannot overshoot the
+  // target steady state - validating the paper's steady-state assumption.
+  const auto dc = make_tiny_dc({0, 1, 0}, 1);
+  const HeatFlowModel model(dc);
+  const std::vector<double> cold{16.0};
+  const std::vector<double> idle{0.36, 0.42, 0.36};
+  const std::vector<double> busy{0.79, 0.93, 0.79};
+  TransientOptions options;
+  options.horizon_s = 3600.0;
+  const auto result =
+      simulate_transition(dc, model, cold, idle, cold, busy, options);
+  const auto steady = model.solve(cold, busy);
+  const double steady_max =
+      *std::max_element(steady.node_in.begin(), steady.node_in.end());
+  EXPECT_LE(result.peak_node_inlet_c, steady_max + 1e-6);
+}
+
+TEST(Transient, RedlineFlagMatchesPeak) {
+  auto dc = make_tiny_dc({0, 0}, 1);
+  const HeatFlowModel model(dc);
+  const std::vector<double> cold{20.0};
+  const std::vector<double> idle{0.36, 0.36};
+  const std::vector<double> busy{0.79, 0.79};
+  TransientOptions options;
+  options.horizon_s = 1200.0;
+  const auto ok = simulate_transition(dc, model, cold, idle, cold, busy, options);
+  EXPECT_EQ(ok.redlines_held, ok.peak_node_inlet_c <= dc.redline_node_c + 1e-6);
+}
+
+TEST(Transient, SettleTimeScalesWithTimeConstant) {
+  const auto dc = make_tiny_dc({0, 1}, 1);
+  const HeatFlowModel model(dc);
+  const std::vector<double> cold{16.0};
+  const std::vector<double> idle{0.36, 0.42};
+  const std::vector<double> busy{0.7, 0.8};
+  TransientOptions fast, slow;
+  fast.time_constant_s = 60.0;
+  slow.time_constant_s = 240.0;
+  fast.horizon_s = slow.horizon_s = 7200.0;
+  const auto a = simulate_transition(dc, model, cold, idle, cold, busy, fast);
+  const auto b = simulate_transition(dc, model, cold, idle, cold, busy, slow);
+  EXPECT_LT(a.settle_time_s, b.settle_time_s);
+}
+
+TEST(Transient, MinutesScaleSettling) {
+  // The paper's premise: thermal evolution is on the order of minutes.
+  const auto dc = make_tiny_dc({0, 1, 0, 1}, 2);
+  const HeatFlowModel model(dc);
+  const std::vector<double> cold{16.0, 16.0};
+  const std::vector<double> idle{0.36, 0.42, 0.36, 0.42};
+  const std::vector<double> busy{0.7, 0.8, 0.7, 0.8};
+  TransientOptions options;  // default 120 s time constant
+  options.horizon_s = 7200.0;
+  const auto result =
+      simulate_transition(dc, model, cold, idle, cold, busy, options);
+  EXPECT_GT(result.settle_time_s, 60.0);
+  EXPECT_LT(result.settle_time_s, 3600.0);
+}
+
+}  // namespace
+}  // namespace tapo::thermal

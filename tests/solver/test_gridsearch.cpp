@@ -1,0 +1,129 @@
+#include "solver/gridsearch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tapo::solver {
+namespace {
+
+TEST(GridSearch, FindsQuadraticPeak1D) {
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    return -(x[0] - 3.7) * (x[0] - 3.7);
+  };
+  GridSearchOptions opt;
+  opt.coarse_samples = 5;
+  opt.refine_rounds = 4;
+  opt.min_resolution = 0.01;
+  const auto r = grid_search_maximize({0.0}, {10.0}, objective, opt);
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.best_point[0], 3.7, 0.5);
+}
+
+TEST(GridSearch, FindsPeak2D) {
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    return -std::pow(x[0] - 2.0, 2) - std::pow(x[1] - 8.0, 2);
+  };
+  const auto r = grid_search_maximize({0.0, 0.0}, {10.0, 10.0}, objective);
+  ASSERT_TRUE(r.found);
+  EXPECT_NEAR(r.best_point[0], 2.0, 1.5);
+  EXPECT_NEAR(r.best_point[1], 8.0, 1.5);
+}
+
+TEST(GridSearch, AllInfeasibleReportsNotFound) {
+  const auto objective = [](const std::vector<double>&) -> std::optional<double> {
+    return std::nullopt;
+  };
+  const auto r = grid_search_maximize({0.0}, {1.0}, objective);
+  EXPECT_FALSE(r.found);
+  EXPECT_GT(r.evaluations, 0u);
+}
+
+TEST(GridSearch, RespectsFeasibilityRegion) {
+  // Peak at 9 but only x <= 5 feasible: must report a point in range.
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    if (x[0] > 5.0) return std::nullopt;
+    return x[0];
+  };
+  GridSearchOptions opt;
+  opt.coarse_samples = 6;
+  opt.refine_rounds = 3;
+  const auto r = grid_search_maximize({0.0}, {10.0}, objective, opt);
+  ASSERT_TRUE(r.found);
+  EXPECT_LE(r.best_point[0], 5.0 + 1e-9);
+  EXPECT_GT(r.best_value, 3.9);
+}
+
+TEST(GridSearch, RefinementImprovesOverCoarse) {
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    return -std::fabs(x[0] - 1.234);
+  };
+  GridSearchOptions coarse_only;
+  coarse_only.coarse_samples = 4;
+  coarse_only.refine_rounds = 0;
+  GridSearchOptions refined = coarse_only;
+  refined.refine_rounds = 4;
+  refined.min_resolution = 0.001;
+  const auto r0 = grid_search_maximize({0.0}, {10.0}, objective, coarse_only);
+  const auto r1 = grid_search_maximize({0.0}, {10.0}, objective, refined);
+  EXPECT_GE(r1.best_value, r0.best_value);
+  EXPECT_LT(std::fabs(r1.best_point[0] - 1.234), std::fabs(r0.best_point[0] - 1.234) + 1e-12);
+}
+
+TEST(UniformCoordinate, FindsSharedOptimumFast) {
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    double s = 0.0;
+    for (double v : x) s -= (v - 6.0) * (v - 6.0);
+    return s;
+  };
+  const auto r = uniform_then_coordinate_maximize({0.0, 0.0, 0.0},
+                                                  {10.0, 10.0, 10.0}, objective);
+  ASSERT_TRUE(r.found);
+  for (double v : r.best_point) EXPECT_NEAR(v, 6.0, 1.0);
+}
+
+TEST(UniformCoordinate, CoordinateDescentBreaksSymmetry) {
+  // Optimum is asymmetric: x0 near 2, x1 near 8.
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    return -std::pow(x[0] - 2.0, 2) - std::pow(x[1] - 8.0, 2);
+  };
+  GridSearchOptions opt;
+  opt.refine_rounds = 6;
+  opt.min_resolution = 0.25;
+  const auto r = uniform_then_coordinate_maximize({0.0, 0.0}, {10.0, 10.0},
+                                                  objective, opt);
+  ASSERT_TRUE(r.found);
+  EXPECT_LT(r.best_point[0], r.best_point[1]);
+}
+
+TEST(UniformCoordinate, CheaperThanFullGridIn3D) {
+  std::size_t full_evals = 0, uc_evals = 0;
+  const auto count_full = [&](const std::vector<double>&) -> std::optional<double> {
+    ++full_evals;
+    return 1.0;
+  };
+  const auto count_uc = [&](const std::vector<double>&) -> std::optional<double> {
+    ++uc_evals;
+    return 1.0;
+  };
+  const std::vector<double> lo(3, 0.0), hi(3, 10.0);
+  grid_search_maximize(lo, hi, count_full);
+  uniform_then_coordinate_maximize(lo, hi, count_uc);
+  EXPECT_LT(uc_evals, full_evals);
+}
+
+TEST(UniformCoordinate, FallsBackToGridWhenUniformInfeasible) {
+  // Feasible only when coordinates differ: x0 + 1 <= x1.
+  const auto objective = [](const std::vector<double>& x) -> std::optional<double> {
+    if (x[0] + 1.0 > x[1]) return std::nullopt;
+    return x[0] + x[1];
+  };
+  GridSearchOptions opt;
+  opt.coarse_samples = 6;
+  const auto r = uniform_then_coordinate_maximize({0.0, 0.0}, {10.0, 10.0},
+                                                  objective, opt);
+  EXPECT_TRUE(r.found);
+}
+
+}  // namespace
+}  // namespace tapo::solver

@@ -1,0 +1,220 @@
+#include "solver/lp.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::solver {
+namespace {
+
+TEST(Lp, SimpleMaximization) {
+  // max 3x + 2y s.t. x+y <= 4, x+3y <= 6 -> x=4, y=0, obj=12.
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 3);
+  const auto y = p.add_variable(0, kLpInfinity, 2);
+  p.add_constraint({{x, 1}, {y, 1}}, Relation::LessEq, 4);
+  p.add_constraint({{x, 1}, {y, 3}}, Relation::LessEq, 6);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 12.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 4.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-9);
+  EXPECT_LT(p.max_violation(s.x), 1e-9);
+}
+
+TEST(Lp, InteriorOptimum) {
+  // max x + y s.t. 2x+y <= 4, x+2y <= 4 -> x=y=4/3, obj=8/3.
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 1);
+  const auto y = p.add_variable(0, kLpInfinity, 1);
+  p.add_constraint({{x, 2}, {y, 1}}, Relation::LessEq, 4);
+  p.add_constraint({{x, 1}, {y, 2}}, Relation::LessEq, 4);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 8.0 / 3.0, 1e-9);
+  EXPECT_NEAR(s.x[x], 4.0 / 3.0, 1e-9);
+}
+
+TEST(Lp, EqualityConstraint) {
+  LpProblem p;
+  const auto x = p.add_variable(0, 1, 1);
+  const auto y = p.add_variable(0, 5, 1);
+  p.add_constraint({{x, 1}, {y, 1}}, Relation::Equal, 3);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+  EXPECT_NEAR(s.x[x] + s.x[y], 3.0, 1e-9);
+}
+
+TEST(Lp, GreaterEqConstraintWithMinimizationStyleObjective) {
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, -1);  // minimize x
+  p.add_constraint({{x, 1}}, Relation::GreaterEq, 2);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+}
+
+TEST(Lp, DetectsInfeasible) {
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 1);
+  p.add_constraint({{x, 1}}, Relation::LessEq, 1);
+  p.add_constraint({{x, 1}}, Relation::GreaterEq, 2);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::Infeasible);
+}
+
+TEST(Lp, DetectsInfeasibleViaBounds) {
+  LpProblem p;
+  const auto x = p.add_variable(0, 1, 1);
+  p.add_constraint({{x, 1}}, Relation::GreaterEq, 5);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::Infeasible);
+}
+
+TEST(Lp, DetectsUnbounded) {
+  LpProblem p;
+  p.add_variable(0, kLpInfinity, 1);
+  EXPECT_EQ(solve_lp(p).status, LpStatus::Unbounded);
+}
+
+TEST(Lp, BoundedVariableCapsUnboundedDirection) {
+  LpProblem p;
+  const auto x = p.add_variable(0, 7, 1);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[x], 7.0, 1e-9);
+}
+
+TEST(Lp, NegativeLowerBounds) {
+  LpProblem p;
+  const auto x = p.add_variable(-5, 5, 1);
+  const auto y = p.add_variable(-5, 5, 2);
+  p.add_constraint({{x, 1}, {y, 1}}, Relation::LessEq, 0);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+  EXPECT_NEAR(s.x[x], -5.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 5.0, 1e-9);
+}
+
+TEST(Lp, NegativeRhsRowsAreStandardizedCorrectly) {
+  // max -x - y s.t. -x - y <= -3 (i.e. x + y >= 3).
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, -1);
+  const auto y = p.add_variable(0, kLpInfinity, -1);
+  p.add_constraint({{x, -1}, {y, -1}}, Relation::LessEq, -3);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, -3.0, 1e-9);
+}
+
+TEST(Lp, TransportationProblem) {
+  // 2 sources cap 10, 3 sinks cap 8, rewards {1,2,3}: optimum 44.
+  LpProblem p;
+  const double r[3] = {1, 2, 3};
+  std::size_t v[2][3];
+  for (int i = 0; i < 2; ++i)
+    for (int j = 0; j < 3; ++j) v[i][j] = p.add_variable(0, kLpInfinity, r[j]);
+  for (int i = 0; i < 2; ++i) {
+    p.add_constraint({{v[i][0], 1}, {v[i][1], 1}, {v[i][2], 1}}, Relation::LessEq, 10);
+  }
+  for (int j = 0; j < 3; ++j) {
+    p.add_constraint({{v[0][j], 1}, {v[1][j], 1}}, Relation::LessEq, 8);
+  }
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 44.0, 1e-9);
+}
+
+TEST(Lp, DegenerateProblemTerminates) {
+  // Many redundant constraints through the same vertex.
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 1);
+  const auto y = p.add_variable(0, kLpInfinity, 1);
+  for (int i = 0; i < 10; ++i) {
+    p.add_constraint({{x, 1.0 + i * 1e-12}, {y, 1.0}}, Relation::LessEq, 2);
+  }
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-6);
+}
+
+TEST(Lp, RedundantEqualityRowsHandled) {
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 1);
+  const auto y = p.add_variable(0, kLpInfinity, 0);
+  p.add_constraint({{x, 1}, {y, 1}}, Relation::Equal, 2);
+  p.add_constraint({{x, 2}, {y, 2}}, Relation::Equal, 4);  // redundant copy
+  p.add_constraint({{y, 1}}, Relation::LessEq, 1);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.objective, 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 0.0, 1e-9);
+}
+
+TEST(Lp, FixedVariableViaEqualBounds) {
+  LpProblem p;
+  const auto x = p.add_variable(2, 2, 5);
+  const auto y = p.add_variable(0, kLpInfinity, 1);
+  p.add_constraint({{x, 1}, {y, 1}}, Relation::LessEq, 6);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-9);
+  EXPECT_NEAR(s.x[y], 4.0, 1e-9);
+  EXPECT_NEAR(s.objective, 14.0, 1e-9);
+}
+
+TEST(Lp, DualsOfBindingRowsArePositive) {
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 3);
+  const auto y = p.add_variable(0, kLpInfinity, 2);
+  p.add_constraint({{x, 1}, {y, 1}}, Relation::LessEq, 4);   // binding
+  p.add_constraint({{x, 1}, {y, 3}}, Relation::LessEq, 100); // slack
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  ASSERT_EQ(s.duals.size(), 2u);
+  EXPECT_NEAR(s.duals[0], 3.0, 1e-9);  // marginal value of the binding row
+  EXPECT_NEAR(s.duals[1], 0.0, 1e-9);
+}
+
+TEST(Lp, ObjectiveValueHelperMatchesSolution) {
+  LpProblem p;
+  const auto x = p.add_variable(0, 3, 2);
+  p.add_constraint({{x, 1}}, Relation::LessEq, 2);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  EXPECT_DOUBLE_EQ(p.objective_value(s.x), s.objective);
+}
+
+TEST(Lp, MaxViolationDetectsInfeasiblePoint) {
+  LpProblem p;
+  const auto x = p.add_variable(0, 1, 1);
+  p.add_constraint({{x, 1}}, Relation::LessEq, 0.5);
+  EXPECT_NEAR(p.max_violation({0.8}), 0.3, 1e-12);
+  EXPECT_NEAR(p.max_violation({2.0}), 1.5, 1e-12);  // bound violation dominates
+  EXPECT_DOUBLE_EQ(p.max_violation({0.25}), 0.0);
+}
+
+TEST(Lp, IterationLimitReported) {
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 1);
+  const auto y = p.add_variable(0, kLpInfinity, 1);
+  p.add_constraint({{x, 1}, {y, 2}}, Relation::LessEq, 4);
+  p.add_constraint({{x, 2}, {y, 1}}, Relation::LessEq, 4);
+  LpOptions options;
+  options.max_iterations = 1;
+  const auto s = solve_lp(p, options);
+  EXPECT_EQ(s.status, LpStatus::IterLimit);
+}
+
+TEST(Lp, ZeroRhsEqualityFeasibleAtOrigin) {
+  LpProblem p;
+  const auto x = p.add_variable(0, kLpInfinity, 1);
+  const auto y = p.add_variable(0, kLpInfinity, -2);
+  p.add_constraint({{x, 1}, {y, -1}}, Relation::Equal, 0);
+  p.add_constraint({{x, 1}}, Relation::LessEq, 3);
+  const auto s = solve_lp(p);
+  ASSERT_EQ(s.status, LpStatus::Optimal);
+  // x = y; objective x - 2y = -x <= 0, best at x=y=0.
+  EXPECT_NEAR(s.objective, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tapo::solver

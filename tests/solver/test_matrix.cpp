@@ -1,0 +1,99 @@
+#include "solver/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::solver {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix i = Matrix::identity(3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(i(r, c), r == c ? 1.0 : 0.0);
+}
+
+TEST(Matrix, Transpose) {
+  Matrix m(2, 3);
+  m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+  m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(Matrix, MatrixMultiply) {
+  Matrix a(2, 2), b(2, 2);
+  a(0, 0) = 1; a(0, 1) = 2; a(1, 0) = 3; a(1, 1) = 4;
+  b(0, 0) = 5; b(0, 1) = 6; b(1, 0) = 7; b(1, 1) = 8;
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, IdentityIsMultiplicativeNeutral) {
+  Matrix a(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) a(r, c) = static_cast<double>(r * 3 + c);
+  const Matrix p = a.multiply(Matrix::identity(3));
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(p(r, c), a(r, c));
+}
+
+TEST(Matrix, VectorMultiply) {
+  Matrix a(2, 3);
+  a(0, 0) = 1; a(0, 1) = 0; a(0, 2) = 2;
+  a(1, 0) = 0; a(1, 1) = 3; a(1, 2) = -1;
+  const std::vector<double> v{1.0, 2.0, 3.0};
+  const auto out = a.multiply(v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 7.0);
+  EXPECT_DOUBLE_EQ(out[1], 3.0);
+}
+
+TEST(Matrix, AddScaled) {
+  Matrix a(1, 2, 1.0), b(1, 2, 2.0);
+  a.add_scaled(b, -0.5);
+  EXPECT_DOUBLE_EQ(a(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 0.0);
+}
+
+TEST(Matrix, Block) {
+  Matrix m(3, 3);
+  for (std::size_t r = 0; r < 3; ++r)
+    for (std::size_t c = 0; c < 3; ++c) m(r, c) = static_cast<double>(r * 3 + c);
+  const Matrix b = m.block(1, 1, 2, 2);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_DOUBLE_EQ(b(0, 0), 4.0);
+  EXPECT_DOUBLE_EQ(b(1, 1), 8.0);
+}
+
+TEST(Matrix, MaxAbs) {
+  Matrix m(2, 2);
+  m(0, 1) = -7.5;
+  m(1, 0) = 3.0;
+  EXPECT_DOUBLE_EQ(m.max_abs(), 7.5);
+}
+
+TEST(VectorOps, Norms) {
+  const std::vector<double> v{3.0, -4.0};
+  EXPECT_DOUBLE_EQ(norm2(v), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf(v), 4.0);
+}
+
+TEST(VectorOps, Dot) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, -5.0, 6.0}), 12.0);
+}
+
+}  // namespace
+}  // namespace tapo::solver

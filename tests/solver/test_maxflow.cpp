@@ -1,0 +1,148 @@
+#include "solver/maxflow.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+
+namespace tapo::solver {
+namespace {
+
+TEST(MaxFlow, SimplePath) {
+  MaxFlow mf(3);
+  mf.add_edge(0, 1, 5.0);
+  mf.add_edge(1, 2, 3.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 2), 3.0);
+}
+
+TEST(MaxFlow, ParallelPaths) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 2.0);
+  mf.add_edge(1, 3, 2.0);
+  mf.add_edge(0, 2, 3.0);
+  mf.add_edge(2, 3, 1.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 3.0);
+}
+
+TEST(MaxFlow, ClassicDiamondWithCrossEdge) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 10.0);
+  mf.add_edge(0, 2, 10.0);
+  mf.add_edge(1, 2, 1.0);
+  mf.add_edge(1, 3, 5.0);
+  mf.add_edge(2, 3, 10.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 15.0);
+}
+
+TEST(MaxFlow, DisconnectedIsZero) {
+  MaxFlow mf(4);
+  mf.add_edge(0, 1, 5.0);
+  mf.add_edge(2, 3, 5.0);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 3), 0.0);
+}
+
+TEST(MaxFlow, FlowOnEdgeReported) {
+  MaxFlow mf(3);
+  const auto e1 = mf.add_edge(0, 1, 5.0);
+  const auto e2 = mf.add_edge(1, 2, 3.0);
+  mf.solve(0, 2);
+  EXPECT_DOUBLE_EQ(mf.flow_on(e1), 3.0);
+  EXPECT_DOUBLE_EQ(mf.flow_on(e2), 3.0);
+  EXPECT_DOUBLE_EQ(mf.capacity_of(e1), 5.0);
+}
+
+TEST(MaxFlow, MinCutValueOnBipartite) {
+  // 3 sources with caps {1,2,3} into 2 sinks with caps {2,2}: max flow 4.
+  MaxFlow mf(7);  // s=0, sources 1-3, sinks 4-5, t=6
+  const double source_cap[3] = {1, 2, 3};
+  const double sink_cap[2] = {2, 2};
+  for (int i = 0; i < 3; ++i) mf.add_edge(0, 1 + i, source_cap[i]);
+  for (int i = 0; i < 3; ++i)
+    for (int j = 0; j < 2; ++j) mf.add_edge(1 + i, 4 + j, 100.0);
+  for (int j = 0; j < 2; ++j) mf.add_edge(4 + j, 6, sink_cap[j]);
+  EXPECT_DOUBLE_EQ(mf.solve(0, 6), 4.0);
+}
+
+TEST(Circulation, SimpleCycleWithLowerBounds) {
+  // Triangle where one arc forces at least 2 units around the cycle.
+  Circulation c(3);
+  const auto a0 = c.add_arc(0, 1, 2.0, 5.0);
+  const auto a1 = c.add_arc(1, 2, 0.0, 5.0);
+  const auto a2 = c.add_arc(2, 0, 0.0, 5.0);
+  const auto flows = c.solve();
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_GE((*flows)[a0], 2.0);
+  // Conservation: all three arcs carry the same flow.
+  EXPECT_NEAR((*flows)[a0], (*flows)[a1], 1e-9);
+  EXPECT_NEAR((*flows)[a1], (*flows)[a2], 1e-9);
+}
+
+TEST(Circulation, InfeasibleWhenLowerBoundExceedsDownstreamCapacity) {
+  Circulation c(3);
+  c.add_arc(0, 1, 4.0, 5.0);
+  c.add_arc(1, 2, 0.0, 2.0);  // cannot forward 4 units
+  c.add_arc(2, 0, 0.0, 5.0);
+  EXPECT_FALSE(c.solve().has_value());
+}
+
+TEST(Circulation, EmptyNetworkIsFeasible) {
+  Circulation c(4);
+  const auto flows = c.solve();
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_TRUE(flows->empty());
+}
+
+TEST(Circulation, TightBoundsForceExactFlow) {
+  Circulation c(2);
+  const auto a = c.add_arc(0, 1, 3.0, 3.0);
+  const auto b = c.add_arc(1, 0, 3.0, 3.0);
+  const auto flows = c.solve();
+  ASSERT_TRUE(flows.has_value());
+  EXPECT_DOUBLE_EQ((*flows)[a], 3.0);
+  EXPECT_DOUBLE_EQ((*flows)[b], 3.0);
+}
+
+class CirculationProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CirculationProperty, SolutionsSatisfyBoundsAndConservation) {
+  util::Rng rng(GetParam() + 900);
+  const auto n = static_cast<std::size_t>(rng.uniform_int(3, 10));
+  Circulation c(n);
+  struct ArcInfo {
+    std::size_t from, to;
+    double lo, hi;
+  };
+  std::vector<ArcInfo> arcs;
+  // A ring guarantees strong connectivity; random chords add complexity.
+  for (std::size_t v = 0; v < n; ++v) {
+    arcs.push_back({v, (v + 1) % n, 0.0, rng.uniform(2.0, 8.0)});
+  }
+  const auto extra = static_cast<std::size_t>(rng.uniform_int(0, 12));
+  for (std::size_t e = 0; e < extra; ++e) {
+    const auto u = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    const auto v = static_cast<std::size_t>(rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+    if (u == v) continue;
+    const double lo = rng.uniform(0.0, 0.8);
+    arcs.push_back({u, v, lo, lo + rng.uniform(0.5, 4.0)});
+  }
+  for (const auto& a : arcs) c.add_arc(a.from, a.to, a.lo, a.hi);
+  const auto flows = c.solve();
+  if (!flows) return;  // infeasible instances are legitimate
+
+  std::vector<double> net(n, 0.0);
+  for (std::size_t i = 0; i < arcs.size(); ++i) {
+    EXPECT_GE((*flows)[i], arcs[i].lo - 1e-9);
+    EXPECT_LE((*flows)[i], arcs[i].hi + 1e-9);
+    net[arcs[i].from] -= (*flows)[i];
+    net[arcs[i].to] += (*flows)[i];
+  }
+  for (double x : net) EXPECT_NEAR(x, 0.0, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CirculationProperty,
+                         ::testing::Range<std::uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace tapo::solver

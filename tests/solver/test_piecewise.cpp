@@ -1,0 +1,154 @@
+#include "solver/piecewise.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tapo::solver {
+namespace {
+
+PiecewiseLinear fig3_function() {
+  // The paper's worked example (Fig. 3): P-state powers 0/.05/.1/.15 W with
+  // reward rates 0/.5/.9/1.2.
+  return PiecewiseLinear({{0.0, 0.0}, {0.05, 0.5}, {0.1, 0.9}, {0.15, 1.2}});
+}
+
+TEST(Piecewise, EvaluatesAtBreakpoints) {
+  const auto f = fig3_function();
+  EXPECT_DOUBLE_EQ(f.value(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(0.05), 0.5);
+  EXPECT_DOUBLE_EQ(f.value(0.1), 0.9);
+  EXPECT_DOUBLE_EQ(f.value(0.15), 1.2);
+}
+
+TEST(Piecewise, InterpolatesBetweenBreakpoints) {
+  const auto f = fig3_function();
+  EXPECT_NEAR(f.value(0.025), 0.25, 1e-12);
+  EXPECT_NEAR(f.value(0.125), 1.05, 1e-12);
+}
+
+TEST(Piecewise, ClampsOutsideDomain) {
+  const auto f = fig3_function();
+  EXPECT_DOUBLE_EQ(f.value(-1.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 1.2);
+}
+
+TEST(Piecewise, SortsUnorderedInput) {
+  const PiecewiseLinear f({{1.0, 2.0}, {0.0, 0.0}, {0.5, 1.5}});
+  EXPECT_DOUBLE_EQ(f.x_min(), 0.0);
+  EXPECT_DOUBLE_EQ(f.x_max(), 1.0);
+  EXPECT_DOUBLE_EQ(f.value(0.5), 1.5);
+}
+
+TEST(Piecewise, DuplicateXKeepsUpperEnvelope) {
+  const PiecewiseLinear f({{0.0, 0.0}, {1.0, 1.0}, {1.0, 3.0}});
+  EXPECT_EQ(f.points().size(), 2u);
+  EXPECT_DOUBLE_EQ(f.value(1.0), 3.0);
+}
+
+TEST(Piecewise, Slopes) {
+  const auto s = fig3_function().slopes();
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_NEAR(s[0], 10.0, 1e-9);
+  EXPECT_NEAR(s[1], 8.0, 1e-9);
+  EXPECT_NEAR(s[2], 6.0, 1e-9);
+}
+
+TEST(Piecewise, ConcavityDetection) {
+  EXPECT_TRUE(fig3_function().is_concave());
+  // Fig. 4 shape: the 0.05 W point drops to zero reward (deadline miss).
+  const PiecewiseLinear fig4({{0.0, 0.0}, {0.05, 0.0}, {0.1, 0.9}, {0.15, 1.2}});
+  EXPECT_FALSE(fig4.is_concave());
+}
+
+TEST(Piecewise, Monotonicity) {
+  EXPECT_TRUE(fig3_function().is_nondecreasing());
+  const PiecewiseLinear down({{0.0, 1.0}, {1.0, 0.0}});
+  EXPECT_FALSE(down.is_nondecreasing());
+}
+
+TEST(Piecewise, UpperConcaveHullRemovesBadPState) {
+  // The paper's Fig. 5: ignoring the "bad" P-state at 0.05 W leaves the hull
+  // through (0,0), (0.1,0.9), (0.15,1.2).
+  const PiecewiseLinear fig4({{0.0, 0.0}, {0.05, 0.0}, {0.1, 0.9}, {0.15, 1.2}});
+  const PiecewiseLinear hull = fig4.upper_concave_hull();
+  ASSERT_EQ(hull.points().size(), 3u);
+  EXPECT_DOUBLE_EQ(hull.points()[1].x, 0.1);
+  EXPECT_DOUBLE_EQ(hull.points()[1].y, 0.9);
+  EXPECT_TRUE(hull.is_concave());
+  EXPECT_NEAR(hull.value(0.05), 0.45, 1e-12);  // paper: 2-core example value
+}
+
+TEST(Piecewise, HullOfConcaveFunctionIsIdentity) {
+  const auto f = fig3_function();
+  const auto hull = f.upper_concave_hull();
+  ASSERT_EQ(hull.points().size(), f.points().size());
+  for (std::size_t i = 0; i < f.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(hull.points()[i].y, f.points()[i].y);
+  }
+}
+
+class HullProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HullProperty, HullDominatesAndIsConcave) {
+  util::Rng rng(GetParam());
+  std::vector<Point> pts;
+  const auto n = static_cast<std::size_t>(rng.uniform_int(2, 12));
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    pts.push_back({x, rng.uniform(0.0, 5.0)});
+    x += rng.uniform(0.1, 1.0);
+  }
+  const PiecewiseLinear f(pts);
+  const PiecewiseLinear hull = f.upper_concave_hull();
+  EXPECT_TRUE(hull.is_concave(1e-7));
+  for (const Point& p : f.points()) {
+    EXPECT_GE(hull.value(p.x), p.y - 1e-9);  // hull dominates
+  }
+  // Hull breakpoints are a subset of the original points (no new heights).
+  for (const Point& p : hull.points()) {
+    bool found = false;
+    for (const Point& q : f.points()) {
+      if (std::abs(p.x - q.x) < 1e-12 && std::abs(p.y - q.y) < 1e-12) found = true;
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HullProperty, ::testing::Range<std::uint64_t>(0, 40));
+
+TEST(Piecewise, AverageOfFunctions) {
+  const PiecewiseLinear a({{0.0, 0.0}, {1.0, 2.0}});
+  const PiecewiseLinear b({{0.0, 1.0}, {0.5, 1.0}, {1.0, 1.0}});
+  const PiecewiseLinear avg = PiecewiseLinear::average({a, b});
+  EXPECT_NEAR(avg.value(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(avg.value(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(avg.value(1.0), 1.5, 1e-12);
+}
+
+TEST(Piecewise, AverageKeepsAllBreakpoints) {
+  const PiecewiseLinear a({{0.0, 0.0}, {0.3, 1.0}, {1.0, 1.0}});
+  const PiecewiseLinear b({{0.0, 0.0}, {0.7, 0.0}, {1.0, 2.0}});
+  const PiecewiseLinear avg = PiecewiseLinear::average({a, b});
+  EXPECT_EQ(avg.points().size(), 4u);  // union of {0, .3, .7, 1}
+  EXPECT_NEAR(avg.value(0.3), 0.5, 1e-12);
+}
+
+TEST(Piecewise, ScaleCopies) {
+  // n * f(x/n): two cores sharing 0.2 W earn twice f(0.1).
+  const auto f = fig3_function();
+  const auto two = f.scale_copies(2);
+  EXPECT_NEAR(two.value(0.2), 2.0 * f.value(0.1), 1e-12);
+  EXPECT_DOUBLE_EQ(two.x_max(), 0.3);
+  EXPECT_TRUE(two.is_concave());
+}
+
+TEST(Piecewise, ScaleCopiesIdentityForOne) {
+  const auto f = fig3_function();
+  const auto one = f.scale_copies(1);
+  EXPECT_EQ(one.points().size(), f.points().size());
+  EXPECT_DOUBLE_EQ(one.value(0.07), f.value(0.07));
+}
+
+}  // namespace
+}  // namespace tapo::solver

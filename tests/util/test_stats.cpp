@@ -1,0 +1,99 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tapo::util {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.ci_halfwidth(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.5);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.5);
+  EXPECT_DOUBLE_EQ(s.max(), 4.5);
+}
+
+TEST(RunningStats, MeanAndVarianceMatchDirectComputation) {
+  RunningStats s;
+  const double data[] = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  for (double x : data) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance with n-1 = 7: sum of squared deviations = 32.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, WelfordIsNumericallyStableForLargeOffsets) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (int i = 0; i < 1000; ++i) s.add(offset + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.mean(), offset, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.001, 0.01);
+}
+
+TEST(RunningStats, CiMatchesHandComputation) {
+  RunningStats s;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) s.add(x);
+  // stddev = sqrt(2.5), stderr = sqrt(0.5), t(4, 95%) = 2.776.
+  EXPECT_NEAR(s.ci_halfwidth(0.95), 2.776 * std::sqrt(0.5), 1e-9);
+}
+
+TEST(RunningStats, CiShrinksWithMoreSamples) {
+  RunningStats small, large;
+  for (int i = 0; i < 5; ++i) small.add(i % 2);
+  for (int i = 0; i < 500; ++i) large.add(i % 2);
+  EXPECT_GT(small.ci_halfwidth(), large.ci_halfwidth());
+}
+
+TEST(StudentT, KnownCriticalValues) {
+  EXPECT_NEAR(student_t_critical(1, 0.95), 12.706, 1e-3);
+  EXPECT_NEAR(student_t_critical(24, 0.95), 2.064, 1e-3);  // 25 runs, as Fig. 6
+  EXPECT_NEAR(student_t_critical(10, 0.99), 3.169, 1e-3);
+  EXPECT_NEAR(student_t_critical(30, 0.90), 1.697, 1e-3);
+}
+
+TEST(StudentT, LargeDfApproachesNormal) {
+  EXPECT_NEAR(student_t_critical(10000, 0.95), 1.960, 1e-6);
+  EXPECT_NEAR(student_t_critical(10000, 0.99), 2.576, 1e-6);
+  EXPECT_NEAR(student_t_critical(10000, 0.90), 1.645, 1e-6);
+}
+
+TEST(StudentT, MonotoneDecreasingInDf) {
+  for (std::size_t df = 1; df < 40; ++df) {
+    EXPECT_GE(student_t_critical(df, 0.95), student_t_critical(df + 1, 0.95));
+  }
+}
+
+TEST(Percentile, MedianOfOddCount) {
+  EXPECT_DOUBLE_EQ(percentile({3.0, 1.0, 2.0}, 50.0), 2.0);
+}
+
+TEST(Percentile, Extremes) {
+  const std::vector<double> data{5.0, 1.0, 9.0, 3.0};
+  EXPECT_DOUBLE_EQ(percentile(data, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(data, 100.0), 9.0);
+}
+
+TEST(Percentile, LinearInterpolation) {
+  EXPECT_DOUBLE_EQ(percentile({0.0, 10.0}, 25.0), 2.5);
+}
+
+TEST(Percentile, SingleElement) {
+  EXPECT_DOUBLE_EQ(percentile({7.0}, 30.0), 7.0);
+}
+
+}  // namespace
+}  // namespace tapo::util

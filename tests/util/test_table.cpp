@@ -1,0 +1,48 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace tapo::util {
+namespace {
+
+TEST(Table, PrintsAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 2.5   |"), std::string::npos);
+}
+
+TEST(Table, CsvEscapesCommas) {
+  Table t({"a", "b"});
+  t.add_row({"x,y", "2"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b\n\"x,y\",2\n");
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Fmt, FixedDecimals) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(-0.5, 1), "-0.5");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+}
+
+TEST(FmtCi, Format) {
+  EXPECT_EQ(fmt_ci(4.25, 1.05, 2), "4.25 ± 1.05");
+}
+
+}  // namespace
+}  // namespace tapo::util

@@ -1,0 +1,335 @@
+// tapo command-line driver.
+//
+// Generates a Section-VI scenario from a seed and runs the requested stage
+// of the pipeline against it:
+//
+//   tapo_cli bounds   [--nodes --cracs --seed ...]   Pmin/Pmax/Pconst
+//   tapo_cli assign   [... --psi --technique]        first-step assignment
+//   tapo_cli simulate [... --duration]               assignment + online DES
+//   tapo_cli powermin [... --target-fraction]        power-min extension
+//   tapo_cli sweep    [... --points]                 reward vs budget sweep
+//
+// --csv switches the tabular output to CSV for downstream plotting.
+#include <cstdio>
+#include <iostream>
+#include <optional>
+
+#include "core/assigner.h"
+#include "core/baseline.h"
+#include "core/powermin.h"
+#include "scenario/generator.h"
+#include "scenario/io.h"
+#include "sim/des.h"
+#include "sim/trace.h"
+#include "thermal/heatflow.h"
+#include "util/args.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tapo;
+
+void print_table(const util::Table& table, bool csv) {
+  if (csv) {
+    table.print_csv(std::cout);
+  } else {
+    table.print(std::cout);
+  }
+}
+
+std::optional<scenario::Scenario> make_scenario(const util::ArgParser& args) {
+  std::optional<scenario::Scenario> scenario;
+  if (const std::string& path = args.option("load"); !path.empty()) {
+    // An archived instance: the data center is complete; bounds stay unset
+    // except for subcommands that recompute them.
+    scenario::LoadResult loaded = scenario::load_data_center_file(path);
+    if (!loaded.ok) {
+      std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+      return std::nullopt;
+    }
+    scenario.emplace();
+    scenario->dc = std::move(loaded.dc);
+    const thermal::HeatFlowModel model(scenario->dc);
+    scenario->bounds = thermal::compute_power_bounds(scenario->dc, model);
+  } else {
+    scenario::ScenarioConfig config;
+    config.num_nodes = static_cast<std::size_t>(args.option_int("nodes"));
+    config.num_cracs = static_cast<std::size_t>(args.option_int("cracs"));
+    config.num_task_types = static_cast<std::size_t>(args.option_int("task-types"));
+    config.static_fraction = args.option_double("static-fraction");
+    config.v_prop = args.option_double("vprop");
+    config.pconst_factor = args.option_double("pconst-factor");
+    config.seed = static_cast<std::uint64_t>(args.option_int("seed"));
+    scenario = scenario::generate_scenario(config);
+    if (!scenario) std::fprintf(stderr, "error: scenario generation failed\n");
+  }
+  if (scenario) {
+    if (const std::string& path = args.option("save"); !path.empty()) {
+      if (!scenario::save_data_center_file(scenario->dc, path)) {
+        std::fprintf(stderr, "error: cannot write '%s'\n", path.c_str());
+        return std::nullopt;
+      }
+      std::fprintf(stderr, "saved data center to %s\n", path.c_str());
+    }
+  }
+  return scenario;
+}
+
+core::Assignment run_technique(const dc::DataCenter& dc,
+                               const thermal::HeatFlowModel& model,
+                               const std::string& technique, double psi) {
+  if (technique == "baseline") {
+    return core::BaselineAssigner(dc, model).assign();
+  }
+  core::ThreeStageOptions options;
+  options.stage1.psi = psi;
+  if (technique == "three-stage") {
+    return core::ThreeStageAssigner(dc, model).assign(options);
+  }
+  if (technique == "best") {
+    core::ThreeStageOptions o25 = options, o50 = options;
+    o25.stage1.psi = 25.0;
+    o50.stage1.psi = 50.0;
+    const core::ThreeStageAssigner assigner(dc, model);
+    return core::best_of({assigner.assign(o25), assigner.assign(o50)});
+  }
+  std::fprintf(stderr, "error: unknown --technique '%s' (three-stage, baseline, best)\n",
+               technique.c_str());
+  return {};
+}
+
+int cmd_bounds(const util::ArgParser& args) {
+  const auto scenario = make_scenario(args);
+  if (!scenario) return 1;
+  util::Table table({"Pmin (kW)", "Pmax (kW)", "Pconst (kW)", "nodes", "cores"});
+  table.add_row({util::fmt(scenario->bounds.pmin_kw, 2),
+                 util::fmt(scenario->bounds.pmax_kw, 2),
+                 util::fmt(scenario->dc.p_const_kw, 2),
+                 std::to_string(scenario->dc.num_nodes()),
+                 std::to_string(scenario->dc.total_cores())});
+  print_table(table, args.flag("csv"));
+  return 0;
+}
+
+int cmd_assign(const util::ArgParser& args) {
+  const auto scenario = make_scenario(args);
+  if (!scenario) return 1;
+  const thermal::HeatFlowModel model(scenario->dc);
+  const core::Assignment a = run_technique(scenario->dc, model,
+                                           args.option("technique"),
+                                           args.option_double("psi"));
+  if (!a.feasible) {
+    std::fprintf(stderr, "error: assignment infeasible\n");
+    return 1;
+  }
+  const auto check = core::verify_assignment(scenario->dc, model, a);
+  util::Table table({"technique", "reward rate", "total kW", "budget kW",
+                     "max node inlet C", "constraints"});
+  table.add_row({a.technique, util::fmt(a.reward_rate, 3),
+                 util::fmt(a.total_power_kw(), 2),
+                 util::fmt(scenario->dc.p_const_kw, 2),
+                 util::fmt(check.max_node_inlet_c, 2),
+                 check.ok() ? "OK" : "VIOLATED"});
+  print_table(table, args.flag("csv"));
+
+  if (args.flag("pstates")) {
+    util::Table detail({"node", "type", "P0", "P1", "P2", "P3", "off",
+                        "power kW", "inlet C"});
+    const auto node_power = scenario->dc.node_power_from_pstates(a.core_pstate);
+    for (std::size_t j = 0; j < scenario->dc.num_nodes(); ++j) {
+      const auto& spec = scenario->dc.node_type(j);
+      std::vector<std::size_t> hist(spec.off_state() + 1, 0);
+      for (std::size_t c = 0; c < spec.cores_per_node(); ++c) {
+        ++hist[a.core_pstate[scenario->dc.core_offset(j) + c]];
+      }
+      detail.add_row({std::to_string(j), spec.name().substr(0, 3),
+                      std::to_string(hist[0]), std::to_string(hist[1]),
+                      std::to_string(hist[2]), std::to_string(hist[3]),
+                      std::to_string(hist[4]), util::fmt(node_power[j], 3),
+                      util::fmt(a.temps.node_in[j], 2)});
+    }
+    print_table(detail, args.flag("csv"));
+  }
+  return 0;
+}
+
+int cmd_simulate(const util::ArgParser& args) {
+  const auto scenario = make_scenario(args);
+  if (!scenario) return 1;
+  const thermal::HeatFlowModel model(scenario->dc);
+  const core::Assignment a = run_technique(scenario->dc, model,
+                                           args.option("technique"),
+                                           args.option_double("psi"));
+  if (!a.feasible) {
+    std::fprintf(stderr, "error: assignment infeasible\n");
+    return 1;
+  }
+  sim::SimOptions options;
+  options.duration_seconds = args.option_double("duration");
+  options.warmup_seconds = options.duration_seconds * 0.1;
+  options.seed = static_cast<std::uint64_t>(args.option_int("seed")) + 1;
+  const sim::SimResult result = sim::simulate(scenario->dc, a, options);
+  util::Table table({"predicted reward/s", "achieved reward/s", "ratio",
+                     "drop %", "tracking error"});
+  table.add_row({util::fmt(a.reward_rate, 3), util::fmt(result.reward_rate, 3),
+                 util::fmt(result.reward_rate / a.reward_rate, 3),
+                 util::fmt(100.0 * result.drop_fraction(), 1),
+                 util::fmt(result.mean_tracking_error, 4)});
+  print_table(table, args.flag("csv"));
+  return 0;
+}
+
+int cmd_powermin(const util::ArgParser& args) {
+  const auto scenario = make_scenario(args);
+  if (!scenario) return 1;
+  const thermal::HeatFlowModel model(scenario->dc);
+  const core::ThreeStageAssigner assigner(scenario->dc, model);
+  const core::Assignment reference = assigner.assign();
+  if (!reference.feasible) {
+    std::fprintf(stderr, "error: reference assignment infeasible\n");
+    return 1;
+  }
+  const double target =
+      args.option_double("target-fraction") * reference.reward_rate;
+  const auto result = core::minimize_power_for_reward(scenario->dc, model, target);
+  if (!result.feasible) {
+    std::fprintf(stderr, "error: target unreachable\n");
+    return 1;
+  }
+  util::Table table({"target reward/s", "achieved reward/s", "total kW",
+                     "reference kW", "met"});
+  table.add_row({util::fmt(target, 3), util::fmt(result.reward_rate, 3),
+                 util::fmt(result.total_power_kw, 2),
+                 util::fmt(reference.total_power_kw(), 2),
+                 result.met_target ? "yes" : "no"});
+  print_table(table, args.flag("csv"));
+  return 0;
+}
+
+int cmd_trace(const util::ArgParser& args) {
+  const auto scenario = make_scenario(args);
+  if (!scenario) return 1;
+  const double horizon = args.option_double("duration");
+  const auto seed = static_cast<std::uint64_t>(args.option_int("seed"));
+
+  sim::Trace trace;
+  if (const std::string& path = args.option("trace-in"); !path.empty()) {
+    auto loaded = sim::load_trace_csv(path, scenario->dc.num_task_types());
+    if (!loaded) {
+      std::fprintf(stderr, "error: cannot load trace '%s'\n", path.c_str());
+      return 1;
+    }
+    trace = std::move(*loaded);
+  } else if (args.option_double("burst-multiplier") > 1.0) {
+    sim::MmppConfig config;
+    config.burst_multiplier = args.option_double("burst-multiplier");
+    trace = sim::generate_mmpp_trace(scenario->dc.task_types, horizon, config,
+                                     util::Rng(seed + 2));
+  } else {
+    trace = sim::generate_poisson_trace(scenario->dc.task_types, horizon,
+                                        util::Rng(seed + 2));
+  }
+  if (const std::string& path = args.option("trace-out"); !path.empty()) {
+    if (!sim::save_trace_csv(trace, path)) {
+      std::fprintf(stderr, "error: cannot write trace '%s'\n", path.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "saved %zu arrivals to %s\n", trace.size(), path.c_str());
+  }
+
+  const thermal::HeatFlowModel model(scenario->dc);
+  const core::Assignment a = run_technique(scenario->dc, model,
+                                           args.option("technique"),
+                                           args.option_double("psi"));
+  if (!a.feasible) {
+    std::fprintf(stderr, "error: assignment infeasible\n");
+    return 1;
+  }
+  sim::SimOptions options;
+  options.duration_seconds = horizon;
+  options.warmup_seconds = horizon * 0.1;
+  const sim::SimResult result =
+      sim::simulate_trace(scenario->dc, a, trace, options);
+  util::Table table({"arrivals", "predicted reward/s", "achieved reward/s",
+                     "ratio", "drop %"});
+  table.add_row({std::to_string(trace.size()), util::fmt(a.reward_rate, 3),
+                 util::fmt(result.reward_rate, 3),
+                 util::fmt(result.reward_rate / a.reward_rate, 3),
+                 util::fmt(100.0 * result.drop_fraction(), 1)});
+  print_table(table, args.flag("csv"));
+  return 0;
+}
+
+int cmd_sweep(const util::ArgParser& args) {
+  auto scenario = make_scenario(args);
+  if (!scenario) return 1;
+  const thermal::HeatFlowModel model(scenario->dc);
+  const auto points = static_cast<std::size_t>(args.option_int("points"));
+  util::Table table({"budget factor", "Pconst kW", "three-stage", "baseline",
+                     "improvement %"});
+  for (std::size_t p = 0; p < points; ++p) {
+    const double factor =
+        0.15 + 0.75 * static_cast<double>(p) / static_cast<double>(points - 1);
+    scenario->dc.p_const_kw =
+        thermal::pconst_from_bounds(scenario->bounds, factor);
+    const core::Assignment a =
+        run_technique(scenario->dc, model, "best", 50.0);
+    const core::Assignment b =
+        run_technique(scenario->dc, model, "baseline", 50.0);
+    if (!a.feasible || !b.feasible) continue;
+    table.add_row({util::fmt(factor, 3), util::fmt(scenario->dc.p_const_kw, 1),
+                   util::fmt(a.reward_rate, 2), util::fmt(b.reward_rate, 2),
+                   util::fmt(100.0 * (a.reward_rate - b.reward_rate) /
+                                 b.reward_rate, 2)});
+  }
+  print_table(table, args.flag("csv"));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args(
+      "tapo_cli",
+      "thermal-aware data-center assignment driver (IPDPSW'12 reproduction); "
+      "subcommands: bounds | assign | simulate | powermin | sweep | trace");
+  args.add_option("nodes", "number of compute nodes", "40");
+  args.add_option("cracs", "number of CRAC units", "2");
+  args.add_option("task-types", "number of task types", "8");
+  args.add_option("seed", "scenario seed", "1");
+  args.add_option("static-fraction", "P-state-0 static power share", "0.3");
+  args.add_option("vprop", "ECS frequency-proportionality noise", "0.1");
+  args.add_option("pconst-factor", "budget position between Pmin and Pmax", "0.5");
+  args.add_option("technique", "three-stage | baseline | best", "three-stage");
+  args.add_option("psi", "best-psi-percent of task types for ARR", "50");
+  args.add_option("duration", "simulated seconds (simulate)", "120");
+  args.add_option("target-fraction", "reward floor vs reference (powermin)", "0.8");
+  args.add_option("points", "sweep points (sweep)", "6");
+  args.add_option("save", "archive the generated data center to this file", "");
+  args.add_option("load", "load an archived data center instead of generating", "");
+  args.add_option("trace-in", "replay this arrival trace CSV (trace)", "");
+  args.add_option("trace-out", "save the generated arrival trace CSV (trace)", "");
+  args.add_option("burst-multiplier", "MMPP burst multiplier; 1 = Poisson (trace)", "1");
+  args.add_flag("csv", "emit CSV instead of aligned tables");
+  args.add_flag("pstates", "also print the per-node P-state histogram (assign)");
+
+  if (!args.parse(argc, argv)) {
+    if (!args.error().empty()) std::fprintf(stderr, "error: %s\n", args.error().c_str());
+    std::fputs(args.usage().c_str(), args.help_requested() ? stdout : stderr);
+    return args.help_requested() ? 0 : 2;
+  }
+  if (args.positional().size() != 1) {
+    std::fprintf(stderr, "error: expected exactly one subcommand\n%s",
+                 args.usage().c_str());
+    return 2;
+  }
+  const std::string& command = args.positional()[0];
+  if (command == "bounds") return cmd_bounds(args);
+  if (command == "assign") return cmd_assign(args);
+  if (command == "simulate") return cmd_simulate(args);
+  if (command == "powermin") return cmd_powermin(args);
+  if (command == "sweep") return cmd_sweep(args);
+  if (command == "trace") return cmd_trace(args);
+  std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
+  return 2;
+}
