@@ -1,10 +1,12 @@
 // Substrate microbenchmarks (google-benchmark): LP simplex, LU, heat-flow
-// solve/linearize, cross-interference generation, and the end-to-end
-// assignment techniques at several data-center sizes.
+// solve/linearize, cross-interference generation, the serial-vs-parallel
+// Stage-1 CRAC setpoint sweep, and the end-to-end assignment techniques at
+// several data-center sizes.
 #include <benchmark/benchmark.h>
 
 #include "core/assigner.h"
 #include "core/baseline.h"
+#include "core/stage1.h"
 #include "core/stage3.h"
 #include "scenario/generator.h"
 #include "solver/lp.h"
@@ -108,6 +110,61 @@ void BM_CrossInterference(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CrossInterference)->Arg(50)->Arg(150);
+
+// Stage-1 setpoint sweep at a given thread count (0 = all hardware threads).
+// Every grid point is one LP, batched per sweep round; the result is
+// bit-identical across thread counts, so rows differ only in wall clock —
+// divide the threads:1 time by a threads:N time for the speedup, and read
+// LP throughput off the lp_solves/s counter. The full Cartesian grid (the
+// paper's generic multi-step search) has the widest rounds and is the
+// headline scaling case; the uniform+coordinate default has narrower rounds
+// and bounds what batching can buy there.
+void run_stage1_sweep(benchmark::State& state, bool full_grid) {
+  scenario::ScenarioConfig config;
+  config.num_nodes = 40;
+  config.num_cracs = 3;  // 3 search dimensions -> 64-point coarse rounds
+  config.seed = 12;
+  const auto scenario = scenario::generate_scenario(config);
+  if (!scenario) std::abort();
+  const thermal::HeatFlowModel model(scenario->dc);
+  const core::Stage1Solver solver(scenario->dc, model);
+  core::Stage1Options options;
+  options.full_grid = full_grid;
+  options.threads = static_cast<std::size_t>(state.range(0));
+  std::size_t lp_solves = 0;
+  for (auto _ : state) {
+    const auto result = solver.solve(options);
+    if (!result.feasible) std::abort();
+    lp_solves += result.lp_solves;
+    benchmark::DoNotOptimize(result.objective);
+  }
+  state.counters["lp_solves"] = benchmark::Counter(
+      static_cast<double>(lp_solves) / static_cast<double>(state.iterations()));
+  state.counters["lp_solves/s"] = benchmark::Counter(
+      static_cast<double>(lp_solves), benchmark::Counter::kIsRate);
+}
+
+void BM_Stage1FullGridSweep(benchmark::State& state) {
+  run_stage1_sweep(state, /*full_grid=*/true);
+}
+BENCHMARK(BM_Stage1FullGridSweep)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Stage1UniformSweep(benchmark::State& state) {
+  run_stage1_sweep(state, /*full_grid=*/false);
+}
+BENCHMARK(BM_Stage1UniformSweep)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 void BM_Stage3Aggregated(benchmark::State& state) {
   const auto scenario = make_scenario(static_cast<std::size_t>(state.range(0)));

@@ -12,6 +12,7 @@
 #include "scenario/generator.h"
 #include "thermal/heatflow.h"
 #include "util/table.h"
+#include "util/threadpool.h"
 
 int main() {
   using namespace tapo;
@@ -37,8 +38,16 @@ int main() {
   const thermal::HeatFlowModel model(dc);
 
   // 3. Run the paper's three-stage assignment and the P0-or-off baseline.
+  //    Stage 1's CRAC setpoint sweep solves one LP per grid point and runs
+  //    each sweep round as one parallel batch (threads = 0 means all
+  //    hardware threads; 1 is the serial path). Any thread count produces
+  //    bit-identical assignments — parallelism only changes the wall clock.
+  core::ThreeStageOptions options;
+  options.stage1.threads = 0;
+  std::printf("Stage-1 sweep threads: %zu\n",
+              util::ThreadPool::hardware_threads());
   const core::ThreeStageAssigner three(dc, model);
-  const core::Assignment a = three.assign();
+  const core::Assignment a = three.assign(options);
   const core::BaselineAssigner base(dc, model);
   const core::Assignment b = base.assign();
   if (!a.feasible || !b.feasible) {

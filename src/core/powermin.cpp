@@ -137,8 +137,10 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
       if (!outcome.feasible) return std::nullopt;
       return -outcome.power_kw;
     };
+    // solve_power_at is stateless, so the sweep honours the Stage-1 threads
+    // knob (each round's LPs run as one parallel batch).
     const solver::GridSearchResult search = solver::uniform_then_coordinate_maximize(
-        lo, hi, objective, options.stage1.grid);
+        lo, hi, objective, stage1_grid_options(options.stage1));
     if (!search.found) return result;  // target unreachable even relaxed
 
     const StageOutcome best =

@@ -1,5 +1,6 @@
 #include "core/stage1.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "core/reward.h"
@@ -9,6 +10,12 @@
 #include "util/check.h"
 
 namespace tapo::core {
+
+solver::GridSearchOptions stage1_grid_options(const Stage1Options& options) {
+  solver::GridSearchOptions grid = options.grid;
+  grid.threads = options.threads;
+  return grid;
+}
 
 Stage1Solver::Stage1Solver(const dc::DataCenter& dc,
                            const thermal::HeatFlowModel& model)
@@ -136,23 +143,25 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
   const std::vector<double> lo(nc, options.tcrac_min_c);
   const std::vector<double> hi(nc, options.tcrac_max_c);
 
-  std::size_t lp_solves = 0;
+  // solve_at builds the LP from per-call state only, so the sweep may invoke
+  // it from several threads at once; the counter is the sole shared write.
+  std::atomic<std::size_t> lp_solves{0};
   const auto objective =
       [&](const std::vector<double>& crac_out) -> std::optional<double> {
-    ++lp_solves;
+    lp_solves.fetch_add(1, std::memory_order_relaxed);
     const LpOutcome outcome = solve_at(crac_out, options.psi);
     if (!outcome.feasible) return std::nullopt;
     return outcome.objective;
   };
 
+  const solver::GridSearchOptions grid = stage1_grid_options(options);
   const solver::GridSearchResult search =
       options.full_grid
-          ? solver::grid_search_maximize(lo, hi, objective, options.grid)
-          : solver::uniform_then_coordinate_maximize(lo, hi, objective,
-                                                     options.grid);
+          ? solver::grid_search_maximize(lo, hi, objective, grid)
+          : solver::uniform_then_coordinate_maximize(lo, hi, objective, grid);
 
   Stage1Result result;
-  result.lp_solves = lp_solves;
+  result.lp_solves = lp_solves.load(std::memory_order_relaxed);
   if (!search.found) return result;
 
   const LpOutcome best = solve_at(search.best_point, options.psi);

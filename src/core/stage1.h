@@ -34,7 +34,17 @@ struct Stage1Options {
   // Full Cartesian coarse-to-fine search (paper's generic multi-step method)
   // instead of the cheaper uniform-value + coordinate-descent default.
   bool full_grid = false;
+  // Worker threads for the setpoint sweep: each sweep round solves its LPs
+  // as one batch (0 = all hardware threads, 1 = the serial legacy path).
+  // Every value yields a bit-identical Stage1Result — batch results are
+  // reduced in a fixed order with value ties broken toward the
+  // lexicographically smallest setpoint vector. Overrides grid.threads.
+  std::size_t threads = 0;
 };
+
+// `options.grid` with the Stage-1 `threads` knob applied; shared by every
+// caller that drives a grid search over the Stage-1-style LP objective.
+solver::GridSearchOptions stage1_grid_options(const Stage1Options& options);
 
 struct Stage1Result {
   bool feasible = false;

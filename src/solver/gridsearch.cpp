@@ -2,30 +2,87 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "util/check.h"
+#include "util/threadpool.h"
 
 namespace tapo::solver {
 
 namespace {
 
-// Evaluates the Cartesian grid defined by per-dimension sample lists,
-// updating the incumbent.
-void sweep_grid(const std::vector<std::vector<double>>& samples,
-                const GridObjective& objective, GridSearchResult& result) {
+bool lex_less(const std::vector<double>& a, const std::vector<double>& b) {
+  return std::lexicographical_compare(a.begin(), a.end(), b.begin(), b.end());
+}
+
+// Evaluates batches of candidate points — serially or on a thread pool — and
+// folds them into the incumbent in submission order, so the result is
+// bit-identical for every thread count.
+class BatchEvaluator {
+ public:
+  BatchEvaluator(const GridObjective& objective, std::size_t threads)
+      : objective_(objective) {
+    const std::size_t n =
+        threads == 0 ? util::ThreadPool::hardware_threads() : threads;
+    if (n > 1) pool_ = std::make_unique<util::ThreadPool>(n);
+  }
+
+  // Evaluates every point; the returned values are aligned with `points` and
+  // remain valid until the next evaluate() call.
+  const std::vector<std::optional<double>>& evaluate(
+      const std::vector<std::vector<double>>& points) {
+    values_.assign(points.size(), std::nullopt);
+    if (pool_ && points.size() > 1) {
+      pool_->parallel_for(points.size(), [&](std::size_t i) {
+        values_[i] = objective_(points[i]);
+      });
+    } else {
+      for (std::size_t i = 0; i < points.size(); ++i) {
+        values_[i] = objective_(points[i]);
+      }
+    }
+    return values_;
+  }
+
+  // Evaluates every point and updates the incumbent: a higher value wins,
+  // and an exact value tie goes to the lexicographically smallest point.
+  void sweep(const std::vector<std::vector<double>>& points,
+             GridSearchResult& result) {
+    const auto& values = evaluate(points);
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      ++result.evaluations;
+      if (!values[i]) continue;
+      const double value = *values[i];
+      if (!result.found || value > result.best_value ||
+          (value == result.best_value &&
+           lex_less(points[i], result.best_point))) {
+        result.found = true;
+        result.best_value = value;
+        result.best_point = points[i];
+      }
+    }
+  }
+
+ private:
+  const GridObjective& objective_;
+  std::unique_ptr<util::ThreadPool> pool_;
+  std::vector<std::optional<double>> values_;
+};
+
+// All points of the Cartesian grid defined by per-dimension sample lists,
+// in odometer order (dimension 0 fastest).
+std::vector<std::vector<double>> cartesian_points(
+    const std::vector<std::vector<double>>& samples) {
   const std::size_t dims = samples.size();
+  std::size_t total = 1;
+  for (const auto& s : samples) total *= s.size();
+  std::vector<std::vector<double>> points;
+  points.reserve(total);
   std::vector<std::size_t> idx(dims, 0);
   std::vector<double> point(dims);
   while (true) {
     for (std::size_t d = 0; d < dims; ++d) point[d] = samples[d][idx[d]];
-    ++result.evaluations;
-    if (auto value = objective(point)) {
-      if (!result.found || *value > result.best_value) {
-        result.found = true;
-        result.best_value = *value;
-        result.best_point = point;
-      }
-    }
+    points.push_back(point);
     // Odometer increment.
     std::size_t d = 0;
     while (d < dims) {
@@ -35,6 +92,7 @@ void sweep_grid(const std::vector<std::vector<double>>& samples,
     }
     if (d == dims) break;
   }
+  return points;
 }
 
 std::vector<double> linspace(double lo, double hi, std::size_t n) {
@@ -57,11 +115,12 @@ GridSearchResult grid_search_maximize(const std::vector<double>& lo,
   const std::size_t dims = lo.size();
 
   GridSearchResult result;
+  BatchEvaluator evaluator(objective, options.threads);
   std::vector<std::vector<double>> samples(dims);
   for (std::size_t d = 0; d < dims; ++d) {
     samples[d] = linspace(lo[d], hi[d], options.coarse_samples);
   }
-  sweep_grid(samples, objective, result);
+  evaluator.sweep(cartesian_points(samples), result);
   if (!result.found) return result;
 
   std::vector<double> step(dims);
@@ -80,7 +139,7 @@ GridSearchResult grid_search_maximize(const std::vector<double>& lo,
                             options.refine_samples);
     }
     if (!any) break;
-    sweep_grid(samples, objective, result);
+    evaluator.sweep(cartesian_points(samples), result);
   }
   return result;
 }
@@ -92,23 +151,19 @@ GridSearchResult uniform_then_coordinate_maximize(
   const std::size_t dims = lo.size();
 
   GridSearchResult result;
+  BatchEvaluator evaluator(objective, options.threads);
 
   // Phase 1: all dimensions share one value; coarse sweep + one refinement.
   const double ulo = *std::max_element(lo.begin(), lo.end());
   const double uhi = *std::min_element(hi.begin(), hi.end());
-  auto eval_uniform = [&](double u) {
-    std::vector<double> point(dims, u);
-    ++result.evaluations;
-    if (auto value = objective(point)) {
-      if (!result.found || *value > result.best_value) {
-        result.found = true;
-        result.best_value = *value;
-        result.best_point = point;
-      }
-    }
+  const auto uniform_points = [dims](const std::vector<double>& us) {
+    std::vector<std::vector<double>> points;
+    points.reserve(us.size());
+    for (double u : us) points.emplace_back(dims, u);
+    return points;
   };
   const std::size_t coarse = std::max<std::size_t>(options.coarse_samples * 2, 6);
-  for (double u : linspace(ulo, uhi, coarse)) eval_uniform(u);
+  evaluator.sweep(uniform_points(linspace(ulo, uhi, coarse)), result);
   if (!result.found) {
     // Fall back to the full grid: a uniform value may be infeasible while a
     // non-uniform point is feasible.
@@ -119,27 +174,41 @@ GridSearchResult uniform_then_coordinate_maximize(
     step *= 0.5;
     if (step < options.min_resolution * 0.5) break;
     const double center = result.best_point[0];
+    std::vector<double> us;
     for (double u : {center - step, center + step}) {
-      if (u >= ulo && u <= uhi) eval_uniform(u);
+      if (u >= ulo && u <= uhi) us.push_back(u);
     }
+    evaluator.sweep(uniform_points(us), result);
   }
 
-  // Phase 2: cyclic coordinate descent around the best uniform point.
+  // Phase 2: cyclic coordinate descent around the best uniform point. Both
+  // deltas of a coordinate are evaluated from the same incumbent and reduced
+  // deterministically, then the incumbent moves only on a strict improvement.
   double cstep = std::max(step, options.min_resolution);
   for (std::size_t round = 0; round < options.refine_rounds + 1; ++round) {
     bool improved = false;
     for (std::size_t d = 0; d < dims; ++d) {
+      std::vector<std::vector<double>> pair;
+      pair.reserve(2);
       for (double delta : {-cstep, cstep}) {
         std::vector<double> point = result.best_point;
         point[d] = std::clamp(point[d] + delta, lo[d], hi[d]);
-        ++result.evaluations;
-        if (auto value = objective(point)) {
-          if (*value > result.best_value + 1e-12) {
-            result.best_value = *value;
-            result.best_point = point;
-            improved = true;
-          }
+        pair.push_back(std::move(point));
+      }
+      const auto& values = evaluator.evaluate(pair);
+      result.evaluations += pair.size();
+      std::size_t pick = pair.size();
+      for (std::size_t i = 0; i < pair.size(); ++i) {
+        if (!values[i]) continue;
+        if (pick == pair.size() || *values[i] > *values[pick] ||
+            (*values[i] == *values[pick] && lex_less(pair[i], pair[pick]))) {
+          pick = i;
         }
+      }
+      if (pick < pair.size() && *values[pick] > result.best_value + 1e-12) {
+        result.best_value = *values[pick];
+        result.best_point = pair[pick];
+        improved = true;
       }
     }
     if (!improved) {

@@ -10,6 +10,7 @@
 // homogeneity of the CRAC units.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <optional>
 #include <vector>
@@ -25,6 +26,14 @@ struct GridSearchOptions {
   std::size_t refine_samples = 3;
   // Stop refining once the step size drops below this resolution.
   double min_resolution = 0.5;
+  // Worker threads used to evaluate each sweep round as one batch
+  // (1 = serial, 0 = all hardware threads). Every value produces an
+  // identical GridSearchResult: batch results are reduced in submission
+  // order and exact value ties go to the lexicographically smallest point,
+  // so the outcome never depends on thread completion order. With
+  // threads != 1 the objective is invoked concurrently and must be safe to
+  // call from multiple threads at once.
+  std::size_t threads = 1;
 };
 
 struct GridSearchResult {

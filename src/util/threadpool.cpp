@@ -1,0 +1,116 @@
+#include "util/threadpool.h"
+
+#include <atomic>
+
+#include "util/check.h"
+
+namespace tapo::util {
+
+// Shared per-batch state. Workers hold a shared_ptr while draining, so a
+// worker that wakes up late (after the batch already completed and a new one
+// was installed) still operates on its own batch's counters and exits
+// immediately instead of corrupting the successor.
+struct ThreadPool::Batch {
+  const std::function<void(std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex error_mu;
+  std::exception_ptr error;
+
+  // Claims and runs tasks until the index space is exhausted. Returns true
+  // when this call retired the final task of the batch.
+  bool drain() {
+    bool retired_last = false;
+    while (true) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*body)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!error) error = std::current_exception();
+      }
+      if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        retired_last = true;
+      }
+    }
+    return retired_last;
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  TAPO_CHECK_MSG(threads >= 1, "a thread pool needs at least the caller");
+  workers_.reserve(threads - 1);
+  for (std::size_t t = 0; t + 1 < threads; ++t) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+std::size_t ThreadPool::hardware_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->body = &body;
+  batch->count = count;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    TAPO_CHECK_MSG(batch_ == nullptr, "parallel_for is not reentrant");
+    batch_ = batch;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  batch->drain();  // the caller is a worker too
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] {
+      return batch->completed.load(std::memory_order_acquire) == count;
+    });
+    batch_ = nullptr;
+  }
+  if (batch->error) std::rethrow_exception(batch->error);
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock,
+                  [&] { return stop_ || (batch_ != nullptr && generation_ != seen); });
+    if (stop_) return;
+    seen = generation_;
+    const std::shared_ptr<Batch> batch = batch_;
+    lock.unlock();
+    const bool retired_last = batch->drain();
+    if (retired_last) {
+      // Empty critical section orders the completion count before the
+      // notify, so the caller cannot miss the wakeup between its predicate
+      // check and its wait.
+      { std::lock_guard<std::mutex> guard(mu_); }
+      done_cv_.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+}  // namespace tapo::util

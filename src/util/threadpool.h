@@ -1,0 +1,59 @@
+// Fixed-size thread pool with a blocking batch parallel-for.
+//
+// Built for the Stage-1 CRAC setpoint sweep: every grid point solves an
+// independent LP, so each sweep round submits all points as one batch and
+// the caller blocks until the batch drains. The pool deliberately exposes
+// only `parallel_for` (no futures, no detached tasks): workers write results
+// into caller-owned slots indexed by task id, which keeps downstream
+// reductions deterministic regardless of completion order.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tapo::util {
+
+class ThreadPool {
+ public:
+  // A pool of `threads` workers total, *including* the calling thread: the
+  // caller participates in every parallel_for, so ThreadPool(1) spawns no
+  // threads at all and runs every batch inline.
+  explicit ThreadPool(std::size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total workers, including the caller.
+  std::size_t size() const { return workers_.size() + 1; }
+
+  // Runs body(0) ... body(count - 1), dynamically load-balanced across the
+  // pool, and returns once every call has finished. The first exception
+  // thrown by any body is rethrown on the calling thread after the batch
+  // drains. Not reentrant: bodies must not call parallel_for themselves.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+  // hardware_concurrency with a floor of 1 (the standard allows 0).
+  static std::size_t hardware_threads();
+
+ private:
+  struct Batch;
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::shared_ptr<Batch> batch_;  // current batch; null when idle
+  std::uint64_t generation_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace tapo::util

@@ -6,6 +6,7 @@
 
 #include "core/baseline.h"
 #include "core/exact.h"
+#include "core/stage1.h"
 #include "solver/lp.h"
 #include "testutil.h"
 #include "thermal/heatflow.h"
@@ -175,6 +176,88 @@ TEST(InvariantChain, HeterogeneousCracsSupported) {
   const auto a = three.assign();
   ASSERT_TRUE(a.feasible);
   EXPECT_TRUE(core::verify_assignment(dc, model, a).ok());
+}
+
+// ---- Stage-1 end-to-end properties (parallel setpoint sweep). ----
+
+TEST(Stage1Properties, SolvedPointRespectsBudgetAndRedlines) {
+  for (std::uint64_t seed : {601, 602, 603, 604}) {
+    SCOPED_TRACE(testing::Message() << "seed=" << seed);
+    const auto scenario = test::make_small_scenario(seed, 12, 2);
+    const thermal::HeatFlowModel model(scenario.dc);
+    const core::Stage1Solver solver(scenario.dc, model);
+    const auto r = solver.solve();  // default options: parallel sweep
+    ASSERT_TRUE(r.feasible);
+    EXPECT_LE(r.compute_power_kw + r.crac_power_kw,
+              scenario.dc.p_const_kw + 1e-6);
+    // Re-derive the steady state independently and check every redline.
+    std::vector<double> node_power(scenario.dc.num_nodes());
+    for (std::size_t j = 0; j < node_power.size(); ++j) {
+      node_power[j] = r.node_core_power_kw[j] +
+                      scenario.dc.node_type(j).base_power_kw();
+    }
+    const auto temps = model.solve(r.crac_out_c, node_power);
+    EXPECT_TRUE(model.within_redlines(temps));
+  }
+}
+
+TEST(Stage1Properties, ObjectiveMonotoneInPowerBudget) {
+  // On a fixed candidate set (coarse full grid, no adaptive refinement) a
+  // larger power budget can only relax each grid point's LP, so the Stage-1
+  // objective must be monotone non-decreasing in Pconst, and feasibility,
+  // once gained, must persist.
+  auto scenario = test::make_small_scenario(605, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const core::Stage1Solver solver(scenario.dc, model);
+  core::Stage1Options options;
+  options.full_grid = true;
+  options.grid.coarse_samples = 5;
+  options.grid.refine_rounds = 0;
+  const double pconst = scenario.dc.p_const_kw;
+  bool was_feasible = false;
+  double prev_objective = 0.0;
+  for (double scale : {0.6, 0.8, 1.0, 1.2, 1.4}) {
+    SCOPED_TRACE(testing::Message() << "scale=" << scale);
+    scenario.dc.p_const_kw = pconst * scale;
+    const auto r = solver.solve(options);
+    if (was_feasible) {
+      ASSERT_TRUE(r.feasible);
+      EXPECT_GE(r.objective, prev_objective - 1e-9);
+    }
+    if (r.feasible) {
+      was_feasible = true;
+      prev_objective = r.objective;
+    }
+  }
+  EXPECT_TRUE(was_feasible);  // at least the generated Pconst must work
+}
+
+TEST(Stage1Properties, ThreadCountDoesNotChangeTheResult) {
+  for (std::uint64_t seed : {606, 607}) {
+    const auto scenario = test::make_small_scenario(seed, 10, 2);
+    const thermal::HeatFlowModel model(scenario.dc);
+    const core::Stage1Solver solver(scenario.dc, model);
+    for (bool full_grid : {false, true}) {
+      core::Stage1Options options;
+      options.full_grid = full_grid;
+      options.threads = 1;
+      const auto serial = solver.solve(options);
+      ASSERT_TRUE(serial.feasible);
+      for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+        SCOPED_TRACE(testing::Message() << "seed=" << seed << " full_grid="
+                                        << full_grid << " threads=" << threads);
+        options.threads = threads;
+        const auto parallel = solver.solve(options);
+        EXPECT_EQ(parallel.feasible, serial.feasible);
+        EXPECT_EQ(parallel.crac_out_c, serial.crac_out_c);  // exact, bit-wise
+        EXPECT_EQ(parallel.objective, serial.objective);
+        EXPECT_EQ(parallel.node_core_power_kw, serial.node_core_power_kw);
+        EXPECT_EQ(parallel.compute_power_kw, serial.compute_power_kw);
+        EXPECT_EQ(parallel.crac_power_kw, serial.crac_power_kw);
+        EXPECT_EQ(parallel.lp_solves, serial.lp_solves);
+      }
+    }
+  }
 }
 
 TEST(InvariantChain, RewardScalesWithUniformRewardScaling) {

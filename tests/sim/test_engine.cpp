@@ -27,6 +27,39 @@ TEST(Engine, TieBreaksByInsertionOrder) {
   EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
+// Regression: the scheduler's determinism contract. Many events across two
+// tied timestamps — the later one exactly at the horizon — must run in
+// insertion order within each timestamp, even when interleaved at schedule
+// time and when the heap grows large enough to reorder internally.
+TEST(Engine, InterleavedTiesIncludingAtHorizonRunInInsertionOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 8; ++i) {
+    engine.schedule_at(5.0, [&order, i] { order.push_back(100 + i); });
+    engine.schedule_at(2.0, [&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(engine.run_until(5.0), 16u);
+  std::vector<int> expected;
+  for (int i = 0; i < 8; ++i) expected.push_back(i);
+  for (int i = 0; i < 8; ++i) expected.push_back(100 + i);
+  EXPECT_EQ(order, expected);
+}
+
+// Regression: an event that schedules another event at its *own* timestamp
+// gets a later sequence number, so the newcomer runs after every already
+// queued event at that time — insertion order, not recursion order.
+TEST(Engine, EventSchedulingAtOwnTimeRunsAfterQueuedTies) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(1.0, [&] {
+    order.push_back(0);
+    engine.schedule_at(1.0, [&] { order.push_back(2); });
+  });
+  engine.schedule_at(1.0, [&] { order.push_back(1); });
+  EXPECT_EQ(engine.run_until(1.0), 3u);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
 TEST(Engine, HorizonStopsExecution) {
   Engine engine;
   int count = 0;

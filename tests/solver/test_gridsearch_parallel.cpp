@@ -1,0 +1,178 @@
+// Differential tests for the parallel grid-search path: for seeded random
+// objectives — smooth, plateau-heavy (exact value ties), partially and fully
+// infeasible — the GridSearchResult at threads = {2, 8} must be *exactly*
+// equal to the serial threads = 1 result: same best point, same best value
+// bit-for-bit, same evaluation count. This is the determinism contract the
+// Stage-1 setpoint sweep relies on.
+#include "solver/gridsearch.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tapo::solver {
+namespace {
+
+// A deterministic pseudo-random objective built once from a seed and then
+// shared (read-only) across evaluation threads. Mixes shifted quadratics and
+// sinusoids; optional quantization forces exact value ties; an optional
+// infeasibility band on coordinate 0 exercises nullopt handling.
+class RandomObjective {
+ public:
+  RandomObjective(std::uint64_t seed, std::size_t dims, bool quantize,
+                  bool with_infeasible_band) {
+    util::Rng rng(seed);
+    center_.resize(dims);
+    weight_.resize(dims);
+    freq_.resize(dims);
+    for (std::size_t d = 0; d < dims; ++d) {
+      center_[d] = rng.uniform(0.0, 10.0);
+      weight_[d] = rng.uniform(0.2, 2.0);
+      freq_[d] = rng.uniform(0.3, 2.0);
+    }
+    quantum_ = quantize ? rng.uniform(0.5, 2.0) : 0.0;
+    if (with_infeasible_band) {
+      band_lo_ = rng.uniform(0.0, 8.0);
+      band_hi_ = band_lo_ + rng.uniform(0.5, 2.0);
+    }
+  }
+
+  std::optional<double> operator()(const std::vector<double>& x) const {
+    if (band_hi_ > band_lo_ && x[0] >= band_lo_ && x[0] <= band_hi_) {
+      return std::nullopt;
+    }
+    double v = 0.0;
+    for (std::size_t d = 0; d < x.size(); ++d) {
+      v -= weight_[d] * (x[d] - center_[d]) * (x[d] - center_[d]);
+      v += std::sin(freq_[d] * x[d]);
+    }
+    if (quantum_ > 0.0) v = quantum_ * std::floor(v / quantum_);
+    return v;
+  }
+
+ private:
+  std::vector<double> center_, weight_, freq_;
+  double quantum_ = 0.0;
+  double band_lo_ = 0.0, band_hi_ = -1.0;
+};
+
+void expect_identical(const GridSearchResult& serial,
+                      const GridSearchResult& parallel) {
+  EXPECT_EQ(serial.found, parallel.found);
+  EXPECT_EQ(serial.evaluations, parallel.evaluations);
+  EXPECT_EQ(serial.best_value, parallel.best_value);  // exact, not NEAR
+  EXPECT_EQ(serial.best_point, parallel.best_point);
+}
+
+GridSearchOptions options_for(std::uint64_t seed, std::size_t threads) {
+  GridSearchOptions opt;
+  opt.coarse_samples = 3 + static_cast<std::size_t>(seed % 4);  // 3..6
+  opt.refine_rounds = 1 + static_cast<std::size_t>(seed % 3);   // 1..3
+  opt.min_resolution = 0.05;
+  opt.threads = threads;
+  return opt;
+}
+
+TEST(GridSearchParallel, FullGridMatchesSerialOnRandomObjectives) {
+  for (std::uint64_t seed = 1; seed <= 24; ++seed) {
+    const std::size_t dims = 1 + static_cast<std::size_t>(seed % 3);
+    const RandomObjective fn(seed, dims, /*quantize=*/seed % 4 == 0,
+                             /*with_infeasible_band=*/seed % 3 == 0);
+    const std::vector<double> lo(dims, 0.0), hi(dims, 10.0);
+    const auto serial =
+        grid_search_maximize(lo, hi, std::cref(fn), options_for(seed, 1));
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(testing::Message() << "seed=" << seed << " threads=" << threads);
+      const auto parallel =
+          grid_search_maximize(lo, hi, std::cref(fn), options_for(seed, threads));
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(GridSearchParallel, UniformCoordinateMatchesSerialOnRandomObjectives) {
+  for (std::uint64_t seed = 100; seed < 124; ++seed) {
+    const std::size_t dims = 1 + static_cast<std::size_t>(seed % 4);
+    const RandomObjective fn(seed, dims, /*quantize=*/seed % 5 == 0,
+                             /*with_infeasible_band=*/seed % 2 == 0);
+    const std::vector<double> lo(dims, 0.0), hi(dims, 10.0);
+    const auto serial = uniform_then_coordinate_maximize(lo, hi, std::cref(fn),
+                                                         options_for(seed, 1));
+    for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+      SCOPED_TRACE(testing::Message() << "seed=" << seed << " threads=" << threads);
+      const auto parallel = uniform_then_coordinate_maximize(
+          lo, hi, std::cref(fn), options_for(seed, threads));
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(GridSearchParallel, AllInfeasibleMatchesSerial) {
+  const auto never = [](const std::vector<double>&) -> std::optional<double> {
+    return std::nullopt;
+  };
+  const std::vector<double> lo(2, 0.0), hi(2, 10.0);
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    GridSearchOptions opt;
+    opt.threads = threads;
+    const auto full = grid_search_maximize(lo, hi, never, opt);
+    EXPECT_FALSE(full.found);
+    const auto uc = uniform_then_coordinate_maximize(lo, hi, never, opt);
+    EXPECT_FALSE(uc.found);
+    // Evaluation counts must not depend on the thread count either.
+    GridSearchOptions serial_opt = opt;
+    serial_opt.threads = 1;
+    EXPECT_EQ(full.evaluations,
+              grid_search_maximize(lo, hi, never, serial_opt).evaluations);
+    EXPECT_EQ(uc.evaluations,
+              uniform_then_coordinate_maximize(lo, hi, never, serial_opt).evaluations);
+  }
+}
+
+TEST(GridSearchParallel, ConstantObjectivePicksLexicographicMinimum) {
+  // Every point ties exactly, so the deterministic reduction must settle on
+  // the lexicographically smallest candidate — the lower corner, which the
+  // coarse grid contains — for every thread count.
+  const auto constant = [](const std::vector<double>&) -> std::optional<double> {
+    return 1.0;
+  };
+  const std::vector<double> lo{2.0, 3.0, 4.0}, hi{10.0, 10.0, 10.0};
+  for (std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    GridSearchOptions opt;
+    opt.threads = threads;
+    const auto r = grid_search_maximize(lo, hi, constant, opt);
+    ASSERT_TRUE(r.found);
+    EXPECT_EQ(r.best_point, lo);
+    EXPECT_EQ(r.best_value, 1.0);
+  }
+}
+
+TEST(GridSearchParallel, TieHeavyPlateauIsThreadCountInvariant) {
+  // Coarse plateaus: floor() collapses whole regions to identical values, so
+  // almost every comparison during the reduction is an exact tie.
+  const auto plateau = [](const std::vector<double>& x) -> std::optional<double> {
+    double s = 0.0;
+    for (double v : x) s += v;
+    return std::floor(s / 3.0);
+  };
+  const std::vector<double> lo(2, 0.0), hi(2, 9.0);
+  GridSearchOptions serial_opt;
+  serial_opt.coarse_samples = 5;
+  serial_opt.refine_rounds = 3;
+  serial_opt.threads = 1;
+  const auto serial = grid_search_maximize(lo, hi, plateau, serial_opt);
+  const auto serial_uc = uniform_then_coordinate_maximize(lo, hi, plateau, serial_opt);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    GridSearchOptions opt = serial_opt;
+    opt.threads = threads;
+    expect_identical(serial, grid_search_maximize(lo, hi, plateau, opt));
+    expect_identical(serial_uc,
+                     uniform_then_coordinate_maximize(lo, hi, plateau, opt));
+  }
+}
+
+}  // namespace
+}  // namespace tapo::solver
