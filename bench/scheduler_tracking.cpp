@@ -33,7 +33,12 @@ int main() {
   const auto& dc = scenario->dc;
   const thermal::HeatFlowModel model(dc);
   const core::ThreeStageAssigner assigner(dc, model);
-  const core::Assignment assignment = assigner.assign();
+  // TAPO_TELEMETRY_OUT=<file>.json archives this harness's metrics in the
+  // same JSON shape tapo_cli --telemetry-out emits.
+  util::telemetry::Registry* const telemetry = bench::telemetry_sink();
+  core::ThreeStageOptions assign_options;
+  assign_options.stage1.telemetry = telemetry;
+  const core::Assignment assignment = assigner.assign(assign_options);
   if (!assignment.feasible) {
     std::fprintf(stderr, "assignment infeasible\n");
     return 1;
@@ -42,7 +47,12 @@ int main() {
   sim::SimOptions options;
   options.duration_seconds = 600.0;
   options.warmup_seconds = 120.0;
+  options.telemetry = telemetry;
   const sim::SimResult result = sim::simulate(dc, assignment, options);
+  if (telemetry) {
+    telemetry->gauge_set("bench.nodes", static_cast<double>(nodes));
+    telemetry->gauge_set("bench.predicted_reward_rate", assignment.reward_rate);
+  }
 
   util::Table table({"task type", "lambda/s", "desired rate/s",
                      "realized rate/s", "realized/desired", "drop %"});
@@ -69,5 +79,6 @@ int main() {
   std::printf("\nThe scheduler routes each arrival to the eligible core with\n"
               "the smallest ATC/TC (skipping cores already ahead of their\n"
               "desired rate) and drops tasks no core can finish in time.\n");
+  bench::write_telemetry();
   return 0;
 }

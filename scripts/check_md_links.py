@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Check that relative markdown links in the repo docs resolve.
+
+Scans README.md and docs/*.md for inline links/images `[text](target)` and
+verifies every relative target exists on disk (anchors are stripped; http/
+https/mailto links are skipped). Exit status 0 when all links resolve, 1
+otherwise, printing one line per broken link. Stdlib only.
+
+Usage: scripts/check_md_links.py [repo_root]
+"""
+import pathlib
+import re
+import sys
+
+# Inline links only; reference-style links are not used in this repo.
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+SKIP = ("http://", "https://", "mailto:")
+
+
+def iter_md_files(root: pathlib.Path):
+    readme = root / "README.md"
+    if readme.is_file():
+        yield readme
+    yield from sorted((root / "docs").glob("*.md"))
+
+
+def fenced_code_stripped(text: str) -> str:
+    """Remove ``` blocks so example snippets can't produce false positives."""
+    out, fenced = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            fenced = not fenced
+            continue
+        if not fenced:
+            out.append(line)
+    return "\n".join(out)
+
+
+def main() -> int:
+    root = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else ".").resolve()
+    broken = []
+    checked = 0
+    for md in iter_md_files(root):
+        text = fenced_code_stripped(md.read_text(encoding="utf-8"))
+        for match in LINK.finditer(text):
+            target = match.group(1)
+            if target.startswith(SKIP) or target.startswith("#"):
+                continue
+            path = target.split("#", 1)[0]
+            if not path:
+                continue
+            resolved = (md.parent / path).resolve()
+            checked += 1
+            if not resolved.exists():
+                broken.append(f"{md.relative_to(root)}: broken link -> {target}")
+    for line in broken:
+        print(line)
+    print(f"checked {checked} relative links in "
+          f"{sum(1 for _ in iter_md_files(root))} files: "
+          f"{len(broken)} broken")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

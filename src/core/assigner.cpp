@@ -6,6 +6,7 @@
 #include "core/stage2.h"
 #include "core/stage3.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 
@@ -26,6 +27,10 @@ ThreeStageAssigner::ThreeStageAssigner(const dc::DataCenter& dc,
     : dc_(dc), model_(model) {}
 
 Assignment ThreeStageAssigner::assign(const ThreeStageOptions& options) const {
+  // One telemetry pointer serves all three stages (see Stage1Options).
+  util::telemetry::Registry* const reg = options.stage1.telemetry;
+  const util::telemetry::ScopedTimer total_timer(reg, "assign.total");
+
   Assignment assignment;
   assignment.technique =
       "three-stage psi=" + std::to_string(static_cast<int>(options.stage1.psi));
@@ -37,10 +42,11 @@ Assignment ThreeStageAssigner::assign(const ThreeStageOptions& options) const {
   assignment.stage1_objective = s1.objective;
   assignment.crac_out_c = s1.crac_out_c;
 
-  const Stage2Result s2 = convert_power_to_pstates(dc_, s1.node_core_power_kw);
+  const Stage2Result s2 =
+      convert_power_to_pstates(dc_, s1.node_core_power_kw, reg);
   assignment.core_pstate = s2.core_pstate;
 
-  const Stage3Result s3 = solve_stage3(dc_, s2.core_pstate);
+  const Stage3Result s3 = solve_stage3(dc_, s2.core_pstate, reg);
   TAPO_CHECK_MSG(s3.optimal, "stage 3 LP must be solvable (0 is feasible)");
   assignment.tc = s3.tc;
   assignment.reward_rate = s3.reward_rate;

@@ -1,5 +1,6 @@
 #include "core/powermin.h"
 
+#include <atomic>
 #include <cmath>
 
 #include "core/reward.h"
@@ -9,6 +10,7 @@
 #include "solver/lp.h"
 #include "solver/piecewise.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 
@@ -121,34 +123,56 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
                                          const thermal::HeatFlowModel& model,
                                          double target_reward_rate,
                                          const PowerMinOptions& options) {
+  util::telemetry::Registry* const reg = options.stage1.telemetry;
+  const util::telemetry::ScopedTimer total_timer(reg, "powermin.solve");
+
   PowerMinResult result;
   double floor = target_reward_rate;
 
   for (std::size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
     ++result.attempts;
+    if (reg) {
+      reg->count("powermin.attempts");
+      reg->sample("powermin.floor_by_attempt", static_cast<double>(attempt),
+                  floor);
+    }
 
     const std::size_t nc = dc.num_cracs();
     const std::vector<double> lo(nc, options.stage1.tcrac_min_c);
     const std::vector<double> hi(nc, options.stage1.tcrac_max_c);
+    std::atomic<std::size_t> lp_solves{0};
+    std::atomic<std::size_t> infeasible{0};
     const auto objective =
         [&](const std::vector<double>& crac_out) -> std::optional<double> {
+      lp_solves.fetch_add(1, std::memory_order_relaxed);
+      const util::telemetry::ScopedTimer lp_timer(reg, "powermin.lp");
       const StageOutcome outcome =
           solve_power_at(dc, model, crac_out, options.stage1.psi, floor);
-      if (!outcome.feasible) return std::nullopt;
+      if (!outcome.feasible) {
+        infeasible.fetch_add(1, std::memory_order_relaxed);
+        return std::nullopt;
+      }
       return -outcome.power_kw;
     };
     // solve_power_at is stateless, so the sweep honours the Stage-1 threads
     // knob (each round's LPs run as one parallel batch).
     const solver::GridSearchResult search = solver::uniform_then_coordinate_maximize(
         lo, hi, objective, stage1_grid_options(options.stage1));
+    if (reg) {
+      reg->count("powermin.lp_solves",
+                 lp_solves.load(std::memory_order_relaxed));
+      reg->count("powermin.infeasible_candidates",
+                 infeasible.load(std::memory_order_relaxed));
+    }
     if (!search.found) return result;  // target unreachable even relaxed
 
     const StageOutcome best =
         solve_power_at(dc, model, search.best_point, options.stage1.psi, floor);
     TAPO_CHECK(best.feasible);
 
-    const Stage2Result s2 = convert_power_to_pstates(dc, best.node_core_power_kw);
-    const Stage3Result s3 = solve_stage3(dc, s2.core_pstate);
+    const Stage2Result s2 =
+        convert_power_to_pstates(dc, best.node_core_power_kw, reg);
+    const Stage3Result s3 = solve_stage3(dc, s2.core_pstate, reg);
 
     Assignment assignment;
     assignment.feasible = true;
@@ -166,6 +190,13 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
     result.assignment = std::move(assignment);
     result.met_target = s3.reward_rate >=
                         target_reward_rate * (1.0 - options.relative_tolerance);
+    if (reg) {
+      reg->sample("powermin.reward_by_attempt", static_cast<double>(attempt),
+                  s3.reward_rate);
+      reg->gauge_set("powermin.total_power_kw", result.total_power_kw);
+      reg->gauge_set("powermin.reward_rate", result.reward_rate);
+      reg->gauge_set("powermin.met_target", result.met_target ? 1.0 : 0.0);
+    }
     if (result.met_target) return result;
     floor *= options.retry_inflation;  // rounding shortfall: ask Stage 1 for more
   }

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 
@@ -109,8 +110,14 @@ DynamicScheduler::Decision DynamicScheduler::route(
   if (best.assigned) {
     counts_[task_type][best.core] += 1.0;
     ++assigned_[task_type];
+    TAPO_TELEM_EVENT(options_.telemetry, "sched.assign", now,
+                     {{"type", static_cast<double>(task_type)},
+                      {"core", static_cast<double>(best.core)},
+                      {"exec_seconds", best.exec_seconds}});
   } else {
     ++dropped_[task_type];
+    TAPO_TELEM_EVENT(options_.telemetry, "sched.drop", now,
+                     {{"type", static_cast<double>(task_type)}});
   }
   return best;
 }

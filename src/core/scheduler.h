@@ -17,6 +17,10 @@
 #include "dc/datacenter.h"
 #include "util/rng.h"
 
+namespace tapo::util::telemetry {
+class Registry;
+}
+
 namespace tapo::core {
 
 // Routing policies. MinAtcTcRatio is the paper's second step; the others
@@ -35,6 +39,13 @@ struct SchedulerOptions {
   bool deadline_check = true;
   // Seed for the Random policy.
   std::uint64_t random_seed = 1;
+  // Optional metrics sink (scheduler.* in docs/OBSERVABILITY.md). The
+  // aggregate drop/assignment counters are recorded by the simulation loop
+  // at end of run; per-decision "sched.assign"/"sched.drop" event records
+  // are emitted from route() only in TAPO_TELEMETRY=ON builds, so the
+  // routing hot path carries no telemetry code by default. Recording never
+  // affects routing decisions.
+  util::telemetry::Registry* telemetry = nullptr;
 };
 
 class DynamicScheduler {

@@ -8,6 +8,7 @@
 #include "solver/lp.h"
 #include "solver/piecewise.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 
@@ -139,22 +140,41 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
 }
 
 Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
+  util::telemetry::Registry* const reg = options.telemetry;
+  const util::telemetry::ScopedTimer stage_timer(reg, "stage1.solve");
+
   const std::size_t nc = dc_.num_cracs();
   const std::vector<double> lo(nc, options.tcrac_min_c);
   const std::vector<double> hi(nc, options.tcrac_max_c);
 
   // solve_at builds the LP from per-call state only, so the sweep may invoke
-  // it from several threads at once; the counter is the sole shared write.
+  // it from several threads at once; the counters are the sole shared writes
+  // (the telemetry registry is itself thread-safe).
   std::atomic<std::size_t> lp_solves{0};
+  std::atomic<std::size_t> infeasible{0};
   const auto objective =
       [&](const std::vector<double>& crac_out) -> std::optional<double> {
     lp_solves.fetch_add(1, std::memory_order_relaxed);
+    const util::telemetry::ScopedTimer lp_timer(reg, "stage1.lp");
     const LpOutcome outcome = solve_at(crac_out, options.psi);
-    if (!outcome.feasible) return std::nullopt;
+    if (!outcome.feasible) {
+      infeasible.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;
+    }
     return outcome.objective;
   };
 
-  const solver::GridSearchOptions grid = stage1_grid_options(options);
+  solver::GridSearchOptions grid = stage1_grid_options(options);
+  if (reg) {
+    grid.on_round = [reg](std::size_t round,
+                          const solver::GridSearchResult& running) {
+      reg->count("stage1.sweep_rounds");
+      if (running.found) {
+        reg->sample("stage1.best_objective_by_round",
+                    static_cast<double>(round), running.best_value);
+      }
+    };
+  }
   const solver::GridSearchResult search =
       options.full_grid
           ? solver::grid_search_maximize(lo, hi, objective, grid)
@@ -162,6 +182,13 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
 
   Stage1Result result;
   result.lp_solves = lp_solves.load(std::memory_order_relaxed);
+  if (reg) {
+    reg->count("stage1.solves");
+    reg->count("stage1.lp_solves", result.lp_solves);
+    reg->count("stage1.infeasible_candidates",
+               infeasible.load(std::memory_order_relaxed));
+    reg->count("stage1.grid_evaluations", search.evaluations);
+  }
   if (!search.found) return result;
 
   const LpOutcome best = solve_at(search.best_point, options.psi);
@@ -172,6 +199,11 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
   result.objective = best.objective;
   result.compute_power_kw = best.compute_power_kw;
   result.crac_power_kw = best.crac_power_kw;
+  if (reg) {
+    reg->gauge_set("stage1.best_objective", result.objective);
+    reg->gauge_set("stage1.compute_power_kw", result.compute_power_kw);
+    reg->gauge_set("stage1.crac_power_kw", result.crac_power_kw);
+  }
   return result;
 }
 

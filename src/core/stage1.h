@@ -24,6 +24,10 @@
 #include "solver/gridsearch.h"
 #include "thermal/heatflow.h"
 
+namespace tapo::util::telemetry {
+class Registry;
+}
+
 namespace tapo::core {
 
 struct Stage1Options {
@@ -40,6 +44,12 @@ struct Stage1Options {
   // reduced in a fixed order with value ties broken toward the
   // lexicographically smallest setpoint vector. Overrides grid.threads.
   std::size_t threads = 0;
+  // Optional metrics sink (stage1.* in docs/OBSERVABILITY.md): per-stage
+  // timers, LP-solve / infeasible-candidate counters, the best-objective
+  // trajectory per sweep round. Null disables recording; enabling it never
+  // changes the solved result. ThreeStageAssigner and powermin reuse this
+  // pointer for their stage2.* / stage3.* / powermin.* metrics.
+  util::telemetry::Registry* telemetry = nullptr;
 };
 
 // `options.grid` with the Stage-1 `threads` knob applied; shared by every

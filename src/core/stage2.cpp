@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 
@@ -11,8 +12,11 @@ constexpr double kPowerEps = 1e-9;
 }
 
 Stage2Result convert_power_to_pstates(
-    const dc::DataCenter& dc, const std::vector<double>& node_core_power_budget_kw) {
+    const dc::DataCenter& dc, const std::vector<double>& node_core_power_budget_kw,
+    util::telemetry::Registry* telemetry) {
   TAPO_CHECK(node_core_power_budget_kw.size() == dc.num_nodes());
+  const util::telemetry::ScopedTimer stage_timer(telemetry, "stage2.convert");
+  std::size_t demotions = 0;
 
   Stage2Result result;
   result.core_pstate.assign(dc.total_cores(), 0);
@@ -55,11 +59,22 @@ Stage2Result convert_power_to_pstates(
       total -= spec.core_power_kw(states[best_core]);
       ++states[best_core];
       total += spec.core_power_kw(states[best_core]);
+      ++demotions;
     }
 
     const std::size_t offset = dc.core_offset(j);
     for (std::size_t c = 0; c < n; ++c) result.core_pstate[offset + c] = states[c];
     result.node_core_power_kw[j] = total;
+  }
+  if (telemetry) {
+    telemetry->count("stage2.conversions");
+    telemetry->count("stage2.demotions", demotions);
+    double budget_total = 0.0, realized = 0.0;
+    for (double b : node_core_power_budget_kw) budget_total += std::max(0.0, b);
+    for (double p : result.node_core_power_kw) realized += p;
+    // Headroom the integer rounding could not consume: Stage-1 budget minus
+    // the realized P-state power (>= 0 by construction).
+    telemetry->gauge_set("stage2.headroom_kw", budget_total - realized);
   }
   return result;
 }

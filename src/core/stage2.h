@@ -14,6 +14,10 @@
 
 #include "dc/datacenter.h"
 
+namespace tapo::util::telemetry {
+class Registry;
+}
+
 namespace tapo::core {
 
 struct Stage2Result {
@@ -23,7 +27,19 @@ struct Stage2Result {
   std::vector<double> node_core_power_kw;
 };
 
+// Rounds the Stage-1 continuous node budgets to integer per-core P-states.
+// `node_core_power_budget_kw` is the Stage-1 core power per node (excluding
+// base power, one entry per node); the result never draws more than the
+// budget on any node, so Stage 1's power and thermal feasibility carry over
+// unchanged. Budgets above the all-cores-at-P0 power of a node are a
+// precondition violation (checked).
+//
+// `telemetry` (optional) records the stage2.* metrics from
+// docs/OBSERVABILITY.md: the rounding timer, the number of demotions (cores
+// bumped to a weaker P-state to fit the budget) and the power headroom the
+// rounding left unused.
 Stage2Result convert_power_to_pstates(
-    const dc::DataCenter& dc, const std::vector<double>& node_core_power_budget_kw);
+    const dc::DataCenter& dc, const std::vector<double>& node_core_power_budget_kw,
+    util::telemetry::Registry* telemetry = nullptr);
 
 }  // namespace tapo::core

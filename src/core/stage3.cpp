@@ -4,6 +4,7 @@
 
 #include "solver/lp.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 
@@ -22,8 +23,10 @@ Stage3Result finalize(const dc::DataCenter& dc, Stage3Result result) {
 }  // namespace
 
 Stage3Result solve_stage3(const dc::DataCenter& dc,
-                          const std::vector<std::size_t>& core_pstate) {
+                          const std::vector<std::size_t>& core_pstate,
+                          util::telemetry::Registry* telemetry) {
   TAPO_CHECK(core_pstate.size() == dc.total_cores());
+  const util::telemetry::ScopedTimer stage_timer(telemetry, "stage3.solve");
   const std::size_t t = dc.num_task_types();
 
   // Group cores into (node type, P-state) classes; off cores are skipped.
@@ -75,16 +78,24 @@ Stage3Result solve_stage3(const dc::DataCenter& dc,
 
   Stage3Result result;
   result.tc = solver::Matrix(t, dc.total_cores());
+  if (telemetry) {
+    telemetry->count("stage3.solves");
+    telemetry->count("stage3.core_classes", classes.size());
+    telemetry->count("stage3.lp_variables", vars.size());
+  }
   if (vars.empty()) {
     result.optimal = true;  // nothing can run: zero rates are optimal
+    if (telemetry) telemetry->gauge_set("stage3.reward_rate", 0.0);
     return finalize(dc, std::move(result));
   }
 
   const solver::LpSolution sol = solve_lp(lp);
+  if (telemetry) telemetry->count("stage3.lp_iterations", sol.iterations);
   if (!sol.optimal()) return finalize(dc, std::move(result));
 
   result.optimal = true;
   result.reward_rate = sol.objective;
+  if (telemetry) telemetry->gauge_set("stage3.reward_rate", result.reward_rate);
   for (const Var& v : vars) {
     const double per_core = sol.x[v.var] / static_cast<double>(v.cores->size());
     if (per_core <= 0.0) continue;

@@ -19,17 +19,33 @@
 #include "dc/datacenter.h"
 #include "solver/matrix.h"
 
+namespace tapo::util::telemetry {
+class Registry;
+}
+
 namespace tapo::core {
 
 struct Stage3Result {
+  // True when the LP reached optimality (an all-off data center is optimal
+  // at zero rates); false only on a solver failure.
   bool optimal = false;
   double reward_rate = 0.0;        // total reward rate (Eq. 7 objective)
   solver::Matrix tc;               // T x NCORES desired execution rates
   std::vector<double> per_type_rate;  // sum over cores, per task type
 };
 
+// Solves the Eq.-7 rate LP for the given per-core P-states (off cores get no
+// rates). Cores are aggregated into (node type, P-state) equivalence classes
+// before solving — a lossless reduction because ECS depends on the core only
+// through that pair — and the class rates are split uniformly over member
+// cores afterwards.
+//
+// `telemetry` (optional) records the stage3.* metrics from
+// docs/OBSERVABILITY.md: the solve timer, class/variable/LP-iteration
+// counters and the achieved reward rate.
 Stage3Result solve_stage3(const dc::DataCenter& dc,
-                          const std::vector<std::size_t>& core_pstate);
+                          const std::vector<std::size_t>& core_pstate,
+                          util::telemetry::Registry* telemetry = nullptr);
 
 // Reference implementation with one variable per (task type, core); used by
 // tests to validate the class aggregation. Cost grows with the core count.

@@ -3,8 +3,32 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::sim {
+
+namespace {
+
+// TC-weighted relative L1 deviation of realized from desired rates at `now`
+// (the SimResult::mean_tracking_error definition, evaluated mid-run by the
+// telemetry sampler as well as once at the end).
+double tracking_error_at(const dc::DataCenter& dc,
+                         const core::Assignment& assignment,
+                         const core::DynamicScheduler& scheduler, double now) {
+  double err_sum = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      const double tc = assignment.tc(i, k);
+      if (tc <= 0.0) continue;
+      err_sum += std::fabs(scheduler.atc(i, k, now) - tc);
+      weight_sum += tc;
+    }
+  }
+  return weight_sum > 0.0 ? err_sum / weight_sum : 0.0;
+}
+
+}  // namespace
 
 double SimResult::drop_fraction() const {
   std::size_t arrived = 0, dropped = 0;
@@ -22,9 +46,14 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
   TAPO_CHECK(options.warmup_seconds >= 0.0 &&
              options.warmup_seconds < options.duration_seconds);
 
+  util::telemetry::Registry* const reg = options.telemetry;
+  const util::telemetry::ScopedTimer run_timer(reg, "sim.run");
+
   Engine engine;
   ArrivalProcess arrivals(dc.task_types, util::Rng(options.seed));
-  core::DynamicScheduler scheduler(dc, assignment, options.scheduler);
+  core::SchedulerOptions scheduler_options = options.scheduler;
+  if (!scheduler_options.telemetry) scheduler_options.telemetry = reg;
+  core::DynamicScheduler scheduler(dc, assignment, scheduler_options);
 
   std::vector<double> core_free_time(dc.total_cores(), 0.0);
   SimResult result;
@@ -82,6 +111,24 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
       engine.schedule_at(delay, [&, type] { arrive(type); });
     }
   }
+
+  // Telemetry samplers: pure observers at evenly spaced simulated times.
+  // They read scheduler/engine state but mutate nothing, so enabling them
+  // cannot change the simulation outcome (their own events do show up in
+  // the sim.events_processed count — documented in docs/OBSERVABILITY.md).
+  if (reg && options.telemetry_samples > 0) {
+    for (std::size_t s = 0; s < options.telemetry_samples; ++s) {
+      const double t = horizon * static_cast<double>(s + 1) /
+                       static_cast<double>(options.telemetry_samples);
+      engine.schedule_at(t, [&, t] {
+        reg->sample("scheduler.tracking_error", t,
+                    tracking_error_at(dc, assignment, scheduler, t));
+        reg->sample("sim.queue_depth", t,
+                    static_cast<double>(engine.pending()));
+      });
+    }
+  }
+
   engine.run_until(horizon);
 
   result.measured_seconds = horizon - warmup;
@@ -90,22 +137,38 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
 
   // Tracking error of the realized rates against the desired TC matrix,
   // weighted by TC so that starved low-rate pairs do not dominate.
-  double err_sum = 0.0;
-  double weight_sum = 0.0;
-  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
-    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
-      const double tc = assignment.tc(i, k);
-      if (tc <= 0.0) continue;
-      err_sum += std::fabs(scheduler.atc(i, k, horizon) - tc);
-      weight_sum += tc;
-    }
-  }
-  result.mean_tracking_error = weight_sum > 0.0 ? err_sum / weight_sum : 0.0;
+  result.mean_tracking_error =
+      tracking_error_at(dc, assignment, scheduler, horizon);
 
   result.energy_kwh =
       assignment.total_power_kw() * result.measured_seconds / 3600.0;
   result.reward_per_kwh =
       result.energy_kwh > 0.0 ? result.total_reward / result.energy_kwh : 0.0;
+
+  if (reg) {
+    reg->count("sim.runs");
+    reg->count("sim.events_processed", engine.executed());
+    reg->gauge_max("sim.queue_depth_high_water",
+                   static_cast<double>(engine.max_pending()));
+    std::size_t arrived = 0, assigned = 0, dropped = 0, in_time = 0, late = 0;
+    for (const PerTypeMetrics& m : result.per_type) {
+      arrived += m.arrived;
+      assigned += m.assigned;
+      dropped += m.dropped;
+      in_time += m.completed_in_time;
+      late += m.completed_late;
+    }
+    reg->count("sim.arrivals", arrived);
+    reg->count("scheduler.assigned", assigned);
+    reg->count("scheduler.dropped", dropped);
+    reg->count("scheduler.completed_in_time", in_time);
+    reg->count("scheduler.deadline_misses", late);
+    reg->gauge_set("scheduler.final_tracking_error",
+                   result.mean_tracking_error);
+    reg->gauge_set("sim.reward_rate", result.reward_rate);
+    reg->gauge_set("sim.drop_fraction", result.drop_fraction());
+    reg->gauge_set("sim.energy_kwh", result.energy_kwh);
+  }
   return result;
 }
 

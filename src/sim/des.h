@@ -19,6 +19,10 @@
 #include "sim/engine.h"
 #include "util/rng.h"
 
+namespace tapo::util::telemetry {
+class Registry;
+}
+
 namespace tapo::sim {
 
 struct SimOptions {
@@ -28,6 +32,14 @@ struct SimOptions {
   double warmup_seconds = 0.0;
   core::SchedulerOptions scheduler;
   std::uint64_t seed = 1;
+  // Optional metrics sink (sim.* / scheduler.* in docs/OBSERVABILITY.md):
+  // end-of-run counters (events processed, queue high-water, drops, deadline
+  // misses) plus ATC/TC tracking-error and queue-depth series sampled at
+  // `telemetry_samples` evenly spaced simulated times. The sampling hooks
+  // are inert observers — SimResult is identical with telemetry on or off.
+  // Also forwarded to the scheduler when scheduler.telemetry is unset.
+  util::telemetry::Registry* telemetry = nullptr;
+  std::size_t telemetry_samples = 32;
 };
 
 struct PerTypeMetrics {

@@ -7,6 +7,7 @@
 
 #include "core/scheduler.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::sim {
 
@@ -135,7 +136,12 @@ SimResult simulate_trace(const dc::DataCenter& dc,
   TAPO_CHECK(options.warmup_seconds >= 0.0 &&
              options.warmup_seconds < options.duration_seconds);
 
-  core::DynamicScheduler scheduler(dc, assignment, options.scheduler);
+  util::telemetry::Registry* const reg = options.telemetry;
+  const util::telemetry::ScopedTimer run_timer(reg, "sim.replay");
+
+  core::SchedulerOptions scheduler_options = options.scheduler;
+  if (!scheduler_options.telemetry) scheduler_options.telemetry = reg;
+  core::DynamicScheduler scheduler(dc, assignment, scheduler_options);
   std::vector<double> core_free_time(dc.total_cores(), 0.0);
 
   SimResult result;
@@ -196,6 +202,27 @@ SimResult simulate_trace(const dc::DataCenter& dc,
       assignment.total_power_kw() * result.measured_seconds / 3600.0;
   result.reward_per_kwh =
       result.energy_kwh > 0.0 ? result.total_reward / result.energy_kwh : 0.0;
+
+  if (reg) {
+    reg->count("sim.replays");
+    std::size_t arrived = 0, assigned = 0, dropped = 0, in_time = 0, late = 0;
+    for (const PerTypeMetrics& m : result.per_type) {
+      arrived += m.arrived;
+      assigned += m.assigned;
+      dropped += m.dropped;
+      in_time += m.completed_in_time;
+      late += m.completed_late;
+    }
+    reg->count("sim.arrivals", arrived);
+    reg->count("scheduler.assigned", assigned);
+    reg->count("scheduler.dropped", dropped);
+    reg->count("scheduler.completed_in_time", in_time);
+    reg->count("scheduler.deadline_misses", late);
+    reg->gauge_set("scheduler.final_tracking_error",
+                   result.mean_tracking_error);
+    reg->gauge_set("sim.reward_rate", result.reward_rate);
+    reg->gauge_set("sim.drop_fraction", result.drop_fraction());
+  }
   return result;
 }
 

@@ -115,12 +115,18 @@ GridSearchResult grid_search_maximize(const std::vector<double>& lo,
   const std::size_t dims = lo.size();
 
   GridSearchResult result;
+  std::size_t rounds = 0;
+  const auto round_done = [&] {
+    if (options.on_round) options.on_round(rounds, result);
+    ++rounds;
+  };
   BatchEvaluator evaluator(objective, options.threads);
   std::vector<std::vector<double>> samples(dims);
   for (std::size_t d = 0; d < dims; ++d) {
     samples[d] = linspace(lo[d], hi[d], options.coarse_samples);
   }
   evaluator.sweep(cartesian_points(samples), result);
+  round_done();
   if (!result.found) return result;
 
   std::vector<double> step(dims);
@@ -140,6 +146,7 @@ GridSearchResult grid_search_maximize(const std::vector<double>& lo,
     }
     if (!any) break;
     evaluator.sweep(cartesian_points(samples), result);
+    round_done();
   }
   return result;
 }
@@ -151,6 +158,11 @@ GridSearchResult uniform_then_coordinate_maximize(
   const std::size_t dims = lo.size();
 
   GridSearchResult result;
+  std::size_t rounds = 0;
+  const auto round_done = [&] {
+    if (options.on_round) options.on_round(rounds, result);
+    ++rounds;
+  };
   BatchEvaluator evaluator(objective, options.threads);
 
   // Phase 1: all dimensions share one value; coarse sweep + one refinement.
@@ -164,10 +176,19 @@ GridSearchResult uniform_then_coordinate_maximize(
   };
   const std::size_t coarse = std::max<std::size_t>(options.coarse_samples * 2, 6);
   evaluator.sweep(uniform_points(linspace(ulo, uhi, coarse)), result);
+  round_done();
   if (!result.found) {
     // Fall back to the full grid: a uniform value may be infeasible while a
-    // non-uniform point is feasible.
-    return grid_search_maximize(lo, hi, objective, options);
+    // non-uniform point is feasible. Shift the fallback's round numbering so
+    // a progress hook sees one monotone sequence.
+    GridSearchOptions fallback = options;
+    if (options.on_round) {
+      fallback.on_round = [&options, rounds](std::size_t round,
+                                             const GridSearchResult& r) {
+        options.on_round(rounds + round, r);
+      };
+    }
+    return grid_search_maximize(lo, hi, objective, fallback);
   }
   double step = (uhi - ulo) / static_cast<double>(std::max<std::size_t>(coarse - 1, 1));
   for (std::size_t round = 0; round < options.refine_rounds; ++round) {
@@ -179,6 +200,7 @@ GridSearchResult uniform_then_coordinate_maximize(
       if (u >= ulo && u <= uhi) us.push_back(u);
     }
     evaluator.sweep(uniform_points(us), result);
+    round_done();
   }
 
   // Phase 2: cyclic coordinate descent around the best uniform point. Both
@@ -211,6 +233,7 @@ GridSearchResult uniform_then_coordinate_maximize(
         improved = true;
       }
     }
+    round_done();
     if (!improved) {
       cstep *= 0.5;
       if (cstep < options.min_resolution * 0.5) break;

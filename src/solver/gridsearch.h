@@ -17,6 +17,8 @@
 
 namespace tapo::solver {
 
+struct GridSearchResult;
+
 struct GridSearchOptions {
   // Number of samples per dimension in the initial coarse sweep.
   std::size_t coarse_samples = 4;
@@ -34,6 +36,13 @@ struct GridSearchOptions {
   // threads != 1 the objective is invoked concurrently and must be safe to
   // call from multiple threads at once.
   std::size_t threads = 1;
+  // Optional progress hook, invoked after each sweep round (coarse sweep,
+  // refinement rounds, coordinate-descent passes) with the running result.
+  // Always called from the driving thread after the round's batch has been
+  // reduced, so observations are deterministic for any thread count. Used by
+  // Stage 1 / powermin to record the best-objective trajectory.
+  std::function<void(std::size_t round, const GridSearchResult& result)>
+      on_round;
 };
 
 struct GridSearchResult {

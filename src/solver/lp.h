@@ -22,14 +22,23 @@
 
 namespace tapo::solver {
 
+// Sentinel for "no upper bound" in add_variable.
 inline constexpr double kLpInfinity = std::numeric_limits<double>::infinity();
 
+// Row sense of a constraint: a^T x (<= | = | >=) rhs.
 enum class Relation { LessEq, Equal, GreaterEq };
 
+// Outcome of solve_lp. IterLimit means the cap in LpOptions was hit before
+// phase 2 converged; the returned point is the best basic solution found
+// and may be suboptimal or (if phase 1 was cut short) infeasible.
 enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
 
+// Human-readable status name ("optimal", "infeasible", ...) for logs.
 const char* to_string(LpStatus status);
 
+// An LP under construction: maximize c^T x subject to sparse rows and box
+// bounds. Build with add_variable/add_constraint, then hand to solve_lp.
+// Variable indices are dense and in insertion order.
 class LpProblem {
  public:
   // Adds a variable with bounds [lo, hi] and objective coefficient obj.
@@ -61,6 +70,8 @@ class LpProblem {
   std::vector<double> rhs_;
 };
 
+// Numerical knobs for solve_lp; the defaults suit this repo's LP sizes
+// (hundreds of rows, thousands of columns) and are used everywhere.
 struct LpOptions {
   // Hard iteration cap; 0 means "auto" (50 * (rows + cols) + 2000).
   std::size_t max_iterations = 0;
@@ -70,6 +81,8 @@ struct LpOptions {
   double pivot_tolerance = 1e-8;
 };
 
+// Result of solve_lp. x and duals are meaningful only when status is
+// Optimal (check optimal() or LpSolution::status before using them).
 struct LpSolution {
   LpStatus status = LpStatus::Infeasible;
   double objective = 0.0;

@@ -1,0 +1,164 @@
+// Structured observability: a low-overhead, thread-safe metrics registry.
+//
+// Every long-running part of the pipeline (Stage-1 sweep, Stage-2 rounding,
+// Stage-3 LP, power minimization, the DES engine and the dynamic scheduler)
+// records into a Registry handed to it through its options struct. A null
+// registry pointer disables recording everywhere — call sites guard with a
+// single pointer test, so an uninstrumented run costs one branch per
+// *coarse* operation (a stage, a sweep round, a sample), never per inner
+// iteration.
+//
+// Metric kinds:
+//   * counter — monotonic uint64 (e.g. "stage1.lp_solves"),
+//   * gauge   — last-write or running-max double (e.g. "stage3.reward_rate"),
+//   * timer   — wall-clock aggregate {count, total, max} fed by ScopedTimer,
+//   * series  — (x, value) samples, e.g. tracking error over simulated time,
+//   * event   — bounded structured log; oldest records are evicted, the
+//               total logged count is kept so truncation is visible.
+//
+// Per-decision event records in hot loops (one per routed task, one per grid
+// point) are compiled out unless the TAPO_TELEMETRY CMake option is ON; use
+// the TAPO_TELEM_EVENT macro for such sites. Everything else is always
+// compiled and gated only by the registry pointer.
+//
+// Recording never feeds back into any computation: enabling telemetry cannot
+// change solver outputs (tests pin this). to_json() serializes a snapshot in
+// the stable shape documented in docs/OBSERVABILITY.md; keys are emitted in
+// sorted order so diffs between runs are meaningful.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <initializer_list>
+#include <iosfwd>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tapo::util::telemetry {
+
+// One point of a series: x is whatever the emitting site says it is
+// (simulated seconds, sweep round index, retry attempt — see the catalog).
+struct Sample {
+  double x = 0.0;
+  double value = 0.0;
+};
+
+// Aggregate of all durations recorded under one timer name.
+struct TimerStats {
+  std::uint64_t count = 0;
+  double total_seconds = 0.0;
+  double max_seconds = 0.0;
+};
+
+// One structured event-log record.
+struct Event {
+  std::string name;
+  double t = 0.0;
+  std::vector<std::pair<std::string, double>> fields;
+};
+
+class Registry {
+ public:
+  // `max_events` bounds the structured event log; older records are evicted
+  // first. Counters/gauges/timers are unbounded maps (names are static
+  // strings at the call sites, so cardinality is fixed and small). Series
+  // grow by one Sample per sample() call; emitting sites sample at coarse,
+  // bounded rates.
+  explicit Registry(std::size_t max_events = 1024);
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  // Adds `delta` to the named monotonic counter (created at 0).
+  void count(std::string_view name, std::uint64_t delta = 1);
+  // Sets the named gauge to `value` (last write wins).
+  void gauge_set(std::string_view name, double value);
+  // Raises the named gauge to `value` if larger (running maximum; the gauge
+  // starts at the first recorded value).
+  void gauge_max(std::string_view name, double value);
+  // Folds one duration into the named timer aggregate. Prefer ScopedTimer.
+  void record_duration(std::string_view name, double seconds);
+  // Appends one (x, value) point to the named series.
+  void sample(std::string_view name, double x, double value);
+  // Appends one record to the bounded event log, evicting the oldest when
+  // full. The total number of event() calls is retained (events_logged()).
+  void event(std::string_view name, double t,
+             std::initializer_list<std::pair<const char*, double>> fields = {});
+
+  // Snapshot accessors (tests, reporting). Unknown names return zero-valued
+  // defaults / empty vectors.
+  std::uint64_t counter_value(std::string_view name) const;
+  double gauge_value(std::string_view name) const;
+  TimerStats timer_stats(std::string_view name) const;
+  std::vector<Sample> series_values(std::string_view name) const;
+  std::uint64_t events_logged() const;    // total event() calls ever
+  std::size_t events_retained() const;    // currently held (<= max_events)
+  std::vector<Event> events() const;
+
+  // Serializes a consistent snapshot as one JSON object (schema
+  // "tapo-telemetry-v1", see docs/OBSERVABILITY.md). Map keys are sorted;
+  // non-finite doubles are emitted as null.
+  void to_json(std::ostream& os) const;
+  std::string to_json_string() const;
+
+ private:
+  mutable std::mutex mu_;
+  const std::size_t max_events_;
+  std::uint64_t events_logged_ = 0;
+  // std::less<> enables lookup by string_view without allocating.
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, double, std::less<>> gauges_;
+  std::map<std::string, TimerStats, std::less<>> timers_;
+  std::map<std::string, std::vector<Sample>, std::less<>> series_;
+  std::deque<Event> events_;
+};
+
+// RAII wall-clock timer: records the elapsed time under `name` on
+// destruction. A null registry skips the clock reads entirely. Timers nest
+// freely — each instance records to its own name independently, so an outer
+// timer's total always covers its inner timers' intervals.
+class ScopedTimer {
+ public:
+  ScopedTimer(Registry* registry, std::string_view name)
+      : registry_(registry), name_(name) {
+    if (registry_) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (!registry_) return;
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    registry_->record_duration(
+        name_, std::chrono::duration<double>(elapsed).count());
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Registry* registry_;
+  std::string_view name_;  // call sites pass string literals
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace tapo::util::telemetry
+
+// Hot-path event instrumentation: one record per routed task / grid point.
+// Compiled out (arguments unevaluated) unless the TAPO_TELEMETRY CMake
+// option defines TAPO_TELEMETRY=1, so per-event sites cost nothing in the
+// default build. Usage:
+//   TAPO_TELEM_EVENT(reg, "sched.drop", now, {{"type", 3.0}});
+#if defined(TAPO_TELEMETRY) && TAPO_TELEMETRY
+#define TAPO_TELEMETRY_ENABLED 1
+#define TAPO_TELEM_EVENT(reg, ...)            \
+  do {                                        \
+    if (reg) (reg)->event(__VA_ARGS__);       \
+  } while (0)
+#else
+#define TAPO_TELEMETRY_ENABLED 0
+#define TAPO_TELEM_EVENT(reg, ...) ((void)0)
+#endif

@@ -6,6 +6,7 @@
 
 #include "testutil.h"
 #include "thermal/heatflow.h"
+#include "util/telemetry.h"
 
 namespace tapo::core {
 namespace {
@@ -115,6 +116,40 @@ TEST(Stage1, FullGridAgreesWithDefaultSearchApproximately) {
   // Both are heuristic searches over the same LP family; they must land
   // within a few percent of each other.
   EXPECT_NEAR(a.objective, b.objective, 0.05 * std::max(a.objective, b.objective));
+}
+
+TEST(Stage1, TelemetryDoesNotChangeTheSolution) {
+  // Telemetry is a pure observer: attaching a registry must leave every
+  // output bit-identical, and the registry's counters must agree with the
+  // result's own bookkeeping.
+  const auto scenario = test::make_small_scenario(41, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+
+  Stage1Options plain;
+  const Stage1Result without = solver.solve(plain);
+
+  util::telemetry::Registry registry;
+  Stage1Options observed;
+  observed.telemetry = &registry;
+  const Stage1Result with = solver.solve(observed);
+
+  ASSERT_TRUE(without.feasible && with.feasible);
+  EXPECT_EQ(with.objective, without.objective);  // bit-identical, not NEAR
+  EXPECT_EQ(with.crac_out_c, without.crac_out_c);
+  EXPECT_EQ(with.compute_power_kw, without.compute_power_kw);
+  EXPECT_EQ(with.crac_power_kw, without.crac_power_kw);
+  EXPECT_EQ(with.lp_solves, without.lp_solves);
+  EXPECT_EQ(with.node_core_power_kw, without.node_core_power_kw);
+
+  EXPECT_EQ(registry.counter_value("stage1.solves"), 1u);
+  EXPECT_EQ(registry.counter_value("stage1.lp_solves"), with.lp_solves);
+  EXPECT_EQ(registry.gauge_value("stage1.best_objective"), with.objective);
+  EXPECT_EQ(registry.timer_stats("stage1.solve").count, 1u);
+  EXPECT_GT(registry.counter_value("stage1.sweep_rounds"), 0u);
+  // One best-objective point per sweep round.
+  EXPECT_EQ(registry.series_values("stage1.best_objective_by_round").size(),
+            registry.counter_value("stage1.sweep_rounds"));
 }
 
 TEST(Stage1, PsiChangesSelection) {

@@ -7,6 +7,7 @@
 #include "core/assigner.h"
 #include "testutil.h"
 #include "thermal/heatflow.h"
+#include "util/telemetry.h"
 
 namespace tapo::sim {
 namespace {
@@ -152,6 +153,45 @@ TEST(Des, ZeroRatesProduceNoWork) {
   const SimResult result = simulate(scenario.dc, idle, options);
   EXPECT_DOUBLE_EQ(result.total_reward, 0.0);
   EXPECT_DOUBLE_EQ(result.drop_fraction(), 1.0);
+}
+
+TEST_F(DesFixture, TelemetryDoesNotChangeTheSimulation) {
+  // The sampler events are pure observers: a run with a registry attached
+  // must produce a bit-identical SimResult, and the registry's aggregates
+  // must agree with that result.
+  SimOptions plain;
+  plain.duration_seconds = 60.0;
+  plain.warmup_seconds = 10.0;
+  const SimResult without = simulate(scenario->dc, assignment, plain);
+
+  util::telemetry::Registry registry;
+  SimOptions observed = plain;
+  observed.telemetry = &registry;
+  const SimResult with = simulate(scenario->dc, assignment, observed);
+
+  EXPECT_EQ(with.total_reward, without.total_reward);
+  EXPECT_EQ(with.reward_rate, without.reward_rate);
+  EXPECT_EQ(with.mean_tracking_error, without.mean_tracking_error);
+  EXPECT_EQ(with.energy_kwh, without.energy_kwh);
+  ASSERT_EQ(with.per_type.size(), without.per_type.size());
+  for (std::size_t i = 0; i < with.per_type.size(); ++i) {
+    EXPECT_EQ(with.per_type[i].arrived, without.per_type[i].arrived);
+    EXPECT_EQ(with.per_type[i].assigned, without.per_type[i].assigned);
+    EXPECT_EQ(with.per_type[i].dropped, without.per_type[i].dropped);
+    EXPECT_EQ(with.per_type[i].completed_in_time,
+              without.per_type[i].completed_in_time);
+  }
+
+  EXPECT_EQ(registry.counter_value("sim.runs"), 1u);
+  EXPECT_GT(registry.counter_value("sim.events_processed"), 0u);
+  EXPECT_EQ(registry.gauge_value("scheduler.final_tracking_error"),
+            with.mean_tracking_error);
+  EXPECT_EQ(registry.gauge_value("sim.reward_rate"), with.reward_rate);
+  EXPECT_EQ(registry.series_values("scheduler.tracking_error").size(),
+            observed.telemetry_samples);
+  EXPECT_EQ(registry.series_values("sim.queue_depth").size(),
+            observed.telemetry_samples);
+  EXPECT_EQ(registry.timer_stats("sim.run").count, 1u);
 }
 
 }  // namespace

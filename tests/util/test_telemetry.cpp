@@ -1,0 +1,405 @@
+#include "util/telemetry.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/threadpool.h"
+
+namespace tapo::util::telemetry {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A deliberately tiny recursive-descent JSON reader, enough to round-trip the
+// registry's own output (objects, arrays, strings, numbers, null). Living in
+// the test keeps the library free of any parsing dependency.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Kind { Null, Number, String, Array, Object } kind = Kind::Null;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& key) const {
+    auto it = object.find(key);
+    if (it == object.end()) {
+      ADD_FAILURE() << "missing key '" << key << "'";
+      static const JsonValue none;
+      return none;
+    }
+    return it->second;
+  }
+  bool has(const std::string& key) const { return object.count(key) > 0; }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing content after JSON value";
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void expect(char c) {
+    skip_ws();
+    ASSERT_LT(pos_, text_.size()) << "unexpected end, wanted '" << c << "'";
+    ASSERT_EQ(text_[pos_], c) << "at offset " << pos_;
+    ++pos_;
+  }
+
+  JsonValue value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 'n': {
+        pos_ += 4;  // "null"
+        return JsonValue{};
+      }
+      default: return number();
+    }
+  }
+
+  JsonValue object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Object;
+    expect('{');
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      JsonValue key = string_value();
+      expect(':');
+      v.object.emplace(key.string, value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::Array;
+    expect('[');
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.array.push_back(value());
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::String;
+    expect('"');
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            // The registry only emits \u00XX for control characters.
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            c = static_cast<char>(std::stoi(hex, nullptr, 16));
+            break;
+          }
+          default: c = esc; break;  // \" \\ \/
+        }
+      }
+      v.string.push_back(c);
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue number() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::Number;
+    v.number = std::stod(text_.substr(pos_, end - pos_));
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue parse_json(const std::string& text) {
+  return JsonParser(text).parse();
+}
+
+// ---------------------------------------------------------------------------
+// Counters, gauges, series
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, CounterAccumulatesAndDefaultsToZero) {
+  Registry reg;
+  EXPECT_EQ(reg.counter_value("missing"), 0u);
+  reg.count("a");
+  reg.count("a", 41);
+  reg.count("b", 7);
+  EXPECT_EQ(reg.counter_value("a"), 42u);
+  EXPECT_EQ(reg.counter_value("b"), 7u);
+}
+
+TEST(Telemetry, ConcurrentCounterIncrementsAreExact) {
+  // The registry is handed to parallel grid-search lambdas (PR 1 thread
+  // pool); every increment must land even under contention on one name.
+  Registry reg;
+  ThreadPool pool(std::max(4u, std::thread::hardware_concurrency()));
+  const std::size_t n = 10000;
+  pool.parallel_for(n, [&](std::size_t i) {
+    reg.count("shared");
+    reg.count("by_parity", i % 2);
+    reg.gauge_max("max_index", static_cast<double>(i));
+  });
+  EXPECT_EQ(reg.counter_value("shared"), n);
+  EXPECT_EQ(reg.counter_value("by_parity"), n / 2);
+  EXPECT_EQ(reg.gauge_value("max_index"), static_cast<double>(n - 1));
+}
+
+TEST(Telemetry, GaugeSetIsLastWriteAndMaxIsRunningMaximum) {
+  Registry reg;
+  reg.gauge_set("g", 3.0);
+  reg.gauge_set("g", -1.5);
+  EXPECT_EQ(reg.gauge_value("g"), -1.5);
+
+  reg.gauge_max("m", -2.0);  // first value establishes the maximum
+  EXPECT_EQ(reg.gauge_value("m"), -2.0);
+  reg.gauge_max("m", 5.0);
+  reg.gauge_max("m", 1.0);
+  EXPECT_EQ(reg.gauge_value("m"), 5.0);
+}
+
+TEST(Telemetry, SeriesKeepsSamplesInInsertionOrder) {
+  Registry reg;
+  reg.sample("s", 0.0, 1.0);
+  reg.sample("s", 10.0, 0.5);
+  reg.sample("s", 20.0, 0.25);
+  const auto points = reg.series_values("s");
+  ASSERT_EQ(points.size(), 3u);
+  EXPECT_EQ(points[1].x, 10.0);
+  EXPECT_EQ(points[1].value, 0.5);
+  EXPECT_TRUE(reg.series_values("absent").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Timers
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, TimerAggregatesCountTotalMax) {
+  Registry reg;
+  reg.record_duration("t", 0.5);
+  reg.record_duration("t", 2.0);
+  reg.record_duration("t", 1.0);
+  const TimerStats stats = reg.timer_stats("t");
+  EXPECT_EQ(stats.count, 3u);
+  EXPECT_DOUBLE_EQ(stats.total_seconds, 3.5);
+  EXPECT_DOUBLE_EQ(stats.max_seconds, 2.0);
+  EXPECT_EQ(reg.timer_stats("absent").count, 0u);
+}
+
+TEST(Telemetry, ScopedTimerNestingRecordsIndependentNames) {
+  // Nested scopes record to distinct names; the outer interval covers the
+  // inner ones, so outer.total >= sum of inner totals.
+  Registry reg;
+  {
+    ScopedTimer outer(&reg, "outer");
+    for (int i = 0; i < 3; ++i) {
+      ScopedTimer inner(&reg, "inner");
+    }
+  }
+  const TimerStats outer = reg.timer_stats("outer");
+  const TimerStats inner = reg.timer_stats("inner");
+  EXPECT_EQ(outer.count, 1u);
+  EXPECT_EQ(inner.count, 3u);
+  EXPECT_GE(outer.total_seconds, inner.total_seconds);
+  EXPECT_GE(outer.max_seconds, outer.total_seconds - 1e-12);
+  EXPECT_GE(inner.max_seconds, inner.total_seconds / 3.0 - 1e-12);
+}
+
+TEST(Telemetry, ScopedTimerWithNullRegistryIsInert) {
+  ScopedTimer timer(nullptr, "nothing");  // must not crash or record
+  SUCCEED();
+}
+
+// ---------------------------------------------------------------------------
+// Bounded event log
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, EventLogEvictsOldestBeyondCapacity) {
+  Registry reg(/*max_events=*/4);
+  for (int i = 0; i < 10; ++i) {
+    reg.event("e", static_cast<double>(i),
+              {{"i", static_cast<double>(i)}});
+  }
+  EXPECT_EQ(reg.events_logged(), 10u);  // truncation stays visible
+  EXPECT_EQ(reg.events_retained(), 4u);
+  const auto events = reg.events();
+  ASSERT_EQ(events.size(), 4u);
+  for (std::size_t k = 0; k < 4; ++k) {  // the last four survive, in order
+    EXPECT_EQ(events[k].t, static_cast<double>(6 + k));
+    ASSERT_EQ(events[k].fields.size(), 1u);
+    EXPECT_EQ(events[k].fields[0].first, "i");
+    EXPECT_EQ(events[k].fields[0].second, static_cast<double>(6 + k));
+  }
+}
+
+TEST(Telemetry, EventFieldsPreserveOrderAndNames) {
+  Registry reg;
+  reg.event("sched.assign", 12.5,
+            {{"type", 2.0}, {"core", 17.0}, {"exec_seconds", 0.25}});
+  const auto events = reg.events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "sched.assign");
+  ASSERT_EQ(events[0].fields.size(), 3u);
+  EXPECT_EQ(events[0].fields[0].first, "type");
+  EXPECT_EQ(events[0].fields[1].first, "core");
+  EXPECT_EQ(events[0].fields[2].first, "exec_seconds");
+}
+
+// ---------------------------------------------------------------------------
+// JSON serialization
+// ---------------------------------------------------------------------------
+
+TEST(Telemetry, JsonRoundTripRecoversEveryMetric) {
+  Registry reg(/*max_events=*/8);
+  reg.count("c.alpha", 3);
+  reg.count("c.beta", 9000000000ull);  // exceeds 2^32: must survive as-is
+  reg.gauge_set("g.value", -0.125);
+  reg.record_duration("t.solve", 1.5);
+  reg.record_duration("t.solve", 0.5);
+  reg.sample("s.err", 1.0, 0.75);
+  reg.sample("s.err", 2.0, 0.5);
+  reg.event("ev \"quoted\"\n", 3.5, {{"k", 7.0}});
+
+  const JsonValue root = parse_json(reg.to_json_string());
+  EXPECT_EQ(root.at("schema").string, "tapo-telemetry-v1");
+
+  EXPECT_EQ(root.at("counters").at("c.alpha").number, 3.0);
+  EXPECT_EQ(root.at("counters").at("c.beta").number, 9e9);
+
+  EXPECT_EQ(root.at("gauges").at("g.value").number, -0.125);
+
+  const JsonValue& timer = root.at("timers").at("t.solve");
+  EXPECT_EQ(timer.at("count").number, 2.0);
+  EXPECT_DOUBLE_EQ(timer.at("total_seconds").number, 2.0);
+  EXPECT_DOUBLE_EQ(timer.at("max_seconds").number, 1.5);
+
+  const JsonValue& series = root.at("series").at("s.err");
+  ASSERT_EQ(series.array.size(), 2u);
+  ASSERT_EQ(series.array[1].array.size(), 2u);
+  EXPECT_EQ(series.array[1].array[0].number, 2.0);
+  EXPECT_EQ(series.array[1].array[1].number, 0.5);
+
+  const JsonValue& events = root.at("events");
+  EXPECT_EQ(events.at("logged").number, 1.0);
+  EXPECT_EQ(events.at("retained").number, 1.0);
+  ASSERT_EQ(events.at("records").array.size(), 1u);
+  const JsonValue& record = events.at("records").array[0];
+  EXPECT_EQ(record.at("name").string, "ev \"quoted\"\n");  // escaping survives
+  EXPECT_EQ(record.at("t").number, 3.5);
+  EXPECT_EQ(record.at("fields").at("k").number, 7.0);
+}
+
+TEST(Telemetry, JsonEmitsSortedKeysAndNullForNonFinite) {
+  Registry reg;
+  reg.gauge_set("zeta", std::nan(""));
+  reg.gauge_set("alpha", 1.0);
+  const std::string json = reg.to_json_string();
+
+  // Sorted keys: "alpha" must precede "zeta" in the byte stream.
+  EXPECT_LT(json.find("\"alpha\""), json.find("\"zeta\""));
+  // Non-finite doubles serialize as null so the file stays valid JSON.
+  const JsonValue root = parse_json(json);
+  EXPECT_EQ(root.at("gauges").at("zeta").kind, JsonValue::Kind::Null);
+}
+
+TEST(Telemetry, EmptyRegistrySerializesToValidSkeleton) {
+  Registry reg;
+  const JsonValue root = parse_json(reg.to_json_string());
+  EXPECT_EQ(root.at("schema").string, "tapo-telemetry-v1");
+  EXPECT_TRUE(root.at("counters").object.empty());
+  EXPECT_TRUE(root.at("gauges").object.empty());
+  EXPECT_TRUE(root.at("timers").object.empty());
+  EXPECT_TRUE(root.at("series").object.empty());
+  EXPECT_EQ(root.at("events").at("logged").number, 0.0);
+}
+
+TEST(Telemetry, ConcurrentMixedRecordingThenSerializeIsConsistent) {
+  // Writers on every metric kind racing with a serializer must never tear:
+  // each to_json_string() call sees one consistent snapshot.
+  Registry reg(64);
+  ThreadPool pool(4);
+  pool.parallel_for(2000, [&](std::size_t i) {
+    switch (i % 5) {
+      case 0: reg.count("mixed"); break;
+      case 1: reg.gauge_max("mixed.max", static_cast<double>(i)); break;
+      case 2: reg.record_duration("mixed.t", 1e-6); break;
+      case 3: reg.sample("mixed.s", static_cast<double>(i), 1.0); break;
+      default: reg.event("mixed.e", static_cast<double>(i)); break;
+    }
+    if (i % 97 == 0) {
+      const JsonValue root = parse_json(reg.to_json_string());
+      EXPECT_EQ(root.at("schema").string, "tapo-telemetry-v1");
+    }
+  });
+  EXPECT_EQ(reg.counter_value("mixed"), 400u);
+  EXPECT_EQ(reg.timer_stats("mixed.t").count, 400u);
+  EXPECT_EQ(reg.series_values("mixed.s").size(), 400u);
+  EXPECT_EQ(reg.events_logged(), 400u);
+  EXPECT_EQ(reg.events_retained(), 64u);
+}
+
+}  // namespace
+}  // namespace tapo::util::telemetry

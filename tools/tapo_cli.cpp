@@ -10,7 +10,11 @@
 //   tapo_cli sweep    [... --points]                 reward vs budget sweep
 //
 // --csv switches the tabular output to CSV for downstream plotting.
+// --telemetry-out <file>.json archives the run's metrics registry (schema
+// "tapo-telemetry-v1", catalog in docs/OBSERVABILITY.md) after the
+// subcommand finishes.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -24,10 +28,14 @@
 #include "thermal/heatflow.h"
 #include "util/args.h"
 #include "util/table.h"
+#include "util/telemetry.h"
 
 namespace {
 
 using namespace tapo;
+
+// Set by main when --telemetry-out is given; null disables recording.
+util::telemetry::Registry* g_telemetry = nullptr;
 
 void print_table(const util::Table& table, bool csv) {
   if (csv) {
@@ -83,6 +91,7 @@ core::Assignment run_technique(const dc::DataCenter& dc,
   }
   core::ThreeStageOptions options;
   options.stage1.psi = psi;
+  options.stage1.telemetry = g_telemetry;
   if (technique == "three-stage") {
     return core::ThreeStageAssigner(dc, model).assign(options);
   }
@@ -168,6 +177,7 @@ int cmd_simulate(const util::ArgParser& args) {
   options.duration_seconds = args.option_double("duration");
   options.warmup_seconds = options.duration_seconds * 0.1;
   options.seed = static_cast<std::uint64_t>(args.option_int("seed")) + 1;
+  options.telemetry = g_telemetry;
   const sim::SimResult result = sim::simulate(scenario->dc, a, options);
   util::Table table({"predicted reward/s", "achieved reward/s", "ratio",
                      "drop %", "tracking error"});
@@ -184,14 +194,19 @@ int cmd_powermin(const util::ArgParser& args) {
   if (!scenario) return 1;
   const thermal::HeatFlowModel model(scenario->dc);
   const core::ThreeStageAssigner assigner(scenario->dc, model);
-  const core::Assignment reference = assigner.assign();
+  core::ThreeStageOptions reference_options;
+  reference_options.stage1.telemetry = g_telemetry;
+  const core::Assignment reference = assigner.assign(reference_options);
   if (!reference.feasible) {
     std::fprintf(stderr, "error: reference assignment infeasible\n");
     return 1;
   }
   const double target =
       args.option_double("target-fraction") * reference.reward_rate;
-  const auto result = core::minimize_power_for_reward(scenario->dc, model, target);
+  core::PowerMinOptions pm_options;
+  pm_options.stage1.telemetry = g_telemetry;
+  const auto result =
+      core::minimize_power_for_reward(scenario->dc, model, target, pm_options);
   if (!result.feasible) {
     std::fprintf(stderr, "error: target unreachable\n");
     return 1;
@@ -248,6 +263,7 @@ int cmd_trace(const util::ArgParser& args) {
   sim::SimOptions options;
   options.duration_seconds = horizon;
   options.warmup_seconds = horizon * 0.1;
+  options.telemetry = g_telemetry;
   const sim::SimResult result =
       sim::simulate_trace(scenario->dc, a, trace, options);
   util::Table table({"arrivals", "predicted reward/s", "achieved reward/s",
@@ -310,6 +326,8 @@ int main(int argc, char** argv) {
   args.add_option("trace-in", "replay this arrival trace CSV (trace)", "");
   args.add_option("trace-out", "save the generated arrival trace CSV (trace)", "");
   args.add_option("burst-multiplier", "MMPP burst multiplier; 1 = Poisson (trace)", "1");
+  args.add_option("telemetry-out",
+                  "write the run's metrics registry to this JSON file", "");
   args.add_flag("csv", "emit CSV instead of aligned tables");
   args.add_flag("pstates", "also print the per-node P-state histogram (assign)");
 
@@ -324,12 +342,38 @@ int main(int argc, char** argv) {
     return 2;
   }
   const std::string& command = args.positional()[0];
-  if (command == "bounds") return cmd_bounds(args);
-  if (command == "assign") return cmd_assign(args);
-  if (command == "simulate") return cmd_simulate(args);
-  if (command == "powermin") return cmd_powermin(args);
-  if (command == "sweep") return cmd_sweep(args);
-  if (command == "trace") return cmd_trace(args);
-  std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
-  return 2;
+  util::telemetry::Registry registry;
+  const std::string& telemetry_path = args.option("telemetry-out");
+  if (!telemetry_path.empty()) g_telemetry = &registry;
+
+  int status = 2;
+  bool known = true;
+  {
+    // The cli.<command> timer wraps the whole subcommand (scenario
+    // generation included), so stage timers can be read as fractions of it.
+    // ScopedTimer keeps only a view of the name, so it must outlive it.
+    const std::string timer_name = "cli." + command;
+    const util::telemetry::ScopedTimer timer(g_telemetry, timer_name);
+    if (command == "bounds") status = cmd_bounds(args);
+    else if (command == "assign") status = cmd_assign(args);
+    else if (command == "simulate") status = cmd_simulate(args);
+    else if (command == "powermin") status = cmd_powermin(args);
+    else if (command == "sweep") status = cmd_sweep(args);
+    else if (command == "trace") status = cmd_trace(args);
+    else known = false;
+  }
+  if (!known) {
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n", command.c_str());
+    return 2;
+  }
+  if (g_telemetry) {
+    std::ofstream out(telemetry_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", telemetry_path.c_str());
+      return 1;
+    }
+    registry.to_json(out);
+    std::fprintf(stderr, "wrote telemetry to %s\n", telemetry_path.c_str());
+  }
+  return status;
 }
