@@ -38,16 +38,30 @@ Assignment ThreeStageAssigner::assign(const ThreeStageOptions& options) const {
   const Stage1Solver stage1(dc_, model_);
   const Stage1Result s1 = stage1.solve(options.stage1);
   assignment.lp_solves = s1.lp_solves;
-  if (!s1.feasible) return assignment;
+  if (!s1.feasible) {
+    assignment.status = s1.status.ok()
+                            ? util::Status::Infeasible("stage1 found no plan")
+                            : s1.status;
+    return assignment;
+  }
   assignment.stage1_objective = s1.objective;
   assignment.crac_out_c = s1.crac_out_c;
 
   const Stage2Result s2 =
       convert_power_to_pstates(dc_, s1.node_core_power_kw, reg);
+  if (!s2.status.ok()) {
+    assignment.status = s2.status;
+    return assignment;
+  }
   assignment.core_pstate = s2.core_pstate;
 
   const Stage3Result s3 = solve_stage3(dc_, s2.core_pstate, reg);
-  TAPO_CHECK_MSG(s3.optimal, "stage 3 LP must be solvable (0 is feasible)");
+  if (!s3.optimal) {
+    assignment.status = s3.status.ok()
+                            ? util::Status::Internal("stage3 solver failure")
+                            : s3.status;
+    return assignment;
+  }
   assignment.tc = s3.tc;
   assignment.reward_rate = s3.reward_rate;
 
@@ -98,15 +112,24 @@ AssignmentCheck verify_assignment(const dc::DataCenter& dc,
                      check.max_crac_inlet_c <= dc.redline_crac_c + 1e-6;
 
   // Rates: per-core capacity (Eq. 7 c1), deadline rule (c2), arrivals (c3).
+  // On a degraded data center, failed cores must additionally carry no rates
+  // and sit in the off state.
   check.rates_ok = true;
   for (std::size_t k = 0; k < dc.total_cores(); ++k) {
     const std::size_t type = dc.core_type(k);
     const std::size_t ps = assignment.core_pstate[k];
+    if (!dc.core_available(k) && ps != dc.node_types[type].off_state()) {
+      check.rates_ok = false;
+    }
     double utilization = 0.0;
     for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
       const double rate = assignment.tc(i, k);
       if (rate < -1e-9) check.rates_ok = false;
       if (rate <= 0.0) continue;
+      if (!dc.core_available(k)) {
+        check.rates_ok = false;
+        continue;
+      }
       if (!dc.ecs.can_meet_deadline(i, type, ps,
                                     dc.task_types[i].relative_deadline)) {
         check.rates_ok = false;

@@ -19,6 +19,10 @@ namespace tapo::core {
 
 struct Assignment {
   bool feasible = false;
+  // Non-ok when any stage failed; carries the stage's own diagnostic so a
+  // caller (the recovery controller in particular) can report why no plan
+  // exists instead of aborting.
+  util::Status status;
   std::string technique;
 
   std::vector<double> crac_out_c;          // CRAC outlet setpoints

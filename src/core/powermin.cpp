@@ -1,5 +1,6 @@
 #include "core/powermin.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -44,6 +45,7 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
   std::vector<std::vector<std::size_t>> seg_vars(nn);
   std::vector<std::pair<std::size_t, double>> reward_terms;
   for (std::size_t j = 0; j < nn; ++j) {
+    if (dc.node_failed(j)) continue;  // dead node: no power, no reward
     const auto& fn = arr_by_type[dc.nodes[j].type];
     const auto& pts = fn.points();
     const auto slopes = fn.slopes();
@@ -68,7 +70,7 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
     for (std::size_t j = 0; j < nn; ++j) {
       const double w = lr.node_in_coeff(r, j);
       if (w == 0.0) continue;
-      rhs -= w * dc.node_type(j).base_power_kw();
+      rhs -= w * dc.node_base_power_kw(j);
       for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
     }
     if (rhs < 0.0 && terms.empty()) return {};
@@ -80,7 +82,7 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
     for (std::size_t j = 0; j < nn; ++j) {
       const double w = lr.crac_in_coeff(r, j);
       if (w == 0.0) continue;
-      rhs -= w * dc.node_type(j).base_power_kw();
+      rhs -= w * dc.node_base_power_kw(j);
       for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
     }
     if (rhs < 0.0 && terms.empty()) return {};
@@ -95,7 +97,7 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
     for (std::size_t j = 0; j < nn; ++j) {
       const double w = k * lr.crac_in_coeff(c, j);
       if (w == 0.0) continue;
-      rhs -= w * dc.node_type(j).base_power_kw();
+      rhs -= w * dc.node_base_power_kw(j);
       for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
     }
     terms.emplace_back(crac_power_vars[c], -1.0);
@@ -137,9 +139,15 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
                   floor);
     }
 
+    // Same degraded-CRAC lower bounds as Stage 1: a derated unit cannot go
+    // below its raised minimum outlet temperature.
     const std::size_t nc = dc.num_cracs();
-    const std::vector<double> lo(nc, options.stage1.tcrac_min_c);
+    std::vector<double> lo(nc);
     const std::vector<double> hi(nc, options.stage1.tcrac_max_c);
+    for (std::size_t c = 0; c < nc; ++c) {
+      lo[c] = std::min(dc.crac_min_outlet(c, options.stage1.tcrac_min_c),
+                       options.stage1.tcrac_max_c);
+    }
     std::atomic<std::size_t> lp_solves{0};
     std::atomic<std::size_t> infeasible{0};
     const auto objective =
@@ -164,15 +172,33 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
       reg->count("powermin.infeasible_candidates",
                  infeasible.load(std::memory_order_relaxed));
     }
-    if (!search.found) return result;  // target unreachable even relaxed
+    if (!search.found) {
+      result.status = util::Status::Infeasible(
+          "powermin: reward floor unreachable at every CRAC setpoint");
+      return result;  // target unreachable even relaxed
+    }
 
     const StageOutcome best =
         solve_power_at(dc, model, search.best_point, options.stage1.psi, floor);
-    TAPO_CHECK(best.feasible);
+    if (!best.feasible) {
+      result.status = util::Status::Internal(
+          "powermin: best grid point infeasible on re-solve");
+      return result;
+    }
 
     const Stage2Result s2 =
         convert_power_to_pstates(dc, best.node_core_power_kw, reg);
+    if (!s2.status.ok()) {
+      result.status = s2.status;
+      return result;
+    }
     const Stage3Result s3 = solve_stage3(dc, s2.core_pstate, reg);
+    if (!s3.optimal) {
+      result.status = s3.status.ok()
+                          ? util::Status::Internal("powermin: stage3 failure")
+                          : s3.status;
+      return result;
+    }
 
     Assignment assignment;
     assignment.feasible = true;

@@ -31,6 +31,9 @@ struct PowerMinOptions {
 
 struct PowerMinResult {
   bool feasible = false;
+  // Non-ok when no attempt produced a plan (target unreachable, or a stage
+  // failed); mirrors `feasible`.
+  util::Status status;
   bool met_target = false;
   double total_power_kw = 0.0;
   double reward_rate = 0.0;

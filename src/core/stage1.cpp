@@ -1,5 +1,6 @@
 #include "core/stage1.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 
@@ -41,10 +42,13 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
   solver::LpProblem lp;
   // Segment variables per node; consecutive segments of a concave function
   // have decreasing slopes, so a maximizing LP fills them in order and the
-  // sum of segment variables is exactly the node core power p_j.
+  // sum of segment variables is exactly the node core power p_j. Failed
+  // nodes get no variables at all - their core power is pinned to zero and
+  // their base draw is excluded from every row via node_base_power_kw.
   std::vector<std::vector<std::size_t>> seg_vars(nn);
   std::vector<std::vector<double>> seg_obj(nn);
   for (std::size_t j = 0; j < nn; ++j) {
+    if (dc_.node_failed(j)) continue;
     const auto& fn = arr_by_type[dc_.nodes[j].type];
     const auto& pts = fn.points();
     const auto slopes = fn.slopes();
@@ -72,7 +76,7 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
     for (std::size_t j = 0; j < nn; ++j) {
       const double w = lr.node_in_coeff(r, j);
       if (w == 0.0) continue;
-      rhs -= w * dc_.node_type(j).base_power_kw();
+      rhs -= w * dc_.node_base_power_kw(j);
       for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
     }
     if (rhs < 0.0 && terms.empty()) {
@@ -86,7 +90,7 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
     for (std::size_t j = 0; j < nn; ++j) {
       const double w = lr.crac_in_coeff(r, j);
       if (w == 0.0) continue;
-      rhs -= w * dc_.node_type(j).base_power_kw();
+      rhs -= w * dc_.node_base_power_kw(j);
       for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
     }
     if (rhs < 0.0 && terms.empty()) return {};
@@ -104,7 +108,7 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
     for (std::size_t j = 0; j < nn; ++j) {
       const double w = k * lr.crac_in_coeff(c, j);
       if (w == 0.0) continue;
-      rhs -= w * dc_.node_type(j).base_power_kw();
+      rhs -= w * dc_.node_base_power_kw(j);
       for (std::size_t v : seg_vars[j]) terms.emplace_back(v, w);
     }
     terms.emplace_back(crac_power_vars[c], -1.0);
@@ -143,9 +147,17 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
   util::telemetry::Registry* const reg = options.telemetry;
   const util::telemetry::ScopedTimer stage_timer(reg, "stage1.solve");
 
+  // Per-CRAC lower bounds honor degraded units: a derated CRAC cannot hold
+  // supply air colder than its raised minimum outlet, so the sweep simply
+  // never proposes such setpoints (clamped to the top of the range on full
+  // failure).
   const std::size_t nc = dc_.num_cracs();
-  const std::vector<double> lo(nc, options.tcrac_min_c);
+  std::vector<double> lo(nc);
   const std::vector<double> hi(nc, options.tcrac_max_c);
+  for (std::size_t c = 0; c < nc; ++c) {
+    lo[c] = std::min(dc_.crac_min_outlet(c, options.tcrac_min_c),
+                     options.tcrac_max_c);
+  }
 
   // solve_at builds the LP from per-call state only, so the sweep may invoke
   // it from several threads at once; the counters are the sole shared writes
@@ -189,10 +201,19 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
                infeasible.load(std::memory_order_relaxed));
     reg->count("stage1.grid_evaluations", search.evaluations);
   }
-  if (!search.found) return result;
+  if (!search.found) {
+    result.status = util::Status::Infeasible(
+        "stage1: no CRAC setpoint vector admits a feasible power LP "
+        "(redlines or power budget unsatisfiable)");
+    return result;
+  }
 
   const LpOutcome best = solve_at(search.best_point, options.psi);
-  TAPO_CHECK_MSG(best.feasible, "best grid point must stay feasible");
+  if (!best.feasible) {
+    result.status = util::Status::Internal(
+        "stage1: best grid point infeasible on re-solve");
+    return result;
+  }
   result.feasible = true;
   result.crac_out_c = search.best_point;
   result.node_core_power_kw = best.node_core_power_kw;

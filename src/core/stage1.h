@@ -23,6 +23,7 @@
 #include "dc/datacenter.h"
 #include "solver/gridsearch.h"
 #include "thermal/heatflow.h"
+#include "util/status.h"
 
 namespace tapo::util::telemetry {
 class Registry;
@@ -58,6 +59,10 @@ solver::GridSearchOptions stage1_grid_options(const Stage1Options& options);
 
 struct Stage1Result {
   bool feasible = false;
+  // Non-ok when infeasible (every candidate setpoint vector violated a
+  // constraint) or on an internal solver failure; mirrors `feasible` so the
+  // recovery path can report *why* a degraded re-solve found no plan.
+  util::Status status;
   std::vector<double> crac_out_c;            // chosen CRAC outlet setpoints
   std::vector<double> node_core_power_kw;    // per node, cores only (excl. base)
   double objective = 0.0;                    // relaxed aggregate reward rate

@@ -25,9 +25,21 @@ Stage2Result convert_power_to_pstates(
   for (std::size_t j = 0; j < dc.num_nodes(); ++j) {
     const dc::NodeTypeSpec& spec = dc.node_type(j);
     const std::size_t n = spec.cores_per_node();
+    const std::size_t offset = dc.core_offset(j);
+    if (dc.node_failed(j)) {
+      // A dead node runs nothing regardless of the budget it was handed.
+      for (std::size_t c = 0; c < n; ++c) {
+        result.core_pstate[offset + c] = spec.off_state();
+      }
+      continue;
+    }
     const double budget = std::max(0.0, node_core_power_budget_kw[j]);
-    TAPO_CHECK_MSG(budget <= n * spec.core_power_kw(0) + 1e-6,
-                   "node budget exceeds all-cores-at-P0 power");
+    if (budget > n * spec.core_power_kw(0) + 1e-6) {
+      result.status = util::Status::InvalidArgument(
+          "stage2: node " + std::to_string(j) +
+          " budget exceeds all-cores-at-P0 power");
+      return result;
+    }
     const double share = budget / static_cast<double>(n);
 
     // Step 1: highest P-state (largest index, lowest power) whose power is
@@ -62,7 +74,6 @@ Stage2Result convert_power_to_pstates(
       ++demotions;
     }
 
-    const std::size_t offset = dc.core_offset(j);
     for (std::size_t c = 0; c < n; ++c) result.core_pstate[offset + c] = states[c];
     result.node_core_power_kw[j] = total;
   }

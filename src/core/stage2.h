@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dc/datacenter.h"
+#include "util/status.h"
 
 namespace tapo::util::telemetry {
 class Registry;
@@ -21,6 +22,9 @@ class Registry;
 namespace tapo::core {
 
 struct Stage2Result {
+  // Non-ok when a node budget exceeds the all-cores-at-P0 power of its node
+  // type (an invalid Stage-1 handoff); core_pstate is unusable then.
+  util::Status status;
   // P-state per global core index (off_state() of its node type = off).
   std::vector<std::size_t> core_pstate;
   // Actual core power per node after conversion (excl. base power).
@@ -31,8 +35,9 @@ struct Stage2Result {
 // `node_core_power_budget_kw` is the Stage-1 core power per node (excluding
 // base power, one entry per node); the result never draws more than the
 // budget on any node, so Stage 1's power and thermal feasibility carry over
-// unchanged. Budgets above the all-cores-at-P0 power of a node are a
-// precondition violation (checked).
+// unchanged. Budgets above the all-cores-at-P0 power of a node yield an
+// error status instead of a rounding. Failed nodes are forced all-off no
+// matter what budget they were handed.
 //
 // `telemetry` (optional) records the stage2.* metrics from
 // docs/OBSERVABILITY.md: the rounding timer, the number of demotions (cores

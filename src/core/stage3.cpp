@@ -32,6 +32,7 @@ Stage3Result solve_stage3(const dc::DataCenter& dc,
   // Group cores into (node type, P-state) classes; off cores are skipped.
   std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>> classes;
   for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    if (!dc.core_available(k)) continue;  // failed node: no rates, ever
     const std::size_t type = dc.core_type(k);
     const std::size_t ps = core_pstate[k];
     if (ps == dc.node_types[type].off_state()) continue;
@@ -91,7 +92,10 @@ Stage3Result solve_stage3(const dc::DataCenter& dc,
 
   const solver::LpSolution sol = solve_lp(lp);
   if (telemetry) telemetry->count("stage3.lp_iterations", sol.iterations);
-  if (!sol.optimal()) return finalize(dc, std::move(result));
+  if (!sol.optimal()) {
+    result.status = util::Status::Internal("stage3: rate LP did not converge");
+    return finalize(dc, std::move(result));
+  }
 
   result.optimal = true;
   result.reward_rate = sol.objective;
@@ -119,6 +123,7 @@ Stage3Result solve_stage3_percore(const dc::DataCenter& dc,
   std::vector<std::vector<std::size_t>> by_type(t);
 
   for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+    if (!dc.core_available(k)) continue;
     const std::size_t type = dc.core_type(k);
     const std::size_t ps = core_pstate[k];
     if (ps == dc.node_types[type].off_state()) continue;
@@ -154,7 +159,10 @@ Stage3Result solve_stage3_percore(const dc::DataCenter& dc,
   }
 
   const solver::LpSolution sol = solve_lp(lp);
-  if (!sol.optimal()) return finalize(dc, std::move(result));
+  if (!sol.optimal()) {
+    result.status = util::Status::Internal("stage3: rate LP did not converge");
+    return finalize(dc, std::move(result));
+  }
 
   result.optimal = true;
   result.reward_rate = sol.objective;

@@ -18,6 +18,7 @@
 
 #include "dc/datacenter.h"
 #include "solver/matrix.h"
+#include "util/status.h"
 
 namespace tapo::util::telemetry {
 class Registry;
@@ -27,8 +28,10 @@ namespace tapo::core {
 
 struct Stage3Result {
   // True when the LP reached optimality (an all-off data center is optimal
-  // at zero rates); false only on a solver failure.
+  // at zero rates); false only on a solver failure, in which case `status`
+  // carries the reason.
   bool optimal = false;
+  util::Status status;
   double reward_rate = 0.0;        // total reward rate (Eq. 7 objective)
   solver::Matrix tc;               // T x NCORES desired execution rates
   std::vector<double> per_type_rate;  // sum over cores, per task type

@@ -227,6 +227,7 @@ TaskPowerResult TaskPowerAssigner::assign(const TaskPowerOptions& options) const
     if (!s1.feasible) break;
     const Stage2Result s2 = convert_power_to_pstates(dc_, s1.node_core_power_kw);
     mutable_dc.p_const_kw = true_budget;
+    if (!s2.status.ok()) break;  // bad handoff; keep the incumbent
 
     const PowerAwareStage3Result s3 = solve_stage3_power_aware(
         dc_, model_, s1.crac_out_c, s2.core_pstate, factors_);

@@ -1,8 +1,52 @@
 #include "dc/datacenter.h"
 
+#include <algorithm>
+#include <limits>
+
 #include "util/check.h"
 
 namespace tapo::dc {
+
+bool DataCenter::node_failed(std::size_t node) const {
+  TAPO_CHECK(node < nodes.size());
+  return node < node_failed_mask.size() && node_failed_mask[node] != 0;
+}
+
+void DataCenter::set_node_failed(std::size_t node, bool failed) {
+  TAPO_CHECK(node < nodes.size());
+  if (node_failed_mask.empty()) node_failed_mask.assign(nodes.size(), 0);
+  node_failed_mask[node] = failed ? 1 : 0;
+}
+
+std::size_t DataCenter::num_failed_nodes() const {
+  std::size_t n = 0;
+  for (std::uint8_t f : node_failed_mask) n += f != 0;
+  return n;
+}
+
+bool DataCenter::core_available(std::size_t core) const {
+  return !node_failed(core_node(core));
+}
+
+double DataCenter::crac_min_outlet(std::size_t unit, double fallback) const {
+  TAPO_CHECK(unit < cracs.size());
+  if (unit >= crac_min_outlet_c.size()) return fallback;
+  return std::max(fallback, crac_min_outlet_c[unit]);
+}
+
+void DataCenter::set_crac_min_outlet(std::size_t unit, double min_c) {
+  TAPO_CHECK(unit < cracs.size());
+  if (crac_min_outlet_c.empty()) {
+    crac_min_outlet_c.assign(cracs.size(),
+                             -std::numeric_limits<double>::infinity());
+  }
+  crac_min_outlet_c[unit] = min_c;
+}
+
+void DataCenter::clear_faults() {
+  node_failed_mask.clear();
+  crac_min_outlet_c.clear();
+}
 
 const NodeTypeSpec& DataCenter::node_type(std::size_t node) const {
   TAPO_CHECK(node < nodes.size());
@@ -39,15 +83,21 @@ double DataCenter::total_node_flow() const {
   return f;
 }
 
+double DataCenter::node_base_power_kw(std::size_t node) const {
+  return node_failed(node) ? 0.0 : node_type(node).base_power_kw();
+}
+
 double DataCenter::total_base_power_kw() const {
   double p = 0.0;
-  for (std::size_t j = 0; j < num_nodes(); ++j) p += node_type(j).base_power_kw();
+  for (std::size_t j = 0; j < num_nodes(); ++j) p += node_base_power_kw(j);
   return p;
 }
 
 double DataCenter::max_compute_power_kw() const {
   double p = 0.0;
-  for (std::size_t j = 0; j < num_nodes(); ++j) p += node_type(j).max_node_power_kw();
+  for (std::size_t j = 0; j < num_nodes(); ++j) {
+    if (!node_failed(j)) p += node_type(j).max_node_power_kw();
+  }
   return p;
 }
 
@@ -56,6 +106,7 @@ std::vector<double> DataCenter::node_power_from_pstates(
   TAPO_CHECK(core_pstate.size() == total_cores_);
   std::vector<double> power(num_nodes());
   for (std::size_t j = 0; j < num_nodes(); ++j) {
+    if (node_failed(j)) continue;  // a dead node draws nothing
     const NodeTypeSpec& spec = node_type(j);
     double p = spec.base_power_kw();
     const std::size_t begin = core_offset_[j];

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "dc/crac.h"
@@ -41,6 +42,29 @@ struct DataCenter {
   double redline_crac_c = 40.0;  // CRAC inlet redline (degC)
   double p_const_kw = 0.0;       // total power budget Pconst
 
+  // ---- Degraded-mode state (fault injection; runtime only, not serialized).
+  // A failed node draws no power at all (base included) and the solvers force
+  // every one of its cores off. Airflow is preserved — chassis fans keep
+  // spinning on standby power we neglect — so the heat-flow topology, and any
+  // HeatFlowModel already built from this data center, stays valid across
+  // failures. A derated CRAC compressor can only hold warmer supply air,
+  // expressed as a raised minimum outlet setpoint; airflow is likewise
+  // preserved. Empty vectors mean fully healthy.
+  std::vector<std::uint8_t> node_failed_mask;  // per node; empty = all healthy
+  std::vector<double> crac_min_outlet_c;       // per CRAC; empty = no limits
+
+  bool node_failed(std::size_t node) const;
+  void set_node_failed(std::size_t node, bool failed);
+  std::size_t num_failed_nodes() const;
+  bool core_available(std::size_t core) const;
+  // Minimum outlet setpoint a (possibly derated) CRAC can hold; `fallback`
+  // is the healthy lower bound (e.g. Stage1Options::tcrac_min_c).
+  double crac_min_outlet(std::size_t unit, double fallback) const;
+  void set_crac_min_outlet(std::size_t unit, double min_c);
+  // Restores full health (keeps p_const_kw as-is; power-cap changes are
+  // plain field writes the caller undoes itself).
+  void clear_faults();
+
   // ---- Derived helpers ----
   std::size_t num_nodes() const { return nodes.size(); }
   std::size_t num_cracs() const { return cracs.size(); }
@@ -61,9 +85,11 @@ struct DataCenter {
   double node_flow(std::size_t node) const;
   double total_node_flow() const;
 
-  // Sum of base power over all nodes (always drawn; nodes are never off).
+  // Base power of one node: its type's base draw, or 0 when it has failed.
+  double node_base_power_kw(std::size_t node) const;
+  // Sum of base power over all live nodes (live nodes are never off).
   double total_base_power_kw() const;
-  // Maximum compute power: base + all cores at P-state 0.
+  // Maximum compute power: base + all cores at P-state 0, live nodes only.
   double max_compute_power_kw() const;
 
   // Compute-node power vector (kW, length NCN) for a per-core P-state

@@ -1,12 +1,13 @@
 #include "scenario/io.h"
 
+#include <cctype>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
-
-#include "util/check.h"
 
 namespace tapo::scenario {
 
@@ -19,15 +20,16 @@ std::string hex_double(double v) {
   return buf;
 }
 
-// Node-type names may contain spaces; they are stored URL-style with '%20'.
+// Names may contain spaces, '%' or newlines; they are stored URL-style so
+// every name round-trips and saving can never fail.
 std::string encode_name(const std::string& name) {
   std::string out;
   for (char c : name) {
-    if (c == ' ') {
-      out += "%20";
-    } else {
-      TAPO_CHECK_MSG(c != '\n' && c != '%', "unsupported character in name");
-      out += c;
+    switch (c) {
+      case ' ': out += "%20"; break;
+      case '%': out += "%25"; break;
+      case '\n': out += "%0A"; break;
+      default: out += c;
     }
   }
   return out;
@@ -39,6 +41,12 @@ std::string decode_name(const std::string& encoded) {
     if (encoded.compare(i, 3, "%20") == 0) {
       out += ' ';
       i += 2;
+    } else if (encoded.compare(i, 3, "%25") == 0) {
+      out += '%';
+      i += 2;
+    } else if (encoded.compare(i, 3, "%0A") == 0) {
+      out += '\n';
+      i += 2;
     } else {
       out += encoded[i];
     }
@@ -46,23 +54,35 @@ std::string decode_name(const std::string& encoded) {
   return out;
 }
 
+// Whitespace-delimited token scanner that tracks the current line, so every
+// parse error can say where in the document it happened.
 class Reader {
  public:
   explicit Reader(std::istream& is) : is_(is) {}
 
   bool expect(const std::string& token) {
     std::string got;
-    if (!(is_ >> got) || got != token) {
-      fail("expected '" + token + "'" + (got.empty() ? "" : ", got '" + got + "'"));
+    if (!next(got)) {
+      fail("expected '" + token + "', got end of document");
+      return false;
+    }
+    if (got != token) {
+      fail("expected '" + token + "', got '" + got + "'");
       return false;
     }
     return true;
   }
 
   bool read_size(std::size_t& out) {
-    long long v = 0;
-    if (!(is_ >> v) || v < 0) {
-      fail("expected a non-negative integer");
+    std::string token;
+    if (!next(token)) {
+      fail("expected a non-negative integer, got end of document");
+      return false;
+    }
+    char* end = nullptr;
+    const long long v = std::strtoll(token.c_str(), &end, 10);
+    if (!end || *end != '\0' || v < 0) {
+      fail("expected a non-negative integer, got '" + token + "'");
       return false;
     }
     out = static_cast<std::size_t>(v);
@@ -71,8 +91,8 @@ class Reader {
 
   bool read_double(double& out) {
     std::string token;
-    if (!(is_ >> token)) {
-      fail("expected a number");
+    if (!next(token)) {
+      fail("expected a number, got end of document");
       return false;
     }
     char* end = nullptr;
@@ -85,7 +105,7 @@ class Reader {
   }
 
   bool read_word(std::string& out) {
-    if (!(is_ >> out)) {
+    if (!next(out)) {
       fail("unexpected end of document");
       return false;
     }
@@ -93,14 +113,36 @@ class Reader {
   }
 
   void fail(const std::string& message) {
-    if (error_.empty()) error_ = message;
+    if (status_.ok()) {
+      status_ = util::Status::InvalidArgument(
+          "line " + std::to_string(line_) + ": " + message);
+    }
   }
-  bool failed() const { return !error_.empty(); }
-  const std::string& error() const { return error_; }
+  bool failed() const { return !status_.ok(); }
+  const util::Status& status() const { return status_; }
 
  private:
+  // Reads one whitespace-delimited token, counting newlines, so `line_` is
+  // the line the token started on when a read fails.
+  bool next(std::string& out) {
+    out.clear();
+    int c = is_.get();
+    while (c != EOF && std::isspace(static_cast<unsigned char>(c))) {
+      if (c == '\n') ++line_;
+      c = is_.get();
+    }
+    if (c == EOF) return false;
+    while (c != EOF && !std::isspace(static_cast<unsigned char>(c))) {
+      out += static_cast<char>(c);
+      c = is_.get();
+    }
+    if (c == '\n') ++line_;
+    return true;
+  }
+
   std::istream& is_;
-  std::string error_;
+  std::size_t line_ = 1;
+  util::Status status_;
 };
 
 }  // namespace
@@ -180,15 +222,15 @@ LoadResult load_data_center(std::istream& is) {
   Reader r(is);
   dc::DataCenter& dc = result.dc;
 
-  if (!r.expect("tapo-datacenter") || !r.expect("v1")) {
-    result.error = r.error();
-    return result;
-  }
-
   const auto finish_error = [&]() {
-    result.error = r.error().empty() ? "malformed document" : r.error();
+    result.status = r.failed()
+                        ? r.status()
+                        : util::Status::InvalidArgument("malformed document");
+    result.error = result.status.message();
     return result;
   };
+
+  if (!r.expect("tapo-datacenter") || !r.expect("v1")) return finish_error();
 
   std::size_t count = 0;
   if (!r.expect("node_types") || !r.read_size(count)) return finish_error();
@@ -209,9 +251,21 @@ LoadResult load_data_center(std::istream& is) {
         return finish_error();
       }
     }
-    if (states == 0 || cores == 0 || p0 <= 0 || flow <= 0) {
-      r.fail("invalid node type parameters");
+    // Everything the NodeTypeSpec / CorePowerModel constructors would
+    // TAPO_CHECK must be pre-validated here so malformed files report a
+    // Status instead of aborting.
+    if (states == 0 || cores == 0 || p0 <= 0 || flow <= 0 || base < 0 ||
+        !std::isfinite(base) || !std::isfinite(p0) || !std::isfinite(flow) ||
+        !(static_fraction >= 0.0 && static_fraction < 1.0)) {
+      r.fail("invalid node type parameters for '" + name + "'");
       return finish_error();
+    }
+    for (const auto& s : pstates) {
+      if (!(s.freq_mhz > 0.0) || !(s.voltage > 0.0) ||
+          !std::isfinite(s.freq_mhz) || !std::isfinite(s.voltage)) {
+        r.fail("invalid P-state parameters for '" + name + "'");
+        return finish_error();
+      }
     }
     dc.node_types.emplace_back(decode_name(name), base, cores, p0,
                                static_fraction, std::move(pstates), flow);
@@ -222,7 +276,8 @@ LoadResult load_data_center(std::istream& is) {
   for (auto& node : dc.nodes) {
     if (!r.read_size(node.type)) return finish_error();
     if (node.type >= dc.node_types.size()) {
-      r.fail("node references unknown type");
+      r.fail("node references unknown type " + std::to_string(node.type) +
+             " (have " + std::to_string(dc.node_types.size()) + ")");
       return finish_error();
     }
   }
@@ -232,6 +287,10 @@ LoadResult load_data_center(std::istream& is) {
   for (auto& crac : dc.cracs) {
     if (!r.read_double(crac.flow_m3s) || !r.read_double(crac.cop_a) ||
         !r.read_double(crac.cop_b) || !r.read_double(crac.cop_c)) {
+      return finish_error();
+    }
+    if (!(crac.flow_m3s > 0) || !std::isfinite(crac.flow_m3s)) {
+      r.fail("CRAC flow must be positive");
       return finish_error();
     }
   }
@@ -270,6 +329,11 @@ LoadResult load_data_center(std::istream& is) {
     if (!r.read_word(name) || !r.read_double(task.reward) ||
         !r.read_double(task.relative_deadline) ||
         !r.read_double(task.arrival_rate)) {
+      return finish_error();
+    }
+    if (!(task.relative_deadline > 0) || task.arrival_rate < 0 ||
+        !std::isfinite(task.reward)) {
+      r.fail("invalid task type parameters for '" + name + "'");
       return finish_error();
     }
     task.name = name == "-" ? std::string() : decode_name(name);
@@ -312,6 +376,11 @@ LoadResult load_data_center(std::istream& is) {
       !r.read_double(dc.redline_crac_c) || !r.read_double(dc.p_const_kw)) {
     return finish_error();
   }
+  if (!std::isfinite(dc.redline_node_c) || !std::isfinite(dc.redline_crac_c) ||
+      !std::isfinite(dc.p_const_kw) || dc.p_const_kw < 0) {
+    r.fail("invalid limits");
+    return finish_error();
+  }
   if (!r.expect("end")) return finish_error();
 
   // Structural consistency before finalize()'s own checks.
@@ -320,7 +389,8 @@ LoadResult load_data_center(std::istream& is) {
       dc.layout.num_cracs != dc.cracs.size() ||
       alpha_n != dc.nodes.size() + dc.cracs.size() ||
       dc.ecs.num_node_types() != dc.node_types.size()) {
-    result.error = "inconsistent section sizes";
+    result.status = util::Status::InvalidArgument("inconsistent section sizes");
+    result.error = result.status.message();
     return result;
   }
   dc.finalize();
@@ -339,10 +409,16 @@ LoadResult load_data_center_file(const std::string& path) {
   std::ifstream is(path);
   if (!is) {
     LoadResult result;
-    result.error = "cannot open '" + path + "'";
+    result.status = util::Status::NotFound("cannot open '" + path + "'");
+    result.error = result.status.message();
     return result;
   }
-  return load_data_center(is);
+  LoadResult result = load_data_center(is);
+  if (!result.ok) {
+    result.status = result.status.with_context(path);
+    result.error = result.status.message();
+  }
+  return result;
 }
 
 }  // namespace tapo::scenario

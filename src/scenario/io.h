@@ -7,30 +7,42 @@
 // and loads it back bit-for-bit (doubles round-trip through hex floats).
 // This lets the CLI and the benchmark harness archive the exact instance
 // behind any reported number.
+//
+// Loading never aborts on malformed input: every parse failure is reported
+// as a Status (and the mirrored ok/error fields) carrying the line number of
+// the offending token, so callers - tapo_cli in particular - can print a
+// diagnostic and exit instead of crashing. The runtime degraded-mode state
+// (DataCenter::node_failed_mask, crac_min_outlet_c) is deliberately not
+// serialized: a scenario file archives the healthy topology.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
 #include "dc/datacenter.h"
+#include "util/status.h"
 
 namespace tapo::scenario {
 
 // Writes the data center; the stream receives a self-describing document
-// beginning with "tapo-datacenter v1".
+// beginning with "tapo-datacenter v1". Never fails: names are stored
+// percent-encoded, so any character round-trips.
 void save_data_center(const dc::DataCenter& dc, std::ostream& os);
 
 struct LoadResult {
+  // `ok`/`error` mirror `status` for existing call sites; `status` carries
+  // the code plus "line N: ..." context.
   bool ok = false;
   std::string error;
+  util::Status status;
   dc::DataCenter dc;
 };
 
-// Parses a document produced by save_data_center. On failure `ok` is false
-// and `error` names the offending section.
+// Parses a document produced by save_data_center. On failure `status` (and
+// `error`) name the offending section and line.
 LoadResult load_data_center(std::istream& is);
 
-// Convenience file wrappers.
+// Convenience file wrappers; load errors gain a "<path>:" prefix.
 bool save_data_center_file(const dc::DataCenter& dc, const std::string& path);
 LoadResult load_data_center_file(const std::string& path);
 

@@ -1,20 +1,37 @@
 #include "sim/adaptive.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/check.h"
 #include "util/rng.h"
 
 namespace tapo::sim {
 
+util::Status DriftConfig::validate() const {
+  if (epochs < 1) {
+    return util::Status::InvalidArgument("drift needs at least one epoch");
+  }
+  if (!std::isfinite(epoch_seconds) || epoch_seconds <= 0.0) {
+    return util::Status::InvalidArgument(
+        "drift epoch length must be positive and finite");
+  }
+  if (!std::isfinite(drift_magnitude) || drift_magnitude < 0.0) {
+    return util::Status::InvalidArgument(
+        "drift magnitude must be non-negative and finite");
+  }
+  return util::Status::Ok();
+}
+
 AdaptiveResult compare_static_vs_adaptive(dc::DataCenter& dc,
                                           const thermal::HeatFlowModel& model,
                                           const core::ThreeStageOptions& options,
                                           const DriftConfig& drift) {
-  TAPO_CHECK(drift.epochs >= 1);
-  TAPO_CHECK(drift.epoch_seconds > 0.0);
-
   AdaptiveResult result;
+  if (util::Status s = drift.validate(); !s.ok()) {
+    result.status = std::move(s);
+    return result;
+  }
 
   // The baseline assignment is computed for the original arrival rates,
   // which are restored before returning.
@@ -23,7 +40,10 @@ AdaptiveResult compare_static_vs_adaptive(dc::DataCenter& dc,
 
   const core::ThreeStageAssigner assigner(dc, model);
   const core::Assignment initial = assigner.assign(options);
-  if (!initial.feasible) return result;
+  if (!initial.feasible) {
+    result.status = initial.status.with_context("initial assignment");
+    return result;
+  }
   result.feasible = true;
 
   util::Rng rng(drift.seed);

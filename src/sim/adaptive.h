@@ -17,6 +17,7 @@
 #include "dc/datacenter.h"
 #include "sim/des.h"
 #include "thermal/heatflow.h"
+#include "util/status.h"
 
 namespace tapo::sim {
 
@@ -28,6 +29,10 @@ struct DriftConfig {
   double drift_magnitude = 0.35;
   std::uint64_t seed = 1;
   SimOptions sim;  // duration/warmup fields are overridden per epoch
+
+  // Rejects degenerate configurations (zero epochs, non-positive or
+  // non-finite epoch length, negative drift magnitude).
+  util::Status validate() const;
 };
 
 struct EpochOutcome {
@@ -39,6 +44,9 @@ struct EpochOutcome {
 
 struct AdaptiveResult {
   bool feasible = false;
+  // Non-ok when the drift config is degenerate or the initial assignment is
+  // infeasible; mirrors `feasible`.
+  util::Status status;
   std::vector<EpochOutcome> epochs;
   double static_total_reward = 0.0;
   double adaptive_total_reward = 0.0;

@@ -1,6 +1,9 @@
 #include "sim/des.h"
 
 #include <cmath>
+#include <deque>
+#include <memory>
+#include <utility>
 
 #include "util/check.h"
 #include "util/telemetry.h"
@@ -30,6 +33,24 @@ double tracking_error_at(const dc::DataCenter& dc,
 
 }  // namespace
 
+util::Status SimOptions::validate() const {
+  if (!std::isfinite(duration_seconds) || duration_seconds <= 0.0) {
+    return util::Status::InvalidArgument(
+        "sim duration must be positive and finite");
+  }
+  if (!std::isfinite(warmup_seconds) || warmup_seconds < 0.0) {
+    return util::Status::InvalidArgument(
+        "sim warm-up must be non-negative and finite");
+  }
+  if (warmup_seconds >= duration_seconds) {
+    return util::Status::InvalidArgument(
+        "sim warm-up must end before the horizon (warmup " +
+        std::to_string(warmup_seconds) + "s >= duration " +
+        std::to_string(duration_seconds) + "s)");
+  }
+  return util::Status::Ok();
+}
+
 double SimResult::drop_fraction() const {
   std::size_t arrived = 0, dropped = 0;
   for (const PerTypeMetrics& m : per_type) {
@@ -41,10 +62,17 @@ double SimResult::drop_fraction() const {
 
 SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
                    const SimOptions& options) {
-  TAPO_CHECK(assignment.feasible);
-  TAPO_CHECK(options.duration_seconds > 0.0);
-  TAPO_CHECK(options.warmup_seconds >= 0.0 &&
-             options.warmup_seconds < options.duration_seconds);
+  if (util::Status s = options.validate(); !s.ok()) {
+    SimResult result;
+    result.status = std::move(s);
+    return result;
+  }
+  if (!assignment.feasible) {
+    SimResult result;
+    result.status = util::Status::FailedPrecondition(
+        "cannot simulate an infeasible assignment");
+    return result;
+  }
 
   util::telemetry::Registry* const reg = options.telemetry;
   const util::telemetry::ScopedTimer run_timer(reg, "sim.run");
@@ -170,6 +198,312 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
     reg->gauge_set("sim.energy_kwh", result.energy_kwh);
   }
   return result;
+}
+
+FaultSimResult simulate_with_faults(dc::DataCenter& dc,
+                                    const thermal::HeatFlowModel& model,
+                                    const core::Assignment& initial,
+                                    const FaultSchedule& schedule,
+                                    const FaultSimOptions& options) {
+  FaultSimResult out;
+  if (util::Status s = options.sim.validate(); !s.ok()) {
+    out.status = std::move(s);
+    return out;
+  }
+  if (!initial.feasible) {
+    out.status = util::Status::FailedPrecondition(
+        "cannot simulate an infeasible assignment");
+    return out;
+  }
+  if (util::Status s = schedule.validate(dc); !s.ok()) {
+    out.status = s.with_context("fault schedule");
+    return out;
+  }
+
+  util::telemetry::Registry* const reg = options.sim.telemetry;
+  const util::telemetry::ScopedTimer run_timer(reg, "sim.fault_run");
+
+  // The run mutates the degraded-mode state and the budget; restore both so
+  // the caller's data center comes back exactly as passed.
+  const double saved_pconst = dc.p_const_kw;
+  const std::vector<std::uint8_t> saved_failed = dc.node_failed_mask;
+  const std::vector<double> saved_crac_min = dc.crac_min_outlet_c;
+
+  const double horizon = options.sim.duration_seconds;
+  const double warmup = options.sim.warmup_seconds;
+  const double tcrac_min = options.recovery.assign.stage1.tcrac_min_c;
+  const double tcrac_max = options.recovery.assign.stage1.tcrac_max_c;
+
+  Engine engine;
+  ArrivalProcess arrivals(dc.task_types, util::Rng(options.sim.seed));
+  core::SchedulerOptions scheduler_options = options.sim.scheduler;
+  if (!scheduler_options.telemetry) scheduler_options.telemetry = reg;
+
+  // Plan swaps keep every adopted Assignment alive in a deque (the scheduler
+  // holds a reference to its plan) and rebuild the scheduler, which resets
+  // its ATC tracking state — intentional: realized-rate history against a
+  // retired plan is meaningless for the new rate matrix.
+  std::deque<core::Assignment> plans;
+  plans.push_back(initial);
+  auto scheduler = std::make_unique<core::DynamicScheduler>(
+      dc, plans.back(), scheduler_options);
+
+  SimResult& result = out.sim;
+  result.per_type.assign(dc.num_task_types(), {});
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      result.per_type[i].desired_rate += initial.tc(i, k);
+    }
+  }
+
+  std::vector<double> core_free_time(dc.total_cores(), 0.0);
+
+  // Admitted tasks live in stable cells so a node failure can cancel their
+  // completion events: the event fires, sees the flag and does nothing.
+  struct Cell {
+    std::size_t type = 0;
+    double deadline = 0.0;
+    double finish = 0.0;
+    // Admission counted inside the measured window; a kill reclassifies such
+    // an admission as a drop so arrived == assigned + dropped always holds.
+    bool counted = false;
+    bool cancelled = false;
+    bool done = false;
+  };
+  std::deque<Cell> cells;
+  std::vector<std::vector<Cell*>> core_queue(dc.total_cores());
+
+  // Piecewise energy integration over the active plans, clipped to the
+  // measured window.
+  double active_power_kw = initial.total_power_kw();
+  double energy_kwh = 0.0;
+  double last_power_time = 0.0;
+  const auto integrate_to = [&](double t) {
+    const double a = std::max(last_power_time, warmup);
+    const double b = std::min(t, horizon);
+    if (b > a) energy_kwh += active_power_kw * (b - a) / 3600.0;
+    last_power_time = t;
+  };
+
+  // A newer fault supersedes any pending re-plan adoption.
+  std::uint64_t plan_generation = 0;
+
+  const auto try_assign = [&](std::size_t type, double now, double deadline,
+                              bool counted) -> bool {
+    const auto decision = scheduler->route(type, now, core_free_time);
+    if (!decision.assigned) return false;
+    const double start = std::max(now, core_free_time[decision.core]);
+    const double finish = start + decision.exec_seconds;
+    core_free_time[decision.core] = finish;
+    cells.push_back(Cell{type, deadline, finish, counted, false, false});
+    Cell* const cell = &cells.back();
+    core_queue[decision.core].push_back(cell);
+    if (finish <= horizon) {
+      engine.schedule_at(finish, [&result, &dc, cell, warmup] {
+        if (cell->cancelled) return;
+        cell->done = true;
+        if (cell->finish < warmup) return;
+        PerTypeMetrics& m = result.per_type[cell->type];
+        if (cell->finish <= cell->deadline + 1e-12) {
+          ++m.completed_in_time;
+          m.reward += dc.task_types[cell->type].reward;
+        } else {
+          ++m.completed_late;
+        }
+      });
+    }
+    return true;
+  };
+
+  std::function<void(std::size_t)> arrive = [&](std::size_t type) {
+    const double now = engine.now();
+    if (now <= horizon) {
+      PerTypeMetrics& m = result.per_type[type];
+      if (now >= warmup) ++m.arrived;
+      const double deadline = now + dc.task_types[type].relative_deadline;
+      if (try_assign(type, now, deadline, now >= warmup)) {
+        if (now >= warmup) ++m.assigned;
+      } else if (now >= warmup) {
+        ++m.dropped;
+      }
+    }
+    const double delay = arrivals.next_interarrival(type);
+    if (std::isfinite(delay) && engine.now() + delay <= horizon) {
+      engine.schedule_in(delay, [&, type] { arrive(type); });
+    }
+  };
+  for (std::size_t type = 0; type < dc.num_task_types(); ++type) {
+    const double delay = arrivals.next_interarrival(type);
+    if (std::isfinite(delay) && delay <= horizon) {
+      engine.schedule_at(delay, [&, type] { arrive(type); });
+    }
+  }
+
+  const auto on_fault = [&](const FaultEvent& ev) {
+    const double now = engine.now();
+    ++plan_generation;
+    FaultRecord record;
+    record.event = ev;
+
+    apply_fault(dc, ev, tcrac_min, tcrac_max);
+    if (reg) {
+      reg->count("fault.events");
+      switch (ev.kind) {
+        case FaultKind::kNodeFail:
+          reg->count("fault.node_failures");
+          break;
+        case FaultKind::kNodeRepair:
+          reg->count("fault.node_repairs");
+          break;
+        case FaultKind::kCracDerate:
+          reg->count("fault.crac_derates");
+          break;
+        case FaultKind::kCracRepair:
+          reg->count("fault.crac_repairs");
+          break;
+        case FaultKind::kPowerCap:
+          reg->count("fault.power_caps");
+          break;
+      }
+    }
+    TAPO_TELEM_EVENT(reg, "fault.inject", now,
+                     {{"kind", static_cast<double>(ev.kind)},
+                      {"target", static_cast<double>(ev.target)},
+                      {"value", ev.value}});
+
+    // Kill in-flight and queued work on the lost cores. A killed task whose
+    // admission fell inside the measured window has that admission
+    // reclassified as a drop (unless it is successfully requeued), so the
+    // arrived == assigned + dropped invariant survives faults.
+    struct Orphan {
+      std::size_t type;
+      double deadline;
+      bool counted;
+    };
+    std::vector<Orphan> orphans;
+    if (ev.kind == FaultKind::kNodeFail) {
+      const std::size_t begin = dc.core_offset(ev.target);
+      const std::size_t n = dc.node_type(ev.target).cores_per_node();
+      for (std::size_t k = begin; k < begin + n; ++k) {
+        for (Cell* cell : core_queue[k]) {
+          if (cell->done || cell->cancelled) continue;
+          cell->cancelled = true;
+          ++record.tasks_killed;
+          if (options.in_flight == InFlightPolicy::kRequeue) {
+            orphans.push_back({cell->type, cell->deadline, cell->counted});
+          } else if (cell->counted) {
+            PerTypeMetrics& m = result.per_type[cell->type];
+            --m.assigned;  // kDrop: the admission becomes a drop
+            ++m.dropped;
+          }
+        }
+        core_queue[k].clear();
+        core_free_time[k] = now;
+      }
+    }
+
+    // Two-phase recovery against the plan in force.
+    const core::RecoveryController controller(dc, model, options.recovery);
+    core::RecoveryOutcome rec = controller.recover(plans.back());
+    record.safe = rec.safe;
+    record.replan_adopted = rec.replan_adopted;
+    record.recovery_status = rec.status;
+    record.throttle_reward_rate = rec.throttle_reward_rate;
+    record.replan_reward_rate = rec.replan_reward_rate;
+
+    // The safety throttle takes effect at the fault instant.
+    integrate_to(now);
+    plans.push_back(std::move(rec.throttle));
+    active_power_kw = plans.back().total_power_kw();
+    scheduler = std::make_unique<core::DynamicScheduler>(dc, plans.back(),
+                                                         scheduler_options);
+
+    // Orphans re-route through the throttle plan, original deadlines kept
+    // (they may well complete late); unplaceable ones count as drops.
+    for (const auto& [type, deadline, counted] : orphans) {
+      if (try_assign(type, now, deadline, counted)) {
+        ++record.tasks_requeued;
+      } else if (counted) {
+        PerTypeMetrics& m = result.per_type[type];
+        --m.assigned;
+        ++m.dropped;
+      }
+    }
+    if (reg) {
+      reg->count("fault.tasks_killed", record.tasks_killed);
+      reg->count("fault.tasks_requeued", record.tasks_requeued);
+    }
+
+    // The re-plan (computed now, deterministic) activates after the
+    // configured delay unless a newer fault supersedes it.
+    if (rec.replan_adopted) {
+      ++out.replans_adopted;
+      const std::uint64_t gen = plan_generation;
+      engine.schedule_at(
+          now + options.recovery.replan_delay_s,
+          [&, gen, replan = std::move(rec.plan)]() mutable {
+            if (gen != plan_generation) return;
+            integrate_to(engine.now());
+            plans.push_back(std::move(replan));
+            active_power_kw = plans.back().total_power_kw();
+            scheduler = std::make_unique<core::DynamicScheduler>(
+                dc, plans.back(), scheduler_options);
+            if (reg) reg->count("recovery.replans_activated");
+          });
+    }
+    out.faults.push_back(std::move(record));
+  };
+
+  for (const FaultEvent& ev : schedule.events) {
+    if (ev.time_s > horizon) continue;  // never fires; not recorded
+    engine.schedule_at(ev.time_s, [&on_fault, ev] { on_fault(ev); });
+  }
+
+  if (reg && options.sim.telemetry_samples > 0) {
+    for (std::size_t s = 0; s < options.sim.telemetry_samples; ++s) {
+      const double t = horizon * static_cast<double>(s + 1) /
+                       static_cast<double>(options.sim.telemetry_samples);
+      engine.schedule_at(t, [&, t] {
+        reg->sample("scheduler.tracking_error", t,
+                    tracking_error_at(dc, plans.back(), *scheduler, t));
+        reg->sample("sim.queue_depth", t,
+                    static_cast<double>(engine.pending()));
+        reg->sample("sim.active_power_kw", t, active_power_kw);
+      });
+    }
+  }
+
+  engine.run_until(horizon);
+  integrate_to(horizon);
+
+  result.measured_seconds = horizon - warmup;
+  for (const PerTypeMetrics& m : result.per_type) result.total_reward += m.reward;
+  result.reward_rate = result.total_reward / result.measured_seconds;
+  result.mean_tracking_error =
+      tracking_error_at(dc, plans.back(), *scheduler, horizon);
+  result.energy_kwh = energy_kwh;
+  result.reward_per_kwh =
+      result.energy_kwh > 0.0 ? result.total_reward / result.energy_kwh : 0.0;
+
+  if (reg) {
+    reg->count("sim.fault_runs");
+    reg->count("sim.events_processed", engine.executed());
+    reg->count("recovery.replans_adopted_total", out.replans_adopted);
+    std::size_t arrived = 0, dropped = 0;
+    for (const PerTypeMetrics& m : result.per_type) {
+      arrived += m.arrived;
+      dropped += m.dropped;
+    }
+    reg->count("sim.arrivals", arrived);
+    reg->count("scheduler.dropped", dropped);
+    reg->gauge_set("sim.reward_rate", result.reward_rate);
+    reg->gauge_set("sim.energy_kwh", result.energy_kwh);
+  }
+
+  dc.p_const_kw = saved_pconst;
+  dc.node_failed_mask = saved_failed;
+  dc.crac_min_outlet_c = saved_crac_min;
+  return out;
 }
 
 }  // namespace tapo::sim

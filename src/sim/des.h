@@ -13,11 +13,14 @@
 #include <vector>
 
 #include "core/assigner.h"
+#include "core/recovery.h"
 #include "core/scheduler.h"
 #include "dc/datacenter.h"
 #include "sim/arrivals.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace tapo::util::telemetry {
 class Registry;
@@ -40,6 +43,11 @@ struct SimOptions {
   // Also forwarded to the scheduler when scheduler.telemetry is unset.
   util::telemetry::Registry* telemetry = nullptr;
   std::size_t telemetry_samples = 32;
+
+  // Rejects degenerate configurations (non-positive or non-finite duration,
+  // warm-up at or past the horizon) so simulate() can report instead of
+  // aborting.
+  util::Status validate() const;
 };
 
 struct PerTypeMetrics {
@@ -58,6 +66,9 @@ struct PerTypeMetrics {
 };
 
 struct SimResult {
+  // Non-ok (with every metric zero) when the options are degenerate or the
+  // assignment is infeasible; simulate() never aborts on operator input.
+  util::Status status;
   double measured_seconds = 0.0;
   double total_reward = 0.0;
   double reward_rate = 0.0;
@@ -81,5 +92,55 @@ struct SimResult {
 // Runs the online simulation of an Assignment on its data center.
 SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
                    const SimOptions& options = {});
+
+// --- Fault-injected simulation -------------------------------------------
+
+// What happens to tasks running or queued on a node when it fails.
+enum class InFlightPolicy {
+  kDrop,     // killed tasks count as drops
+  kRequeue,  // re-routed through the post-fault plan, original deadline kept
+};
+
+struct FaultSimOptions {
+  SimOptions sim;
+  // Two-phase recovery configuration; the throttle takes effect at the
+  // fault instant, the re-plan (if adopted) recovery.replan_delay_s later.
+  core::RecoveryOptions recovery;
+  InFlightPolicy in_flight = InFlightPolicy::kRequeue;
+};
+
+// Per-injected-fault accounting.
+struct FaultRecord {
+  FaultEvent event;
+  util::Status recovery_status;  // why a re-plan was rejected, if it was
+  bool safe = false;             // throttle reached a safe operating point
+  bool replan_adopted = false;
+  double throttle_reward_rate = 0.0;
+  double replan_reward_rate = 0.0;
+  std::size_t tasks_killed = 0;    // in-flight/queued on failed cores
+  std::size_t tasks_requeued = 0;  // successfully re-routed (kRequeue only)
+};
+
+struct FaultSimResult {
+  // Non-ok when the schedule fails validation or the options are degenerate;
+  // the run is then not performed.
+  util::Status status;
+  SimResult sim;
+  std::vector<FaultRecord> faults;
+  std::size_t replans_adopted = 0;
+};
+
+// Online simulation with the fault schedule injected as first-class DES
+// events. At each fault: the degraded-mode state mutates, in-flight work on
+// lost cores is killed (dropped or requeued per policy), the safety throttle
+// becomes the active plan immediately and the phase-2 re-plan is adopted
+// recovery.replan_delay_s later unless a newer fault supersedes it. Energy
+// is integrated piecewise over the active plans. `dc` is mutated during the
+// run (degraded-mode state, p_const_kw) and restored on return.
+FaultSimResult simulate_with_faults(dc::DataCenter& dc,
+                                    const thermal::HeatFlowModel& model,
+                                    const core::Assignment& initial,
+                                    const FaultSchedule& schedule,
+                                    const FaultSimOptions& options = {});
 
 }  // namespace tapo::sim

@@ -1,0 +1,110 @@
+// Recoverable error propagation for the solver and I/O layers.
+//
+// TAPO_CHECK (util/check.h) stays the right tool for programming errors —
+// dimension mismatches, violated internal invariants — where aborting with a
+// source location beats propagating a corrupt intermediate value. Everything
+// an *operator* can cause, however, must be recoverable: a malformed scenario
+// or fault file, an LP made infeasible by a power-cap drop, a rounding step
+// that cannot meet its budget. Those paths return a Status (or StatusOr<T>)
+// so callers can fall back — e.g. the recovery controller keeps the last safe
+// plan when a degraded re-solve fails, and tapo_cli exits with a diagnostic
+// instead of a crash.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace tapo::util {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,     // malformed input (files, option structs)
+  kFailedPrecondition,  // caller state does not admit the operation
+  kInfeasible,          // the optimization problem has no feasible point
+  kInternal,            // a solver failed where it should not have
+  kNotFound,            // a named resource (file, section) is missing
+};
+
+const char* status_code_name(StatusCode code);
+
+class [[nodiscard]] Status {
+ public:
+  Status() = default;  // ok
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return {}; }
+  static Status InvalidArgument(std::string message) {
+    return {StatusCode::kInvalidArgument, std::move(message)};
+  }
+  static Status FailedPrecondition(std::string message) {
+    return {StatusCode::kFailedPrecondition, std::move(message)};
+  }
+  static Status Infeasible(std::string message) {
+    return {StatusCode::kInfeasible, std::move(message)};
+  }
+  static Status Internal(std::string message) {
+    return {StatusCode::kInternal, std::move(message)};
+  }
+  static Status NotFound(std::string message) {
+    return {StatusCode::kNotFound, std::move(message)};
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "INFEASIBLE: no CRAC setpoint admits the budget" (or "OK").
+  std::string to_string() const;
+
+  // Returns a copy with "<context>: " prepended to the message; ok statuses
+  // pass through unchanged. Used to stack file/section/line information.
+  Status with_context(const std::string& context) const {
+    if (ok()) return *this;
+    return {code_, context + ": " + message_};
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// Minimal expected-style wrapper: either a value or a non-ok Status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  StatusOr(Status status) : status_(std::move(status)) {
+    TAPO_CHECK_MSG(!status_.ok(), "StatusOr built from an ok Status needs a value");
+  }
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Value access requires ok() (checked).
+  const T& value() const& {
+    TAPO_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  T& value() & {
+    TAPO_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return *value_;
+  }
+  T&& value() && {
+    TAPO_CHECK_MSG(ok(), "StatusOr::value() on an error");
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tapo::util

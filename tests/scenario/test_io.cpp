@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "core/assigner.h"
@@ -168,6 +169,63 @@ TEST(Io, MissingFileReportsError) {
   const LoadResult loaded = load_data_center_file("/nonexistent/nowhere.txt");
   EXPECT_FALSE(loaded.ok);
   EXPECT_NE(loaded.error.find("cannot open"), std::string::npos);
+  EXPECT_EQ(loaded.status.code(), util::StatusCode::kNotFound);
+}
+
+TEST(Io, ParseErrorsCarryLineNumbers) {
+  const auto original = generated_dc();
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  std::string doc = buffer.str();
+  // Replace the node count with a non-number token.
+  const auto pos = doc.find("nodes ");
+  ASSERT_NE(pos, std::string::npos);
+  doc.replace(pos, 7, "nodes x");
+  std::stringstream corrupted(doc);
+  const LoadResult loaded = load_data_center(corrupted);
+  ASSERT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(loaded.status.message().find("line "), std::string::npos);
+  // The mirrored fields agree with the status.
+  EXPECT_EQ(loaded.error, loaded.status.message());
+}
+
+TEST(Io, FileErrorsArePrefixedWithThePath) {
+  const auto original = generated_dc();
+  const std::string path = "/tmp/tapo_io_test_corrupt.txt";
+  {
+    std::stringstream buffer;
+    save_data_center(original, buffer);
+    std::string doc = buffer.str();
+    doc.resize(doc.size() / 3);
+    std::ofstream os(path);
+    os << doc;
+  }
+  const LoadResult loaded = load_data_center_file(path);
+  ASSERT_FALSE(loaded.ok);
+  EXPECT_EQ(loaded.error.find(path), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(Io, PercentEncodedNamesRoundTrip) {
+  auto original = generated_dc();
+  const dc::NodeTypeSpec& base = original.node_types[0];
+  std::vector<dc::PStateSpec> states;
+  for (std::size_t k = 0; k < base.num_active_pstates(); ++k) {
+    states.push_back(base.power_model().state(k));
+  }
+  // Percent signs, spaces and a newline all have to survive the line-oriented
+  // format via percent-encoding.
+  const std::string tricky = "100% weird\nname";
+  original.node_types[0] = dc::NodeTypeSpec(
+      tricky, base.base_power_kw(), base.cores_per_node(), base.p0_power_kw(),
+      base.static_fraction(), states, base.airflow_m3s());
+
+  std::stringstream buffer;
+  save_data_center(original, buffer);
+  const LoadResult loaded = load_data_center(buffer);
+  ASSERT_TRUE(loaded.ok) << loaded.error;
+  EXPECT_EQ(loaded.dc.node_types[0].name(), tricky);
 }
 
 }  // namespace

@@ -7,6 +7,28 @@
 namespace tapo::sim {
 namespace {
 
+TEST(Adaptive, DegenerateDriftConfigsAreRejected) {
+  DriftConfig drift;
+  EXPECT_TRUE(drift.validate().ok());
+  drift.epochs = 0;
+  EXPECT_FALSE(drift.validate().ok());
+  drift.epochs = 2;
+  drift.epoch_seconds = 0.0;
+  EXPECT_FALSE(drift.validate().ok());
+  drift.epoch_seconds = 10.0;
+  drift.drift_magnitude = -0.5;
+  EXPECT_FALSE(drift.validate().ok());
+
+  // The comparison propagates the validation status instead of aborting.
+  auto scenario = test::make_small_scenario(309, 4, 1);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const AdaptiveResult result =
+      compare_static_vs_adaptive(scenario.dc, model, {}, drift);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_FALSE(result.status.ok());
+  EXPECT_TRUE(result.epochs.empty());
+}
+
 TEST(Adaptive, ProducesOneOutcomePerEpoch) {
   auto scenario = test::make_small_scenario(301, 8, 2);
   const thermal::HeatFlowModel model(scenario.dc);

@@ -1,0 +1,68 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace tapo::util {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  const Status s = Status::Infeasible("no feasible setpoint");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInfeasible);
+  EXPECT_EQ(s.message(), "no feasible setpoint");
+  EXPECT_EQ(s.to_string(), "INFEASIBLE: no feasible setpoint");
+}
+
+TEST(Status, CodeNamesAreStable) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(status_code_name(StatusCode::kFailedPrecondition),
+               "FAILED_PRECONDITION");
+  EXPECT_STREQ(status_code_name(StatusCode::kInfeasible), "INFEASIBLE");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(Status, WithContextStacks) {
+  const Status s = Status::InvalidArgument("bad token")
+                       .with_context("line 4")
+                       .with_context("scenario.txt");
+  EXPECT_EQ(s.message(), "scenario.txt: line 4: bad token");
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Status, WithContextPassesOkThrough) {
+  const Status s = Status::Ok().with_context("ignored");
+  EXPECT_TRUE(s.ok());
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  EXPECT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOr, HoldsError) {
+  const StatusOr<int> e(Status::NotFound("missing"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("payload"));
+  const std::string s = std::move(v).value();
+  EXPECT_EQ(s, "payload");
+}
+
+}  // namespace
+}  // namespace tapo::util

@@ -9,10 +9,17 @@
 //   tapo_cli powermin [... --target-fraction]        power-min extension
 //   tapo_cli sweep    [... --points]                 reward vs budget sweep
 //
+// simulate additionally accepts --faults <file> (a "tapo-faults v1"
+// schedule, see docs/RESILIENCE.md): faults are injected mid-run and the
+// two-phase recovery controller re-plans online.
+//
 // --csv switches the tabular output to CSV for downstream plotting.
 // --telemetry-out <file>.json archives the run's metrics registry (schema
 // "tapo-telemetry-v1", catalog in docs/OBSERVABILITY.md) after the
 // subcommand finishes.
+//
+// Exit codes: 0 success, 1 infeasible/unsolvable instance, 2 bad input
+// (malformed scenario or fault file, unknown flags).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -52,7 +59,7 @@ std::optional<scenario::Scenario> make_scenario(const util::ArgParser& args) {
     // except for subcommands that recompute them.
     scenario::LoadResult loaded = scenario::load_data_center_file(path);
     if (!loaded.ok) {
-      std::fprintf(stderr, "error: %s\n", loaded.error.c_str());
+      std::fprintf(stderr, "error: %s\n", loaded.status.to_string().c_str());
       return std::nullopt;
     }
     scenario.emplace();
@@ -109,7 +116,7 @@ core::Assignment run_technique(const dc::DataCenter& dc,
 
 int cmd_bounds(const util::ArgParser& args) {
   const auto scenario = make_scenario(args);
-  if (!scenario) return 1;
+  if (!scenario) return 2;
   util::Table table({"Pmin (kW)", "Pmax (kW)", "Pconst (kW)", "nodes", "cores"});
   table.add_row({util::fmt(scenario->bounds.pmin_kw, 2),
                  util::fmt(scenario->bounds.pmax_kw, 2),
@@ -122,7 +129,7 @@ int cmd_bounds(const util::ArgParser& args) {
 
 int cmd_assign(const util::ArgParser& args) {
   const auto scenario = make_scenario(args);
-  if (!scenario) return 1;
+  if (!scenario) return 2;
   const thermal::HeatFlowModel model(scenario->dc);
   const core::Assignment a = run_technique(scenario->dc, model,
                                            args.option("technique"),
@@ -163,8 +170,8 @@ int cmd_assign(const util::ArgParser& args) {
 }
 
 int cmd_simulate(const util::ArgParser& args) {
-  const auto scenario = make_scenario(args);
-  if (!scenario) return 1;
+  auto scenario = make_scenario(args);  // non-const: fault runs mutate the dc
+  if (!scenario) return 2;
   const thermal::HeatFlowModel model(scenario->dc);
   const core::Assignment a = run_technique(scenario->dc, model,
                                            args.option("technique"),
@@ -178,7 +185,54 @@ int cmd_simulate(const util::ArgParser& args) {
   options.warmup_seconds = options.duration_seconds * 0.1;
   options.seed = static_cast<std::uint64_t>(args.option_int("seed")) + 1;
   options.telemetry = g_telemetry;
+
+  if (const std::string& faults_path = args.option("faults");
+      !faults_path.empty()) {
+    const util::StatusOr<sim::FaultSchedule> schedule =
+        sim::load_fault_schedule_file(faults_path);
+    if (!schedule.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   schedule.status().to_string().c_str());
+      return 2;
+    }
+    sim::FaultSimOptions fault_options;
+    fault_options.sim = options;
+    fault_options.recovery.assign.stage1.telemetry = g_telemetry;
+    fault_options.recovery.replan_delay_s = args.option_double("replan-delay");
+    const sim::FaultSimResult result = sim::simulate_with_faults(
+        scenario->dc, model, a, *schedule, fault_options);
+    if (!result.status.ok()) {
+      std::fprintf(stderr, "error: %s\n", result.status.to_string().c_str());
+      return 2;
+    }
+    util::Table table({"faults", "replans adopted", "predicted reward/s",
+                       "achieved reward/s", "drop %", "energy kWh"});
+    table.add_row({std::to_string(result.faults.size()),
+                   std::to_string(result.replans_adopted),
+                   util::fmt(a.reward_rate, 3),
+                   util::fmt(result.sim.reward_rate, 3),
+                   util::fmt(100.0 * result.sim.drop_fraction(), 1),
+                   util::fmt(result.sim.energy_kwh, 3)});
+    print_table(table, args.flag("csv"));
+    util::Table detail({"time s", "fault", "safe", "replanned",
+                        "throttle reward/s", "replan reward/s", "killed"});
+    for (const sim::FaultRecord& r : result.faults) {
+      detail.add_row({util::fmt(r.event.time_s, 1),
+                      sim::fault_kind_name(r.event.kind),
+                      r.safe ? "yes" : "NO", r.replan_adopted ? "yes" : "no",
+                      util::fmt(r.throttle_reward_rate, 3),
+                      util::fmt(r.replan_reward_rate, 3),
+                      std::to_string(r.tasks_killed)});
+    }
+    print_table(detail, args.flag("csv"));
+    return 0;
+  }
+
   const sim::SimResult result = sim::simulate(scenario->dc, a, options);
+  if (!result.status.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status.to_string().c_str());
+    return 2;
+  }
   util::Table table({"predicted reward/s", "achieved reward/s", "ratio",
                      "drop %", "tracking error"});
   table.add_row({util::fmt(a.reward_rate, 3), util::fmt(result.reward_rate, 3),
@@ -191,7 +245,7 @@ int cmd_simulate(const util::ArgParser& args) {
 
 int cmd_powermin(const util::ArgParser& args) {
   const auto scenario = make_scenario(args);
-  if (!scenario) return 1;
+  if (!scenario) return 2;
   const thermal::HeatFlowModel model(scenario->dc);
   const core::ThreeStageAssigner assigner(scenario->dc, model);
   core::ThreeStageOptions reference_options;
@@ -223,7 +277,7 @@ int cmd_powermin(const util::ArgParser& args) {
 
 int cmd_trace(const util::ArgParser& args) {
   const auto scenario = make_scenario(args);
-  if (!scenario) return 1;
+  if (!scenario) return 2;
   const double horizon = args.option_double("duration");
   const auto seed = static_cast<std::uint64_t>(args.option_int("seed"));
 
@@ -278,7 +332,7 @@ int cmd_trace(const util::ArgParser& args) {
 
 int cmd_sweep(const util::ArgParser& args) {
   auto scenario = make_scenario(args);
-  if (!scenario) return 1;
+  if (!scenario) return 2;
   const thermal::HeatFlowModel model(scenario->dc);
   const auto points = static_cast<std::size_t>(args.option_int("points"));
   util::Table table({"budget factor", "Pconst kW", "three-stage", "baseline",
@@ -319,6 +373,9 @@ int main(int argc, char** argv) {
   args.add_option("technique", "three-stage | baseline | best", "three-stage");
   args.add_option("psi", "best-psi-percent of task types for ARR", "50");
   args.add_option("duration", "simulated seconds (simulate)", "120");
+  args.add_option("faults", "inject this tapo-faults v1 schedule (simulate)", "");
+  args.add_option("replan-delay",
+                  "seconds between a fault and re-plan adoption (simulate)", "10");
   args.add_option("target-fraction", "reward floor vs reference (powermin)", "0.8");
   args.add_option("points", "sweep points (sweep)", "6");
   args.add_option("save", "archive the generated data center to this file", "");
