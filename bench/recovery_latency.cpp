@@ -32,10 +32,18 @@ int main() {
 
   const std::size_t nodes = bench::env_size("TAPO_NODES", 15);
   const std::size_t runs = bench::env_size("TAPO_RUNS", 5);
+  // TAPO_LP_ENGINE=dense and TAPO_NO_WARM=1 reproduce the pre-warm-start
+  // baseline (dense tableau, cold re-plans) for A/B latency comparisons
+  // against the default revised + warm-seeded configuration.
+  const char* engine_env = std::getenv("TAPO_LP_ENGINE");
+  const bool use_dense =
+      engine_env != nullptr && std::string(engine_env) == "dense";
+  const bool no_warm = std::getenv("TAPO_NO_WARM") != nullptr;
   util::telemetry::Registry* const reg = bench::telemetry_sink();
   std::printf("=== Extension: recovery latency and retained reward per fault "
-              "(%zu nodes, %zu scenarios) ===\n\n",
-              nodes, runs);
+              "(%zu nodes, %zu scenarios, %s engine, warm seeds %s) ===\n\n",
+              nodes, runs, use_dense ? "dense" : "revised",
+              no_warm ? "off" : "on");
 
   struct FaultCase {
     const char* label;
@@ -49,10 +57,18 @@ int main() {
 
   util::Table table({"fault", "throttle (ms)", "full recovery (ms)",
                      "throttle reward (%)", "recovered reward (%)",
-                     "replans adopted"});
+                     "replans adopted", "LP warm hit (%)", "LP iters/solve"});
+  // Re-plan LP effort: recover() seeds the phase-2 sweep with the pre-fault
+  // plan's Stage-1 basis, so most grid points should warm-start (lp.* in
+  // docs/OBSERVABILITY.md). Shared with the JSON sink when one is set.
+  util::telemetry::Registry lp_local;
+  util::telemetry::Registry* const lp_reg = reg ? reg : &lp_local;
   for (const FaultCase& fault_case : cases) {
     util::RunningStats throttle_ms, recover_ms, throttle_pct, recovered_pct;
     std::size_t adopted = 0, measured = 0;
+    const std::uint64_t solves0 = lp_reg->counter_value("lp.solves");
+    const std::uint64_t iters0 = lp_reg->counter_value("lp.iterations");
+    const std::uint64_t warm0 = lp_reg->counter_value("lp.warm_starts");
     for (std::size_t run = 0; run < runs; ++run) {
       scenario::ScenarioConfig config;
       config.num_nodes = nodes;
@@ -62,11 +78,14 @@ int main() {
       if (!scenario) continue;
       const thermal::HeatFlowModel model(scenario->dc);
       const core::ThreeStageAssigner assigner(scenario->dc, model);
-      const core::Assignment healthy = assigner.assign();
+      core::Assignment healthy = assigner.assign();
       if (!healthy.feasible || healthy.reward_rate <= 0.0) continue;
+      if (no_warm) healthy.stage1_basis = {};  // recover() finds no seed
 
       core::RecoveryOptions options;
       options.telemetry = reg;
+      options.assign.stage1.telemetry = lp_reg;
+      if (use_dense) options.assign.stage1.lp.engine = solver::LpEngine::Dense;
       sim::FaultEvent event = fault_case.event;
       if (event.kind == sim::FaultKind::kPowerCap) {
         event.value = 0.85 * scenario->dc.p_const_kw;
@@ -92,13 +111,25 @@ int main() {
         ++measured;
       }
     }
+    const double solves =
+        static_cast<double>(lp_reg->counter_value("lp.solves") - solves0);
+    const double iters =
+        static_cast<double>(lp_reg->counter_value("lp.iterations") - iters0);
+    const double warm =
+        static_cast<double>(lp_reg->counter_value("lp.warm_starts") - warm0);
+    const double hit_pct = solves > 0.0 ? 100.0 * warm / solves : 0.0;
+    const double iters_per_solve = solves > 0.0 ? iters / solves : 0.0;
+    char hit_buf[32], iters_buf[32];
+    std::snprintf(hit_buf, sizeof(hit_buf), "%.1f", hit_pct);
+    std::snprintf(iters_buf, sizeof(iters_buf), "%.1f", iters_per_solve);
     table.add_row(
         {fault_case.label,
          util::fmt_ci(throttle_ms.mean(), throttle_ms.ci_halfwidth(0.95)),
          util::fmt_ci(recover_ms.mean(), recover_ms.ci_halfwidth(0.95)),
          util::fmt_ci(throttle_pct.mean(), throttle_pct.ci_halfwidth(0.95)),
          util::fmt_ci(recovered_pct.mean(), recovered_pct.ci_halfwidth(0.95)),
-         std::to_string(adopted) + "/" + std::to_string(measured)});
+         std::to_string(adopted) + "/" + std::to_string(measured), hit_buf,
+         iters_buf});
     std::fprintf(stderr, "  %s done\n", fault_case.label);
     if (reg) {
       reg->gauge_set(std::string("bench.recovery.throttle_ms.") +
@@ -106,6 +137,9 @@ int main() {
                      throttle_ms.mean());
       reg->gauge_set(std::string("bench.recovery.full_ms.") + fault_case.label,
                      recover_ms.mean());
+      reg->gauge_set(std::string("bench.recovery.lp_warm_hit_pct.") +
+                         fault_case.label,
+                     hit_pct);
     }
   }
   table.print(std::cout);

@@ -46,6 +46,7 @@ Assignment ThreeStageAssigner::assign(const ThreeStageOptions& options) const {
   }
   assignment.stage1_objective = s1.objective;
   assignment.crac_out_c = s1.crac_out_c;
+  assignment.stage1_basis = s1.basis;
 
   const Stage2Result s2 =
       convert_power_to_pstates(dc_, s1.node_core_power_kw, reg);

@@ -38,6 +38,11 @@ struct Assignment {
   double stage1_objective = 0.0;  // relaxed upper-stage objective
   std::size_t lp_solves = 0;
 
+  // Optimal basis of the winning upper-stage LP; lets a later re-plan (the
+  // recovery controller after a fault, notably) warm-start its setpoint
+  // sweep from this plan instead of solving every grid point cold.
+  solver::LpBasis stage1_basis;
+
   double total_power_kw() const { return compute_power_kw + crac_power_kw; }
 };
 

@@ -1,6 +1,8 @@
 #include "core/baseline.h"
 
+#include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "dc/crac.h"
 #include "solver/lp.h"
@@ -14,6 +16,12 @@ BaselineAssigner::BaselineAssigner(const dc::DataCenter& dc,
 
 BaselineAssigner::LpOutcome BaselineAssigner::solve_at(
     const std::vector<double>& crac_out) const {
+  return solve_at(crac_out, solver::LpOptions{});
+}
+
+BaselineAssigner::LpOutcome BaselineAssigner::solve_at(
+    const std::vector<double>& crac_out,
+    const solver::LpOptions& lp_options) const {
   const std::size_t nn = dc_.num_nodes();
   const std::size_t nc = dc_.num_cracs();
   const std::size_t t = dc_.num_task_types();
@@ -143,11 +151,13 @@ BaselineAssigner::LpOutcome BaselineAssigner::solve_at(
                       dc_.p_const_kw - dc_.total_base_power_kw());
   }
 
-  const solver::LpSolution sol = solve_lp(lp);
-  if (!sol.optimal()) return {};
-
+  const solver::LpSolution sol = solve_lp(lp, lp_options);
   LpOutcome out;
+  out.status = sol.status;
+  if (!sol.optimal()) return out;
+
   out.feasible = true;
+  out.basis = sol.basis;
   out.objective = sol.objective;
   out.frac = solver::Matrix(t, nn);
   for (std::size_t i = 0; i < t; ++i) {
@@ -163,12 +173,35 @@ Assignment BaselineAssigner::assign(const BaselineOptions& options) const {
   const std::size_t nn = dc_.num_nodes();
   const std::size_t t = dc_.num_task_types();
 
-  std::size_t lp_solves = 0;
+  // Chained warm starts, as in the Stage-1 sweep: consecutive grid points of
+  // one chain re-solve from the previous optimum's basis. The sweep here is
+  // serial (grid.threads defaults to 1 for the baseline), but the chain
+  // partition keeps results identical for any thread count regardless.
+  struct ChainState {
+    solver::LpBasis basis;
+  };
+  std::atomic<std::size_t> lp_solves{0};
+  std::atomic<std::size_t> iter_limited{0};
   const auto objective =
-      [&](const std::vector<double>& crac_out) -> std::optional<double> {
-    ++lp_solves;
-    const LpOutcome outcome = solve_at(crac_out);
-    if (!outcome.feasible) return std::nullopt;
+      [&](const std::vector<double>& crac_out,
+          std::shared_ptr<void>& chain_state) -> std::optional<double> {
+    lp_solves.fetch_add(1, std::memory_order_relaxed);
+    solver::LpOptions lp_opt = options.lp;
+    auto* state = static_cast<ChainState*>(chain_state.get());
+    lp_opt.warm_start =
+        (state != nullptr && !state->basis.empty()) ? &state->basis : nullptr;
+    const LpOutcome outcome = solve_at(crac_out, lp_opt);
+    if (!outcome.feasible) {
+      if (outcome.status == solver::LpStatus::IterLimit) {
+        iter_limited.fetch_add(1, std::memory_order_relaxed);
+      }
+      return std::nullopt;
+    }
+    if (state == nullptr) {
+      chain_state = std::make_shared<ChainState>();
+      state = static_cast<ChainState*>(chain_state.get());
+    }
+    state->basis = outcome.basis;
     return outcome.objective;
   };
   const std::vector<double> lo(nc, options.tcrac_min_c);
@@ -181,11 +214,34 @@ Assignment BaselineAssigner::assign(const BaselineOptions& options) const {
 
   Assignment assignment;
   assignment.technique = "baseline-P0-or-off";
-  assignment.lp_solves = lp_solves;
-  if (!search.found) return assignment;
+  assignment.lp_solves = lp_solves.load(std::memory_order_relaxed);
+  if (!search.found) {
+    assignment.status =
+        iter_limited.load(std::memory_order_relaxed) > 0
+            ? util::Status::ResourceExhausted(
+                  "baseline: no feasible setpoint found and at least one "
+                  "candidate LP hit the iteration cap")
+            : util::Status::Infeasible(
+                  "baseline: every CRAC setpoint vector is infeasible");
+    return assignment;
+  }
 
-  LpOutcome best = solve_at(search.best_point);
-  TAPO_CHECK_MSG(best.feasible, "best grid point must stay feasible");
+  // Dense-oracle re-solve at the winner (engine-independent published plan).
+  solver::LpOptions polish = options.lp;
+  polish.engine = solver::LpEngine::Dense;
+  polish.warm_start = nullptr;
+  LpOutcome best = solve_at(search.best_point, polish);
+  if (!best.feasible) {
+    assignment.status =
+        best.status == solver::LpStatus::IterLimit
+            ? util::Status::ResourceExhausted(
+                  "baseline: LP iteration cap hit re-solving the selected "
+                  "setpoints")
+            : util::Status::Internal(
+                  "baseline: best grid point infeasible on re-solve");
+    return assignment;
+  }
+  assignment.stage1_basis = best.basis;
   assignment.stage1_objective = best.objective;
   assignment.crac_out_c = search.best_point;
 

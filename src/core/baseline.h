@@ -21,6 +21,7 @@
 #include "core/assigner.h"
 #include "dc/datacenter.h"
 #include "solver/gridsearch.h"
+#include "solver/lp.h"
 #include "thermal/heatflow.h"
 
 namespace tapo::core {
@@ -30,6 +31,10 @@ struct BaselineOptions {
   double tcrac_max_c = 25.0;
   solver::GridSearchOptions grid;
   bool full_grid = false;
+  // LP engine and numerics for the sweep's solves; the final re-solve at the
+  // selected setpoints always runs the Dense oracle (engine-independent
+  // published plans, mirroring Stage 1).
+  solver::LpOptions lp;
 };
 
 class BaselineAssigner {
@@ -41,10 +46,15 @@ class BaselineAssigner {
   // The Eq. 21 LP at fixed CRAC outlet temperatures (before rounding).
   struct LpOutcome {
     bool feasible = false;
+    solver::LpStatus status = solver::LpStatus::Infeasible;
     double objective = 0.0;
-    solver::Matrix frac;  // T x NCN
+    solver::Matrix frac;    // T x NCN
+    solver::LpBasis basis;  // optimal basis, empty when !feasible
   };
   LpOutcome solve_at(const std::vector<double>& crac_out) const;
+  // As above with explicit LP options (engine, warm start).
+  LpOutcome solve_at(const std::vector<double>& crac_out,
+                     const solver::LpOptions& lp) const;
 
  private:
   const dc::DataCenter& dc_;

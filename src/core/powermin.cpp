@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "core/reward.h"
 #include "core/stage2.h"
@@ -19,8 +20,10 @@ namespace {
 
 struct StageOutcome {
   bool feasible = false;
+  solver::LpStatus status = solver::LpStatus::Infeasible;
   double power_kw = 0.0;  // compute (incl. base) + CRAC
   std::vector<double> node_core_power_kw;
+  solver::LpBasis basis;  // optimal basis, empty when !feasible
 };
 
 // The Stage-1 LP with roles swapped: minimize total power subject to the
@@ -29,7 +32,7 @@ struct StageOutcome {
 StageOutcome solve_power_at(const dc::DataCenter& dc,
                             const thermal::HeatFlowModel& model,
                             const std::vector<double>& crac_out, double psi,
-                            double floor) {
+                            double floor, const solver::LpOptions& lp_options) {
   const std::size_t nn = dc.num_nodes();
   const std::size_t nc = dc.num_cracs();
 
@@ -104,11 +107,13 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
     lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
   }
 
-  const solver::LpSolution sol = solve_lp(lp);
-  if (!sol.optimal()) return {};
-
+  const solver::LpSolution sol = solve_lp(lp, lp_options);
   StageOutcome out;
+  out.status = sol.status;
+  if (!sol.optimal()) return out;
+
   out.feasible = true;
+  out.basis = sol.basis;
   out.node_core_power_kw.assign(nn, 0.0);
   for (std::size_t j = 0; j < nn; ++j) {
     for (std::size_t v : seg_vars[j]) out.node_core_power_kw[j] += sol.x[v];
@@ -131,6 +136,11 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
   PowerMinResult result;
   double floor = target_reward_rate;
 
+  // Warm-start seed carried across retry attempts: an inflated reward floor
+  // only moves one RHS, so the previous attempt's optimal basis is a few
+  // dual pivots from the new optimum.
+  solver::LpBasis attempt_seed;
+
   for (std::size_t attempt = 0; attempt <= options.max_retries; ++attempt) {
     ++result.attempts;
     if (reg) {
@@ -148,22 +158,54 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
       lo[c] = std::min(dc.crac_min_outlet(c, options.stage1.tcrac_min_c),
                        options.stage1.tcrac_max_c);
     }
+    // Chain heads seed from the previous attempt's winning basis (or the
+    // caller's warm_seed on the first attempt); within a chain each LP
+    // warm-starts from its predecessor.
+    const solver::LpBasis* seed = nullptr;
+    if (!attempt_seed.empty()) {
+      seed = &attempt_seed;
+    } else if (options.stage1.warm_seed != nullptr &&
+               !options.stage1.warm_seed->empty()) {
+      seed = options.stage1.warm_seed;
+    }
+    struct ChainState {
+      solver::LpBasis basis;
+    };
     std::atomic<std::size_t> lp_solves{0};
     std::atomic<std::size_t> infeasible{0};
+    std::atomic<std::size_t> iter_limited{0};
     const auto objective =
-        [&](const std::vector<double>& crac_out) -> std::optional<double> {
+        [&](const std::vector<double>& crac_out,
+            std::shared_ptr<void>& chain_state) -> std::optional<double> {
       lp_solves.fetch_add(1, std::memory_order_relaxed);
       const util::telemetry::ScopedTimer lp_timer(reg, "powermin.lp");
+      solver::LpOptions lp_opt = options.stage1.lp;
+      lp_opt.telemetry = reg;
+      auto* state = static_cast<ChainState*>(chain_state.get());
+      if (state != nullptr && !state->basis.empty()) {
+        lp_opt.warm_start = &state->basis;
+      } else {
+        lp_opt.warm_start = seed;
+      }
       const StageOutcome outcome =
-          solve_power_at(dc, model, crac_out, options.stage1.psi, floor);
+          solve_power_at(dc, model, crac_out, options.stage1.psi, floor, lp_opt);
       if (!outcome.feasible) {
         infeasible.fetch_add(1, std::memory_order_relaxed);
+        if (outcome.status == solver::LpStatus::IterLimit) {
+          iter_limited.fetch_add(1, std::memory_order_relaxed);
+        }
         return std::nullopt;
       }
+      if (state == nullptr) {
+        chain_state = std::make_shared<ChainState>();
+        state = static_cast<ChainState*>(chain_state.get());
+      }
+      state->basis = outcome.basis;
       return -outcome.power_kw;
     };
-    // solve_power_at is stateless, so the sweep honours the Stage-1 threads
-    // knob (each round's LPs run as one parallel batch).
+    // solve_power_at builds the LP from per-call state only, so the sweep
+    // honours the Stage-1 threads knob (each round's chains run as one
+    // parallel batch).
     const solver::GridSearchResult search = solver::uniform_then_coordinate_maximize(
         lo, hi, objective, stage1_grid_options(options.stage1));
     if (reg) {
@@ -173,18 +215,36 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
                  infeasible.load(std::memory_order_relaxed));
     }
     if (!search.found) {
-      result.status = util::Status::Infeasible(
-          "powermin: reward floor unreachable at every CRAC setpoint");
+      result.status =
+          iter_limited.load(std::memory_order_relaxed) > 0
+              ? util::Status::ResourceExhausted(
+                    "powermin: no feasible setpoint found and at least one "
+                    "candidate LP hit the iteration cap")
+              : util::Status::Infeasible(
+                    "powermin: reward floor unreachable at every CRAC "
+                    "setpoint");
       return result;  // target unreachable even relaxed
     }
 
-    const StageOutcome best =
-        solve_power_at(dc, model, search.best_point, options.stage1.psi, floor);
+    // Dense-oracle re-solve at the winner keeps the published plan
+    // engine-independent (mirrors Stage 1's polish step).
+    solver::LpOptions polish = options.stage1.lp;
+    polish.engine = solver::LpEngine::Dense;
+    polish.warm_start = nullptr;
+    polish.telemetry = reg;
+    const StageOutcome best = solve_power_at(dc, model, search.best_point,
+                                             options.stage1.psi, floor, polish);
     if (!best.feasible) {
-      result.status = util::Status::Internal(
-          "powermin: best grid point infeasible on re-solve");
+      result.status =
+          best.status == solver::LpStatus::IterLimit
+              ? util::Status::ResourceExhausted(
+                    "powermin: LP iteration cap hit re-solving the selected "
+                    "setpoints")
+              : util::Status::Internal(
+                    "powermin: best grid point infeasible on re-solve");
       return result;
     }
+    attempt_seed = best.basis;
 
     const Stage2Result s2 =
         convert_power_to_pstates(dc, best.node_core_power_kw, reg);

@@ -185,7 +185,17 @@ RecoveryOutcome RecoveryController::recover(const Assignment& previous) const {
   {
     const util::telemetry::ScopedTimer replan_timer(reg, "recovery.replan");
     const ThreeStageAssigner assigner(dc_, model_);
-    Assignment replan = assigner.assign(options_.assign);
+    // The pre-fault plan's Stage-1 basis seeds the re-plan's CRAC sweep: a
+    // fault perturbs bounds/RHS (failed nodes, derated CRACs, a new Pconst)
+    // but leaves most of the LP intact, so dual-simplex warm starts from the
+    // old optimum converge in a handful of iterations. The sweep's final
+    // re-solve at the selected point always runs the dense oracle cold
+    // (stage1.cpp), so the published plan does not depend on the seed.
+    ThreeStageOptions replan_options = options_.assign;
+    if (!previous.stage1_basis.empty()) {
+      replan_options.stage1.warm_seed = &previous.stage1_basis;
+    }
+    Assignment replan = assigner.assign(replan_options);
     util::Status reject;
     if (!replan.feasible) {
       reject = replan.status.with_context("recovery re-plan");

@@ -25,6 +25,12 @@ Stage1Solver::Stage1Solver(const dc::DataCenter& dc,
 
 Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_out,
                                                double psi) const {
+  return solve_at(crac_out, psi, solver::LpOptions{});
+}
+
+Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_out,
+                                               double psi,
+                                               const solver::LpOptions& lp_options) const {
   const std::size_t nn = dc_.num_nodes();
   const std::size_t nc = dc_.num_cracs();
   TAPO_CHECK(crac_out.size() == nc);
@@ -126,11 +132,19 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
                       dc_.p_const_kw - base_power);
   }
 
-  const solver::LpSolution sol = solve_lp(lp);
-  if (!sol.optimal()) return {};
-
+  const solver::LpSolution sol = solve_lp(lp, lp_options);
   LpOutcome out;
+  out.status = sol.status;
+  if (!sol.optimal()) {
+    // A warm dual solve that proved infeasibility exports its (dual-
+    // feasible) certificate basis; pass it along so the sweep can keep
+    // warm-starting across an infeasible stretch of grid points.
+    out.basis = sol.basis;
+    return out;
+  }
+
   out.feasible = true;
+  out.basis = sol.basis;
   out.objective = sol.objective;
   out.node_core_power_kw.assign(nn, 0.0);
   for (std::size_t j = 0; j < nn; ++j) {
@@ -161,30 +175,86 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
 
   // solve_at builds the LP from per-call state only, so the sweep may invoke
   // it from several threads at once; the counters are the sole shared writes
-  // (the telemetry registry is itself thread-safe).
+  // (the telemetry registry is itself thread-safe). Each chain of
+  // consecutive grid points carries the previous optimum's basis so the
+  // revised engine re-solves neighbors in a few pivots; the chain head
+  // starts from options.warm_seed when the caller has one.
+  struct ChainState {
+    solver::LpBasis basis;
+  };
+  // Cross-round seed: chain heads otherwise start cold, and a sweep has many
+  // short rounds (coarse pass, refinement rounds, coordinate passes). After
+  // every round the incumbent's basis is recomputed once in the serial
+  // on_round hook and re-seeds the next round's chain heads. The seed is
+  // written only between rounds and read only during them, so there is no
+  // race, and it is a pure function of the (thread-count-invariant) running
+  // best point — bit-identity across thread counts is preserved.
+  const bool cross_round_seed =
+      options.lp.engine == solver::LpEngine::Revised &&
+      options.grid.warm_chain > 1;
+  auto round_seed = std::make_shared<solver::LpBasis>(
+      options.warm_seed != nullptr ? *options.warm_seed : solver::LpBasis{});
   std::atomic<std::size_t> lp_solves{0};
   std::atomic<std::size_t> infeasible{0};
+  std::atomic<std::size_t> iter_limited{0};
   const auto objective =
-      [&](const std::vector<double>& crac_out) -> std::optional<double> {
+      [&, round_seed](const std::vector<double>& crac_out,
+                      std::shared_ptr<void>& chain_state)
+      -> std::optional<double> {
     lp_solves.fetch_add(1, std::memory_order_relaxed);
     const util::telemetry::ScopedTimer lp_timer(reg, "stage1.lp");
-    const LpOutcome outcome = solve_at(crac_out, options.psi);
+    solver::LpOptions lp_opt = options.lp;
+    lp_opt.telemetry = reg;
+    auto* state = static_cast<ChainState*>(chain_state.get());
+    if (state != nullptr && !state->basis.empty()) {
+      lp_opt.warm_start = &state->basis;
+    } else if (!round_seed->empty()) {
+      lp_opt.warm_start = round_seed.get();
+    } else {
+      lp_opt.warm_start = nullptr;
+    }
+    const LpOutcome outcome = solve_at(crac_out, options.psi, lp_opt);
     if (!outcome.feasible) {
       infeasible.fetch_add(1, std::memory_order_relaxed);
-      return std::nullopt;
+      if (outcome.status == solver::LpStatus::IterLimit) {
+        iter_limited.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (outcome.basis.empty()) return std::nullopt;
+      // An infeasibility certificate basis still re-seeds the chain: the
+      // neighboring points are usually infeasible for the same reason, and
+      // a warm dual solve re-proves that in a few pivots instead of losing
+      // the seed and paying a cold phase 1 at the next feasible point.
     }
+    if (state == nullptr) {
+      chain_state = std::make_shared<ChainState>();
+      state = static_cast<ChainState*>(chain_state.get());
+    }
+    state->basis = outcome.basis;
+    if (!outcome.feasible) return std::nullopt;
     return outcome.objective;
   };
 
   solver::GridSearchOptions grid = stage1_grid_options(options);
-  if (reg) {
-    grid.on_round = [reg](std::size_t round,
-                          const solver::GridSearchResult& running) {
-      reg->count("stage1.sweep_rounds");
-      if (running.found) {
-        reg->sample("stage1.best_objective_by_round",
-                    static_cast<double>(round), running.best_value);
+  if (reg || cross_round_seed) {
+    grid.on_round = [&, reg, round_seed](
+                        std::size_t round,
+                        const solver::GridSearchResult& running) {
+      if (reg) {
+        reg->count("stage1.sweep_rounds");
+        if (running.found) {
+          reg->sample("stage1.best_objective_by_round",
+                      static_cast<double>(round), running.best_value);
+        }
       }
+      if (!cross_round_seed || !running.found) return;
+      // Refresh the cross-round seed from the incumbent (one warm re-solve,
+      // serial, between rounds). The next round's chain heads then start a
+      // few pivots from the running best instead of from scratch.
+      solver::LpOptions lp_opt = options.lp;
+      lp_opt.telemetry = reg;
+      lp_opt.warm_start = round_seed->empty() ? nullptr : round_seed.get();
+      const LpOutcome best = solve_at(running.best_point, options.psi, lp_opt);
+      if (!best.basis.empty()) *round_seed = best.basis;
     };
   }
   const solver::GridSearchResult search =
@@ -202,16 +272,35 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
     reg->count("stage1.grid_evaluations", search.evaluations);
   }
   if (!search.found) {
-    result.status = util::Status::Infeasible(
-        "stage1: no CRAC setpoint vector admits a feasible power LP "
-        "(redlines or power budget unsatisfiable)");
+    // Distinguish "every point truly infeasible" from "the LP iteration cap
+    // cut candidate solves short": the latter is a resource failure, not a
+    // statement about the data center.
+    result.status =
+        iter_limited.load(std::memory_order_relaxed) > 0
+            ? util::Status::ResourceExhausted(
+                  "stage1: no feasible setpoint found and at least one "
+                  "candidate LP hit the iteration cap")
+            : util::Status::Infeasible(
+                  "stage1: no CRAC setpoint vector admits a feasible power LP "
+                  "(redlines or power budget unsatisfiable)");
     return result;
   }
 
-  const LpOutcome best = solve_at(search.best_point, options.psi);
+  // Final re-solve at the winner always runs the Dense oracle cold, so the
+  // published plan is bit-identical whichever engine powered the sweep.
+  solver::LpOptions polish = options.lp;
+  polish.engine = solver::LpEngine::Dense;
+  polish.warm_start = nullptr;
+  polish.telemetry = reg;
+  const LpOutcome best = solve_at(search.best_point, options.psi, polish);
   if (!best.feasible) {
-    result.status = util::Status::Internal(
-        "stage1: best grid point infeasible on re-solve");
+    result.status =
+        best.status == solver::LpStatus::IterLimit
+            ? util::Status::ResourceExhausted(
+                  "stage1: LP iteration cap hit re-solving the selected "
+                  "setpoints")
+            : util::Status::Internal(
+                  "stage1: best grid point infeasible on re-solve");
     return result;
   }
   result.feasible = true;
@@ -220,6 +309,7 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
   result.objective = best.objective;
   result.compute_power_kw = best.compute_power_kw;
   result.crac_power_kw = best.crac_power_kw;
+  result.basis = best.basis;
   if (reg) {
     reg->gauge_set("stage1.best_objective", result.objective);
     reg->gauge_set("stage1.compute_power_kw", result.compute_power_kw);

@@ -22,6 +22,7 @@
 
 #include "dc/datacenter.h"
 #include "solver/gridsearch.h"
+#include "solver/lp.h"
 #include "thermal/heatflow.h"
 #include "util/status.h"
 
@@ -43,8 +44,20 @@ struct Stage1Options {
   // as one batch (0 = all hardware threads, 1 = the serial legacy path).
   // Every value yields a bit-identical Stage1Result — batch results are
   // reduced in a fixed order with value ties broken toward the
-  // lexicographically smallest setpoint vector. Overrides grid.threads.
+  // lexicographically smallest setpoint vector, and the warm-start chain
+  // partition depends only on the point sequence. Overrides grid.threads.
   std::size_t threads = 0;
+  // LP engine and numerics for every solve in the sweep (the final re-solve
+  // at the selected setpoints always runs the Dense oracle, so the published
+  // plan is engine-independent). The telemetry pointer inside is ignored;
+  // `telemetry` below is used for the lp.* metrics too.
+  solver::LpOptions lp;
+  // Optional warm-start basis for the sweep's chain heads and the first
+  // solve of every chain (non-owning; must outlive solve()). Within a chain
+  // each LP warm-starts from its predecessor's optimal basis regardless.
+  // Recovery passes the pre-fault plan's basis here so a re-plan converges
+  // in a handful of dual pivots per grid point.
+  const solver::LpBasis* warm_seed = nullptr;
   // Optional metrics sink (stage1.* in docs/OBSERVABILITY.md): per-stage
   // timers, LP-solve / infeasible-candidate counters, the best-objective
   // trajectory per sweep round. Null disables recording; enabling it never
@@ -69,6 +82,9 @@ struct Stage1Result {
   double compute_power_kw = 0.0;             // incl. base power
   double crac_power_kw = 0.0;
   std::size_t lp_solves = 0;
+  // Optimal basis of the winning LP (from the Dense-oracle re-solve at the
+  // selected setpoints); warm-start currency for later re-plans.
+  solver::LpBasis basis;
 };
 
 class Stage1Solver {
@@ -81,12 +97,25 @@ class Stage1Solver {
   // and the power-minimization extension.
   struct LpOutcome {
     bool feasible = false;
+    // Why the point failed: Infeasible is a real thermal/budget violation,
+    // IterLimit means the solver cap cut the solve short (the point may well
+    // be feasible). Callers that give up must report the distinction (see
+    // util::Status::ResourceExhausted).
+    solver::LpStatus status = solver::LpStatus::Infeasible;
     double objective = 0.0;
     std::vector<double> node_core_power_kw;
     double compute_power_kw = 0.0;
     double crac_power_kw = 0.0;
+    // Optimal basis when feasible; on a warm-started infeasible solve, the
+    // dual phase's infeasibility-certificate basis (still a valid warm
+    // seed). Empty otherwise.
+    solver::LpBasis basis;
   };
   LpOutcome solve_at(const std::vector<double>& crac_out, double psi) const;
+  // As above with explicit LP options (engine, warm start, telemetry); the
+  // two-argument form uses defaults.
+  LpOutcome solve_at(const std::vector<double>& crac_out, double psi,
+                     const solver::LpOptions& lp) const;
 
  private:
   const dc::DataCenter& dc_;

@@ -90,10 +90,16 @@ Stage3Result solve_stage3(const dc::DataCenter& dc,
     return finalize(dc, std::move(result));
   }
 
-  const solver::LpSolution sol = solve_lp(lp);
+  solver::LpOptions lp_opt;
+  lp_opt.telemetry = telemetry;
+  const solver::LpSolution sol = solve_lp(lp, lp_opt);
   if (telemetry) telemetry->count("stage3.lp_iterations", sol.iterations);
   if (!sol.optimal()) {
-    result.status = util::Status::Internal("stage3: rate LP did not converge");
+    result.status =
+        sol.status == solver::LpStatus::IterLimit
+            ? util::Status::ResourceExhausted(
+                  "stage3: rate LP hit the iteration cap")
+            : util::Status::Internal("stage3: rate LP did not converge");
     return finalize(dc, std::move(result));
   }
 
@@ -160,7 +166,11 @@ Stage3Result solve_stage3_percore(const dc::DataCenter& dc,
 
   const solver::LpSolution sol = solve_lp(lp);
   if (!sol.optimal()) {
-    result.status = util::Status::Internal("stage3: rate LP did not converge");
+    result.status =
+        sol.status == solver::LpStatus::IterLimit
+            ? util::Status::ResourceExhausted(
+                  "stage3: rate LP hit the iteration cap")
+            : util::Status::Internal("stage3: rate LP did not converge");
     return finalize(dc, std::move(result));
   }
 

@@ -95,6 +95,15 @@ PowerAwareStage3Result solve_stage3_power_aware(
                       dc.task_types[i].arrival_rate);
   }
 
+  // A constraint row with no rate terms and a negative slack is violated by
+  // the idle floor alone: the operating point is infeasible outright.
+  const auto infeasible_result = [] {
+    PowerAwareStage3Result failed;
+    failed.status = util::Status::Infeasible(
+        "stage3-power: idle floor violates a thermal/power row");
+    return failed;
+  };
+
   // Thermal and power rows over the affine node powers
   // p_j = idle_power_j + sum_{vars on j} power_coeff * x.
   const auto add_affine_row = [&](const double* weights, double rhs,
@@ -121,14 +130,14 @@ PowerAwareStage3Result solve_stage3_power_aware(
     if (!add_affine_row(lr.node_in_coeff.row(r),
                         dc.redline_node_c - lr.node_in0[r], {},
                         solver::Relation::LessEq)) {
-      return {};
+      return infeasible_result();
     }
   }
   for (std::size_t r = 0; r < nc; ++r) {
     if (!add_affine_row(lr.crac_in_coeff.row(r),
                         dc.redline_crac_c - lr.crac_in0[r], {},
                         solver::Relation::LessEq)) {
-      return {};
+      return infeasible_result();
     }
   }
   std::vector<std::size_t> crac_power_vars(nc);
@@ -141,7 +150,7 @@ PowerAwareStage3Result solve_stage3_power_aware(
     for (std::size_t j = 0; j < nn; ++j) scaled[j] = k * lr.crac_in_coeff(c, j);
     if (!add_affine_row(scaled.data(), k * (crac_out[c] - lr.crac_in0[c]),
                         {{crac_power_vars[c], -1.0}}, solver::Relation::LessEq)) {
-      return {};
+      return infeasible_result();
     }
   }
   {
@@ -151,7 +160,7 @@ PowerAwareStage3Result solve_stage3_power_aware(
     for (std::size_t v : crac_power_vars) extra.emplace_back(v, 1.0);
     if (!add_affine_row(ones.data(), dc.p_const_kw, std::move(extra),
                         solver::Relation::LessEq)) {
-      return {};
+      return infeasible_result();
     }
   }
 
@@ -169,11 +178,24 @@ PowerAwareStage3Result solve_stage3_power_aware(
     result.crac_power_kw = model.total_crac_power_kw(temps);
     result.optimal = model.within_redlines(temps) &&
                      idle_total + result.crac_power_kw <= dc.p_const_kw + 1e-9;
+    if (!result.optimal) {
+      result.status = util::Status::Infeasible(
+          "stage3-power: idle floor exceeds the budget or redlines");
+    }
     return result;
   }
 
   const solver::LpSolution sol = solve_lp(lp);
-  if (!sol.optimal()) return {};
+  if (!sol.optimal()) {
+    PowerAwareStage3Result failed;
+    failed.status =
+        sol.status == solver::LpStatus::IterLimit
+            ? util::Status::ResourceExhausted(
+                  "stage3-power: rate LP hit the iteration cap")
+            : util::Status::Infeasible(
+                  "stage3-power: rate LP infeasible at this operating point");
+    return failed;
+  }
 
   result.optimal = true;
   result.reward_rate = sol.objective;

@@ -35,6 +35,10 @@ namespace tapo::core {
 
 struct PowerAwareStage3Result {
   bool optimal = false;
+  // Why the solve failed when !optimal: distinguishes a genuinely
+  // infeasible/degenerate instance from an LP iteration-cap hit
+  // (RESOURCE_EXHAUSTED), which says nothing about the instance.
+  util::Status status;
   double reward_rate = 0.0;
   solver::Matrix tc;                    // T x NCORES
   std::vector<double> node_power_kw;    // expected, incl. base

@@ -17,11 +17,16 @@ bool lex_less(const std::vector<double>& a, const std::vector<double>& b) {
 
 // Evaluates batches of candidate points — serially or on a thread pool — and
 // folds them into the incumbent in submission order, so the result is
-// bit-identical for every thread count.
+// bit-identical for every thread count. Points are evaluated in warm-start
+// chains of `chain` consecutive points; a chain is the parallel work unit
+// and its points run serially sharing one chain_state (null at the head).
+// The chain partition depends only on the submitted point sequence, never on
+// the thread count.
 class BatchEvaluator {
  public:
-  BatchEvaluator(const GridObjective& objective, std::size_t threads)
-      : objective_(objective) {
+  BatchEvaluator(const GridChainObjective& objective, std::size_t threads,
+                 std::size_t chain)
+      : objective_(objective), chain_(std::max<std::size_t>(1, chain)) {
     const std::size_t n =
         threads == 0 ? util::ThreadPool::hardware_threads() : threads;
     if (n > 1) pool_ = std::make_unique<util::ThreadPool>(n);
@@ -32,14 +37,19 @@ class BatchEvaluator {
   const std::vector<std::optional<double>>& evaluate(
       const std::vector<std::vector<double>>& points) {
     values_.assign(points.size(), std::nullopt);
-    if (pool_ && points.size() > 1) {
-      pool_->parallel_for(points.size(), [&](std::size_t i) {
-        values_[i] = objective_(points[i]);
-      });
-    } else {
-      for (std::size_t i = 0; i < points.size(); ++i) {
-        values_[i] = objective_(points[i]);
+    const std::size_t n_chains = (points.size() + chain_ - 1) / chain_;
+    const auto eval_chain = [&](std::size_t c) {
+      std::shared_ptr<void> state;  // reset at every chain head
+      const std::size_t begin = c * chain_;
+      const std::size_t end = std::min(points.size(), begin + chain_);
+      for (std::size_t i = begin; i < end; ++i) {
+        values_[i] = objective_(points[i], state);
       }
+    };
+    if (pool_ && n_chains > 1) {
+      pool_->parallel_for(n_chains, eval_chain);
+    } else {
+      for (std::size_t c = 0; c < n_chains; ++c) eval_chain(c);
     }
     return values_;
   }
@@ -64,7 +74,8 @@ class BatchEvaluator {
   }
 
  private:
-  const GridObjective& objective_;
+  const GridChainObjective& objective_;
+  std::size_t chain_;
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<std::optional<double>> values_;
 };
@@ -105,12 +116,11 @@ std::vector<double> linspace(double lo, double hi, std::size_t n) {
   return v;
 }
 
-}  // namespace
-
-GridSearchResult grid_search_maximize(const std::vector<double>& lo,
-                                      const std::vector<double>& hi,
-                                      const GridObjective& objective,
-                                      const GridSearchOptions& options) {
+GridSearchResult grid_search_impl(const std::vector<double>& lo,
+                                  const std::vector<double>& hi,
+                                  const GridChainObjective& objective,
+                                  const GridSearchOptions& options,
+                                  std::size_t chain) {
   TAPO_CHECK(lo.size() == hi.size() && !lo.empty());
   const std::size_t dims = lo.size();
 
@@ -120,7 +130,7 @@ GridSearchResult grid_search_maximize(const std::vector<double>& lo,
     if (options.on_round) options.on_round(rounds, result);
     ++rounds;
   };
-  BatchEvaluator evaluator(objective, options.threads);
+  BatchEvaluator evaluator(objective, options.threads, chain);
   std::vector<std::vector<double>> samples(dims);
   for (std::size_t d = 0; d < dims; ++d) {
     samples[d] = linspace(lo[d], hi[d], options.coarse_samples);
@@ -151,9 +161,11 @@ GridSearchResult grid_search_maximize(const std::vector<double>& lo,
   return result;
 }
 
-GridSearchResult uniform_then_coordinate_maximize(
-    const std::vector<double>& lo, const std::vector<double>& hi,
-    const GridObjective& objective, const GridSearchOptions& options) {
+GridSearchResult uniform_then_coordinate_impl(const std::vector<double>& lo,
+                                              const std::vector<double>& hi,
+                                              const GridChainObjective& objective,
+                                              const GridSearchOptions& options,
+                                              std::size_t chain) {
   TAPO_CHECK(lo.size() == hi.size() && !lo.empty());
   const std::size_t dims = lo.size();
 
@@ -163,7 +175,7 @@ GridSearchResult uniform_then_coordinate_maximize(
     if (options.on_round) options.on_round(rounds, result);
     ++rounds;
   };
-  BatchEvaluator evaluator(objective, options.threads);
+  BatchEvaluator evaluator(objective, options.threads, chain);
 
   // Phase 1: all dimensions share one value; coarse sweep + one refinement.
   const double ulo = *std::max_element(lo.begin(), lo.end());
@@ -188,7 +200,7 @@ GridSearchResult uniform_then_coordinate_maximize(
         options.on_round(rounds + round, r);
       };
     }
-    return grid_search_maximize(lo, hi, objective, fallback);
+    return grid_search_impl(lo, hi, objective, fallback, chain);
   }
   double step = (uhi - ulo) / static_cast<double>(std::max<std::size_t>(coarse - 1, 1));
   for (std::size_t round = 0; round < options.refine_rounds; ++round) {
@@ -240,6 +252,45 @@ GridSearchResult uniform_then_coordinate_maximize(
     }
   }
   return result;
+}
+
+// Adapts a plain objective to the chained signature (chain length 1, state
+// ignored), preserving the original per-point parallel granularity.
+GridChainObjective ignore_chain(const GridObjective& objective) {
+  return [&objective](const std::vector<double>& point,
+                      std::shared_ptr<void>& /*chain_state*/) {
+    return objective(point);
+  };
+}
+
+}  // namespace
+
+GridSearchResult grid_search_maximize(const std::vector<double>& lo,
+                                      const std::vector<double>& hi,
+                                      const GridObjective& objective,
+                                      const GridSearchOptions& options) {
+  return grid_search_impl(lo, hi, ignore_chain(objective), options, 1);
+}
+
+GridSearchResult grid_search_maximize(const std::vector<double>& lo,
+                                      const std::vector<double>& hi,
+                                      const GridChainObjective& objective,
+                                      const GridSearchOptions& options) {
+  return grid_search_impl(lo, hi, objective, options, options.warm_chain);
+}
+
+GridSearchResult uniform_then_coordinate_maximize(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const GridObjective& objective, const GridSearchOptions& options) {
+  return uniform_then_coordinate_impl(lo, hi, ignore_chain(objective), options,
+                                      1);
+}
+
+GridSearchResult uniform_then_coordinate_maximize(
+    const std::vector<double>& lo, const std::vector<double>& hi,
+    const GridChainObjective& objective, const GridSearchOptions& options) {
+  return uniform_then_coordinate_impl(lo, hi, objective, options,
+                                      options.warm_chain);
 }
 
 }  // namespace tapo::solver

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "solver/revised.h"
 #include "util/check.h"
+#include "util/telemetry.h"
 
 namespace tapo::solver {
 
@@ -35,6 +37,54 @@ void LpProblem::add_constraint(std::vector<std::pair<std::size_t, double>> terms
   rows_.push_back(std::move(terms));
   rel_.push_back(rel);
   rhs_.push_back(rhs);
+}
+
+LpProblem::SparseColumns LpProblem::columns() const {
+  SparseColumns csc;
+  const std::size_t n = num_vars();
+  std::vector<std::size_t> count(n, 0);
+  std::size_t nnz = 0;
+  for (const auto& row : rows_) {
+    for (const auto& [v, coeff] : row) {
+      (void)coeff;
+      ++count[v];
+      ++nnz;
+    }
+  }
+  csc.starts.assign(n + 1, 0);
+  for (std::size_t v = 0; v < n; ++v) csc.starts[v + 1] = csc.starts[v] + count[v];
+  csc.rows.resize(nnz);
+  csc.values.resize(nnz);
+  std::vector<std::size_t> fill(csc.starts.begin(), csc.starts.end() - 1);
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (const auto& [v, coeff] : rows_[r]) {
+      const std::size_t k = fill[v]++;
+      csc.rows[k] = r;
+      csc.values[k] = coeff;
+    }
+  }
+  // Coalesce duplicate (row, variable) terms. Rows were scanned in order, so
+  // each column's entries are already row-sorted and duplicates are adjacent;
+  // the write cursor never overtakes the read cursor.
+  std::size_t w = 0;
+  for (std::size_t v = 0; v < n; ++v) {
+    const std::size_t begin = csc.starts[v];
+    const std::size_t end = csc.starts[v + 1];
+    csc.starts[v] = w;
+    for (std::size_t k = begin; k < end; ++k) {
+      if (w > csc.starts[v] && csc.rows[w - 1] == csc.rows[k]) {
+        csc.values[w - 1] += csc.values[k];
+      } else {
+        csc.rows[w] = csc.rows[k];
+        csc.values[w] = csc.values[k];
+        ++w;
+      }
+    }
+  }
+  csc.starts[n] = w;
+  csc.rows.resize(w);
+  csc.values.resize(w);
+  return csc;
 }
 
 double LpProblem::objective_value(const std::vector<double>& x) const {
@@ -358,6 +408,21 @@ LpSolution SimplexSolver::extract(LpStatus status) const {
   for (std::size_t r = 0; r < m_; ++r) {
     sol.duals[r] = -rel_sign_[r] * d_[n_struct_ + r];
   }
+
+  // Export the final basis for warm starts. The dense standardization's
+  // slack variable is the same logical variable as the revised engine's
+  // (the negative-rhs row flip rewrites a x + s = b to (-a) x - s = -b,
+  // which is the identical system), so statuses transfer across engines.
+  if (status == LpStatus::Optimal) {
+    sol.basis.status.resize(n_struct_ + m_);
+    for (std::size_t v = 0; v < n_struct_ + m_; ++v) {
+      switch (status_[v]) {
+        case VarStatus::Basic: sol.basis.status[v] = LpBasisStatus::Basic; break;
+        case VarStatus::AtUpper: sol.basis.status[v] = LpBasisStatus::AtUpper; break;
+        case VarStatus::AtLower: sol.basis.status[v] = LpBasisStatus::AtLower; break;
+      }
+    }
+  }
   return sol;
 }
 
@@ -415,8 +480,27 @@ LpSolution SimplexSolver::run() {
 }
 
 LpSolution solve_lp(const LpProblem& problem, const LpOptions& options) {
-  SimplexSolver solver(problem, options);
-  return solver.run();
+  LpSolution sol;
+  if (options.engine == LpEngine::Dense) {
+    SimplexSolver solver(problem, options);
+    sol = solver.run();
+  } else {
+    sol = internal::solve_lp_revised(problem, options);
+  }
+  if (auto* reg = options.telemetry) {
+    reg->count("lp.solves");
+    reg->count("lp.iterations", sol.iterations);
+    if (options.warm_start != nullptr && !options.warm_start->empty()) {
+      reg->count(sol.warm_used ? "lp.warm_starts" : "lp.warm_rejects");
+    }
+    const char* bucket = sol.iterations <= 4     ? "lp.iters.le_4"
+                         : sol.iterations <= 16  ? "lp.iters.le_16"
+                         : sol.iterations <= 64  ? "lp.iters.le_64"
+                         : sol.iterations <= 256 ? "lp.iters.le_256"
+                                                 : "lp.iters.gt_256";
+    reg->count(bucket);
+  }
+  return sol;
 }
 
 }  // namespace tapo::solver

@@ -1,4 +1,4 @@
-// Linear programming: two-phase primal simplex with bounded variables.
+// Linear programming: two-phase bounded-variable simplex, in two engines.
 //
 // All optimization problems in the paper reduce, after its own decomposition,
 // to linear programs once the CRAC outlet temperatures are fixed:
@@ -8,7 +8,19 @@
 // These LPs have a few hundred rows and up to a few thousand columns, with
 // many variables carrying finite upper bounds (piecewise-linear segment
 // lengths, per-node fractions). A bounded-variable simplex keeps those bounds
-// out of the row count, which is what makes the dense tableau practical.
+// out of the row count.
+//
+// Two engines share this interface (LpOptions::engine):
+//   * Revised (default): revised simplex over an LU-factorized basis with
+//     product-form eta updates and periodic refactorization, sparse column
+//     access, and warm starts from an exported LpBasis (a dual-simplex phase
+//     absorbs RHS/bound changes). This is what makes the CRAC setpoint sweep
+//     and the recovery re-plans cheap: neighboring grid points differ mostly
+//     in the RHS, so the previous optimal basis is a few pivots from optimal.
+//   * Dense: the original dense-tableau implementation, kept as a
+//     differential-testing oracle and as the engine for the final re-solve
+//     at a selected grid point (engine-independent published plans).
+// See docs/SOLVER.md for the algorithmic details and invariants.
 //
 // Conventions: maximize c^T x subject to rows (<=, =, >=) and box bounds
 // lo <= x <= hi (lo finite, hi possibly +infinity).
@@ -20,6 +32,10 @@
 #include <utility>
 #include <vector>
 
+namespace tapo::util::telemetry {
+class Registry;
+}
+
 namespace tapo::solver {
 
 // Sentinel for "no upper bound" in add_variable.
@@ -30,11 +46,33 @@ enum class Relation { LessEq, Equal, GreaterEq };
 
 // Outcome of solve_lp. IterLimit means the cap in LpOptions was hit before
 // phase 2 converged; the returned point is the best basic solution found
-// and may be suboptimal or (if phase 1 was cut short) infeasible.
+// and may be suboptimal or (if phase 1 was cut short) infeasible. Callers
+// must treat IterLimit as non-optimal (see optimal()).
 enum class LpStatus { Optimal, Infeasible, Unbounded, IterLimit };
 
 // Human-readable status name ("optimal", "infeasible", ...) for logs.
 const char* to_string(LpStatus status);
+
+// Which simplex implementation solve_lp runs (see file comment).
+enum class LpEngine { Revised, Dense };
+
+// Basis status of one variable in an exported basis. The slot order is:
+// structural variables (problem order) first, then one logical/slack
+// variable per constraint row.
+enum class LpBasisStatus : unsigned char { AtLower, AtUpper, Basic };
+
+// An exportable/importable simplex basis — the warm-start currency. A basis
+// captured from one LP stays meaningful for any LP with the same variable
+// and row structure (bounds, RHS and coefficients may change; that is
+// exactly the CRAC-grid / recovery re-solve situation). The revised engine
+// validates an imported basis (size, basic count, factorizability) and
+// silently falls back to a cold start when it does not fit.
+struct LpBasis {
+  std::vector<LpBasisStatus> status;  // num_vars + num_constraints entries
+
+  bool empty() const { return status.empty(); }
+  std::size_t size() const { return status.size(); }
+};
 
 // An LP under construction: maximize c^T x subject to sparse rows and box
 // bounds. Build with add_variable/add_constraint, then hand to solve_lp.
@@ -55,6 +93,20 @@ class LpProblem {
   double lower_bound(std::size_t v) const { return lo_[v]; }
   double upper_bound(std::size_t v) const { return hi_[v]; }
   double objective_coeff(std::size_t v) const { return obj_[v]; }
+  Relation relation(std::size_t r) const { return rel_[r]; }
+  double rhs(std::size_t r) const { return rhs_[r]; }
+
+  // Compressed sparse column (CSC) view of the raw constraint matrix, built
+  // in one O(nnz) pass with duplicate (row, variable) entries coalesced.
+  // Column j's entries are rows[starts[j]..starts[j+1]) with matching
+  // values, in increasing row order. The revised engine works entirely off
+  // this view; the dense oracle keeps its row-major tableau.
+  struct SparseColumns {
+    std::vector<std::size_t> starts;  // num_vars + 1
+    std::vector<std::size_t> rows;
+    std::vector<double> values;
+  };
+  SparseColumns columns() const;
 
   // Evaluates the objective at x.
   double objective_value(const std::vector<double>& x) const;
@@ -79,6 +131,22 @@ struct LpOptions {
   double tolerance = 1e-9;
   // Minimum acceptable pivot magnitude.
   double pivot_tolerance = 1e-8;
+  // Which simplex implementation runs (see file comment).
+  LpEngine engine = LpEngine::Revised;
+  // Revised engine: refactorize the basis LU from scratch after this many
+  // product-form eta updates. Smaller = tighter numerics, more O(m^3) work.
+  std::size_t refactor_interval = 64;
+  // Optional warm-start basis (non-owning; must outlive the solve). Only the
+  // revised engine honors it: an accepted basis skips phase 1 entirely,
+  // entering either primal phase 2 (already primal feasible) or a dual
+  // simplex phase (primal infeasible after an RHS/bound change but dual
+  // feasible). A basis that does not fit the problem falls back to a cold
+  // start; the solve result is valid either way.
+  const LpBasis* warm_start = nullptr;
+  // Optional lp.* metrics sink (docs/OBSERVABILITY.md): solves, iterations,
+  // warm-start accepts/rejects, refactorizations, fallbacks, and a bucketed
+  // per-solve iteration histogram. Never changes the solved result.
+  util::telemetry::Registry* telemetry = nullptr;
 };
 
 // Result of solve_lp. x and duals are meaningful only when status is
@@ -92,10 +160,23 @@ struct LpSolution {
                               // of >= rows are <= 0.
   std::size_t iterations = 0;
 
+  // Exported basis for warm-starting a structurally identical LP; filled on
+  // Optimal (both engines) and, by the revised engine, on a warm-started
+  // Infeasible solve (the dual phase's certificate basis — dual feasible and
+  // artificial-free, so a chain of warm starts survives an infeasible
+  // stretch of grid points). Empty otherwise. Extraction is canonical — it
+  // depends only on the final basis, not on the pivot path — so a warm
+  // re-solve that lands on the same basis reproduces x and objective
+  // bit-for-bit.
+  LpBasis basis;
+  // True when an imported warm_start basis was accepted and used.
+  bool warm_used = false;
+
   bool optimal() const { return status == LpStatus::Optimal; }
 };
 
-// Solves the LP. The problem object is not modified.
+// Solves the LP with the engine selected in options. The problem object is
+// not modified.
 LpSolution solve_lp(const LpProblem& problem, const LpOptions& options = {});
 
 }  // namespace tapo::solver

@@ -69,6 +69,53 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
   return x;
 }
 
+void LuFactorization::solve_in_place(std::vector<double>& b) const {
+  TAPO_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  TAPO_CHECK(b.size() == n);
+  scratch_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) scratch_[i] = b[perm_[i]];
+  // Forward substitution (L unit diagonal); x_j for j < i already sits in b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = scratch_[i];
+    const double* r = lu_.row(i);
+    for (std::size_t j = 0; j < i; ++j) acc -= r[j] * b[j];
+    b[i] = acc;
+  }
+  // Back substitution with U.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = b[i];
+    const double* r = lu_.row(i);
+    for (std::size_t j = i + 1; j < n; ++j) acc -= r[j] * b[j];
+    b[i] = acc / r[i];
+  }
+}
+
+void LuFactorization::solve_transposed_in_place(std::vector<double>& b) const {
+  TAPO_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  TAPO_CHECK(b.size() == n);
+  // With PA = LU (P the row permutation applied during factorization),
+  // A^{-T} b = P^T L^{-T} U^{-T} b.
+  // Step 1: z = U^{-T} b. U^T is lower triangular with U's diagonal.
+  for (std::size_t i = 0; i < n; ++i) {
+    double acc = b[i];
+    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * b[j];
+    b[i] = acc / lu_(i, i);
+  }
+  // Step 2: w = L^{-T} z. L^T is unit upper triangular.
+  for (std::size_t ii = n; ii > 0; --ii) {
+    const std::size_t i = ii - 1;
+    double acc = b[i];
+    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(j, i) * b[j];
+    b[i] = acc;
+  }
+  // Step 3: x = P^T w, i.e. x[perm_[i]] = w[i].
+  scratch_.assign(b.begin(), b.end());
+  for (std::size_t i = 0; i < n; ++i) b[perm_[i]] = scratch_[i];
+}
+
 Matrix LuFactorization::solve(const Matrix& b) const {
   TAPO_CHECK(ok_);
   TAPO_CHECK(b.rows() == lu_.rows());

@@ -1,7 +1,9 @@
 // LU factorization with partial pivoting.
 //
-// Used to solve the heat-flow fixed point (I - G_nn) x = rhs and to compute
-// the linear sensitivity of node outlet temperatures to node power. The
+// Used to solve the heat-flow fixed point (I - G_nn) x = rhs, to compute
+// the linear sensitivity of node outlet temperatures to node power, and as
+// the basis factorization of the revised simplex (solver/revised.cpp), whose
+// FTRAN/BTRAN kernels need allocation-free and transposed solves. The
 // systems are small (order NCN ~ 150) and well conditioned because G_nn is a
 // strict sub-stochastic recirculation matrix.
 #pragma once
@@ -24,6 +26,14 @@ class LuFactorization {
   // Solves A x = b. Requires ok().
   std::vector<double> solve(const std::vector<double>& b) const;
 
+  // Solves A x = b in place (b becomes x). Requires ok(). Used by the
+  // simplex FTRAN kernel, which solves one system per pivot.
+  void solve_in_place(std::vector<double>& b) const;
+
+  // Solves A^T x = b in place (b becomes x). Requires ok(). Used by the
+  // simplex BTRAN kernel (duals and pivot rows need B^{-T}).
+  void solve_transposed_in_place(std::vector<double>& b) const;
+
   // Solves A X = B column-by-column. Requires ok().
   Matrix solve(const Matrix& b) const;
 
@@ -34,6 +44,9 @@ class LuFactorization {
  private:
   Matrix lu_;
   std::vector<std::size_t> perm_;
+  // Scratch for the in-place solves; makes those two methods unsafe to call
+  // concurrently on one factorization (each simplex instance owns its own).
+  mutable std::vector<double> scratch_;
   int perm_sign_ = 1;
   bool ok_ = false;
 };

@@ -1,0 +1,851 @@
+// Revised simplex over an LU-factorized basis with product-form updates.
+//
+// The engine works on the standardized system
+//   A' z = b',  0 <= z_j <= ub_j,
+// where z is: shifted structural variables (lower bounds moved to zero),
+// then one slack per row (coefficient +1, upper bound 0 for equality rows),
+// then one artificial per row (coefficient sign(b'_r), upper bound 0 unless
+// the cold start unlocks it for phase 1). GreaterEq rows are negated
+// (rel_sign), but — unlike the dense oracle in lp.cpp — negative-rhs rows
+// are NOT flipped. Keeping the row orientation fixed is what lets a basis
+// exported from one LP warm-start a perturbed one: the slack of row r is
+// the same logical variable in both, whatever the sign of b'_r.
+//
+// The basis inverse is represented as an LU factorization of a snapshot
+// basis composed with a product-form eta file; after refactor_interval eta
+// updates the LU is rebuilt from scratch. FTRAN/BTRAN run in place through
+// LuFactorization::solve_in_place / solve_transposed_in_place.
+//
+// Warm starts: an imported LpBasis is validated (slot count, exactly m
+// basic variables, factorizable basis matrix); on acceptance phase 1 is
+// skipped entirely and the solve enters primal phase 2 directly (still
+// primal feasible) or a dual simplex phase (primal infeasible after an
+// RHS/bound change, dual feasibility restored by bound flips first). Any
+// validation failure, numerical trouble, or dual-unbounded conclusion
+// falls back to a full cold start, so a warm solve is never less correct
+// than a cold one — only cheaper.
+//
+// Optimal bases are extracted canonically: the basic set is sorted
+// ascending and refactorized fresh (empty eta file) before x, the duals
+// and the exported basis are computed. Extraction therefore depends only
+// on the final (basis set, nonbasic statuses), not on the pivot path, so a
+// warm re-solve landing on the same basis is bit-identical to a cold one.
+#include "solver/revised.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "solver/lu.h"
+#include "solver/matrix.h"
+#include "util/check.h"
+#include "util/telemetry.h"
+
+namespace tapo::solver::internal {
+namespace {
+
+enum class VarStatus : unsigned char { AtLower, AtUpper, Basic };
+
+// Outcome of one simplex phase.
+enum class Step { Done, Unbounded, Numerical };
+
+// Outcome of one cold-or-warm solve attempt.
+enum class Outcome { Optimal, Infeasible, Unbounded, IterLimit, Restart };
+
+// One product-form update: the basis change that made column `col`
+// (= B_prev^{-1} a_enter) basic in row `row`.
+struct Eta {
+  std::size_t row = 0;
+  std::vector<double> col;
+};
+
+class RevisedSimplex {
+ public:
+  RevisedSimplex(const LpProblem& p, const LpOptions& opt)
+      : p_(p), opt_(opt), reg_(opt.telemetry) {}
+
+  LpSolution run();
+
+ private:
+  // ---- setup ----
+  void standardize();
+  void cold_start();
+  bool try_warm(const LpBasis& wb);
+
+  // ---- basis inverse ----
+  bool refactorize();
+  void ftran(std::vector<double>& v) const;
+  void btran(std::vector<double>& v) const;
+
+  // ---- column access (structural / slack / artificial uniformly) ----
+  template <typename F>
+  void for_col(std::size_t j, F&& f) const {
+    if (j < slack0_) {
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        f(col_row_[k], col_val_[k]);
+      }
+    } else if (j < art0_) {
+      f(j - slack0_, 1.0);
+    } else {
+      f(j - art0_, art_sign_[j - art0_]);
+    }
+  }
+  double col_dot(const std::vector<double>& y, std::size_t j) const {
+    double s = 0.0;
+    for_col(j, [&](std::size_t r, double v) { s += y[r] * v; });
+    return s;
+  }
+  void load_col(std::size_t j, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    for_col(j, [&](std::size_t r, double v) { w[r] += v; });
+  }
+
+  // ---- state recomputation ----
+  void price_y(const std::vector<double>& cost);
+  void compute_xb();
+  double primal_infeasibility() const;
+
+  // ---- pivoting ----
+  bool push_eta_and_maybe_refactor(std::size_t pivot_row);
+  bool pivot(std::size_t enter, int dir, std::size_t pivot_row, double delta,
+             bool leaving_at_upper);
+  Step primal_iterate(bool phase1, const std::vector<double>& cost);
+  Step dual_iterate();
+  void make_dual_feasible();
+  bool driveout_artificials();
+
+  Outcome solve_once(bool use_warm);
+  LpSolution extract(LpStatus status);
+
+  const LpProblem& p_;
+  LpOptions opt_;
+  util::telemetry::Registry* reg_ = nullptr;
+
+  std::size_t m_ = 0;        // rows
+  std::size_t n_struct_ = 0; // structural variables
+  std::size_t slack0_ = 0;   // first slack index (= n_struct_)
+  std::size_t art0_ = 0;     // first artificial index (= n_struct_ + m_)
+  std::size_t n_total_ = 0;  // n_struct_ + 2 * m_
+
+  // Standardized structural columns (CSC), rel_sign already applied.
+  std::vector<std::size_t> col_start_, col_row_;
+  std::vector<double> col_val_;
+
+  std::vector<double> rel_sign_;  // -1 for GreaterEq rows, +1 otherwise
+  std::vector<char> equality_;    // per row
+  std::vector<double> art_sign_;  // artificial column coefficient, per row
+  std::vector<double> b_;         // standardized rhs
+  std::vector<double> ub_;        // per variable, shifted space
+  std::vector<double> obj2_;      // phase-2 cost over all n_total_ slots
+  double bnorm_ = 0.0;            // max |b_r|, for relative feasibility tests
+
+  std::vector<std::size_t> basis_;  // variable basic in each row
+  std::vector<VarStatus> status_;   // per variable
+  std::vector<double> xb_;          // basic variable values, aligned to basis_
+
+  std::optional<LuFactorization> lu_;
+  std::vector<Eta> etas_;
+
+  std::size_t iterations_ = 0;
+  std::size_t max_iterations_ = 0;
+  bool needs_phase1_ = false;
+  bool warm_used_ = false;
+
+  // Scratch (one per solver instance; the in-place LU solves also use a
+  // per-factorization scratch, so nothing here is shareable across threads).
+  std::vector<double> y_, w_, rho_, wf_;  // wf_: BFRT flip-column scratch
+  std::vector<double> d_;       // nonbasic reduced costs (dual phase only)
+  std::vector<double> alphas_;  // pivot-row entries, refreshed per dual pivot
+};
+
+void RevisedSimplex::standardize() {
+  m_ = p_.num_constraints();
+  n_struct_ = p_.num_vars();
+  slack0_ = n_struct_;
+  art0_ = n_struct_ + m_;
+  n_total_ = n_struct_ + 2 * m_;
+
+  rel_sign_.assign(m_, 1.0);
+  equality_.assign(m_, 0);
+  b_.assign(m_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r) {
+    equality_[r] = p_.relation(r) == Relation::Equal ? 1 : 0;
+    if (p_.relation(r) == Relation::GreaterEq) rel_sign_[r] = -1.0;
+    b_[r] = p_.rhs(r);
+  }
+
+  LpProblem::SparseColumns raw = p_.columns();
+  col_start_ = std::move(raw.starts);
+  col_row_ = std::move(raw.rows);
+  col_val_ = std::move(raw.values);
+
+  // Shift lower bounds to zero: b -= A * lo (raw coefficients), then apply
+  // the GreaterEq negation to both the columns and the rhs.
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    const double lo = p_.lower_bound(v);
+    if (lo == 0.0) continue;
+    for (std::size_t k = col_start_[v]; k < col_start_[v + 1]; ++k) {
+      b_[col_row_[k]] -= col_val_[k] * lo;
+    }
+  }
+  for (std::size_t k = 0; k < col_row_.size(); ++k) {
+    col_val_[k] *= rel_sign_[col_row_[k]];
+  }
+  bnorm_ = 0.0;
+  art_sign_.assign(m_, 1.0);
+  for (std::size_t r = 0; r < m_; ++r) {
+    b_[r] *= rel_sign_[r];
+    if (b_[r] < 0.0) art_sign_[r] = -1.0;
+    bnorm_ = std::max(bnorm_, std::fabs(b_[r]));
+  }
+
+  ub_.assign(n_total_, 0.0);
+  obj2_.assign(n_total_, 0.0);
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    const double hi = p_.upper_bound(v);
+    ub_[v] = std::isfinite(hi) ? hi - p_.lower_bound(v) : kLpInfinity;
+    obj2_[v] = p_.objective_coeff(v);
+  }
+  for (std::size_t r = 0; r < m_; ++r) {
+    ub_[slack0_ + r] = equality_[r] ? 0.0 : kLpInfinity;
+    ub_[art0_ + r] = 0.0;  // locked unless the cold start needs it
+  }
+
+  max_iterations_ =
+      opt_.max_iterations ? opt_.max_iterations : 50 * (m_ + n_total_) + 2000;
+}
+
+void RevisedSimplex::cold_start() {
+  status_.assign(n_total_, VarStatus::AtLower);
+  basis_.assign(m_, 0);
+  xb_.assign(m_, 0.0);
+  needs_phase1_ = false;
+  for (std::size_t r = 0; r < m_; ++r) {
+    ub_[art0_ + r] = 0.0;
+    // The slack can start basic whenever its value b_r is within [0, ub]:
+    // inequality rows with b_r >= 0, equality rows with b_r == 0. Everything
+    // else starts on a phase-1 artificial at |b_r|.
+    const bool slack_ok = equality_[r] ? b_[r] == 0.0 : b_[r] >= 0.0;
+    if (slack_ok) {
+      basis_[r] = slack0_ + r;
+      xb_[r] = b_[r];
+    } else {
+      basis_[r] = art0_ + r;
+      ub_[art0_ + r] = kLpInfinity;
+      xb_[r] = std::fabs(b_[r]);
+      needs_phase1_ = true;
+    }
+    status_[basis_[r]] = VarStatus::Basic;
+  }
+}
+
+bool RevisedSimplex::try_warm(const LpBasis& wb) {
+  if (wb.status.size() != n_struct_ + m_) return false;
+  std::size_t n_basic = 0;
+  for (const LpBasisStatus s : wb.status) {
+    if (s == LpBasisStatus::Basic) ++n_basic;
+  }
+  if (n_basic != m_) return false;
+
+  status_.assign(n_total_, VarStatus::AtLower);
+  basis_.clear();
+  basis_.reserve(m_);
+  for (std::size_t v = 0; v < n_struct_ + m_; ++v) {
+    switch (wb.status[v]) {
+      case LpBasisStatus::Basic:
+        status_[v] = VarStatus::Basic;
+        basis_.push_back(v);
+        break;
+      case LpBasisStatus::AtUpper:
+        // An upper status only makes sense against a finite, positive range;
+        // after a bound change that dropped it, park at lower instead.
+        status_[v] =
+            (std::isfinite(ub_[v]) && ub_[v] > 0.0) ? VarStatus::AtUpper
+                                                    : VarStatus::AtLower;
+        break;
+      case LpBasisStatus::AtLower:
+        status_[v] = VarStatus::AtLower;
+        break;
+    }
+  }
+  for (std::size_t r = 0; r < m_; ++r) ub_[art0_ + r] = 0.0;
+  if (!refactorize()) return false;
+  compute_xb();
+  return true;
+}
+
+bool RevisedSimplex::refactorize() {
+  Matrix bm(m_, m_);
+  for (std::size_t r = 0; r < m_; ++r) {
+    for_col(basis_[r], [&](std::size_t row, double v) { bm(row, r) = v; });
+  }
+  LuFactorization f(bm);
+  if (!f.ok()) return false;
+  lu_ = std::move(f);
+  etas_.clear();
+  if (reg_) reg_->count("lp.refactorizations");
+  return true;
+}
+
+void RevisedSimplex::ftran(std::vector<double>& v) const {
+  lu_->solve_in_place(v);
+  for (const Eta& e : etas_) {
+    const double t = v[e.row] / e.col[e.row];
+    if (t != 0.0) {
+      for (std::size_t i = 0; i < m_; ++i) v[i] -= e.col[i] * t;
+    }
+    v[e.row] = t;
+  }
+}
+
+void RevisedSimplex::btran(std::vector<double>& v) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+    const Eta& e = *it;
+    double s = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) s += e.col[i] * v[i];
+    s -= e.col[e.row] * v[e.row];
+    v[e.row] = (v[e.row] - s) / e.col[e.row];
+  }
+  lu_->solve_transposed_in_place(v);
+}
+
+void RevisedSimplex::price_y(const std::vector<double>& cost) {
+  y_.assign(m_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r) y_[r] = cost[basis_[r]];
+  btran(y_);
+}
+
+void RevisedSimplex::compute_xb() {
+  w_ = b_;
+  for (std::size_t j = 0; j < n_total_; ++j) {
+    if (status_[j] != VarStatus::AtUpper) continue;
+    const double u = ub_[j];
+    if (u == 0.0 || !std::isfinite(u)) continue;
+    for_col(j, [&](std::size_t r, double v) { w_[r] -= v * u; });
+  }
+  ftran(w_);
+  xb_ = w_;
+}
+
+double RevisedSimplex::primal_infeasibility() const {
+  double worst = 0.0;
+  for (std::size_t r = 0; r < m_; ++r) {
+    worst = std::max(worst, -xb_[r]);
+    const double u = ub_[basis_[r]];
+    if (std::isfinite(u)) worst = std::max(worst, xb_[r] - u);
+  }
+  return worst;
+}
+
+bool RevisedSimplex::push_eta_and_maybe_refactor(std::size_t pivot_row) {
+  etas_.push_back(Eta{pivot_row, w_});
+  if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
+    if (!refactorize()) return false;
+  }
+  return true;
+}
+
+bool RevisedSimplex::pivot(std::size_t enter, int dir, std::size_t pivot_row,
+                           double delta, bool leaving_at_upper) {
+  // w_ holds B^{-1} a_enter. Mirrors SimplexSolver::apply_pivot, with the
+  // tableau elimination replaced by an eta-file append.
+  for (std::size_t r = 0; r < m_; ++r) {
+    if (r == pivot_row) continue;
+    xb_[r] -= dir * delta * w_[r];
+  }
+  const std::size_t leaving = basis_[pivot_row];
+  status_[leaving] = leaving_at_upper ? VarStatus::AtUpper : VarStatus::AtLower;
+  basis_[pivot_row] = enter;
+  status_[enter] = VarStatus::Basic;
+  xb_[pivot_row] = (dir > 0) ? delta : ub_[enter] - delta;
+  return push_eta_and_maybe_refactor(pivot_row);
+}
+
+Step RevisedSimplex::primal_iterate(bool phase1, const std::vector<double>& cost) {
+  const double tol = opt_.tolerance;
+  // Switch to Bland's anti-cycling rule if Dantzig pricing stalls (same
+  // threshold as the dense oracle).
+  const std::size_t bland_after = 10 * (m_ + n_total_) + 500;
+  std::size_t local_iter = 0;
+  bool y_valid = false;  // bound flips keep y; only pivots invalidate it
+
+  while (true) {
+    TAPO_CHECK_MSG(iterations_ <= max_iterations_, "caller must check the cap");
+    if (iterations_ == max_iterations_) return Step::Done;  // caller checks
+    const bool bland = local_iter > bland_after;
+
+    if (!y_valid) price_y(cost);
+    y_valid = true;
+    std::size_t enter = 0;
+    int dir = 0;
+    bool found = false;
+    double best = tol;
+    for (std::size_t v = 0; v < n_total_; ++v) {
+      if (status_[v] == VarStatus::Basic) continue;
+      if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
+      const double d = cost[v] - col_dot(y_, v);
+      double gain = 0.0;
+      int candidate_dir = 0;
+      if (status_[v] == VarStatus::AtLower && d > tol) {
+        gain = d;
+        candidate_dir = +1;
+      } else if (status_[v] == VarStatus::AtUpper && d < -tol) {
+        gain = -d;
+        candidate_dir = -1;
+      } else {
+        continue;
+      }
+      if (bland) {
+        enter = v;
+        dir = candidate_dir;
+        found = true;
+        break;
+      }
+      if (gain > best) {
+        best = gain;
+        enter = v;
+        dir = candidate_dir;
+        found = true;
+      }
+    }
+    if (!found) return Step::Done;  // phase optimal
+
+    load_col(enter, w_);
+    ftran(w_);
+
+    // Ratio test: largest step delta keeping all basic variables in their
+    // bounds; ties prefer the larger |pivot| (same rule as the oracle).
+    double delta = ub_[enter];  // may be +inf (a bound flip if it wins)
+    std::ptrdiff_t pivot_row = -1;
+    bool leaving_at_upper = false;
+    for (std::size_t r = 0; r < m_; ++r) {
+      const double wd = dir * w_[r];
+      const std::size_t bvar = basis_[r];
+      if (wd > opt_.pivot_tolerance) {
+        const double limit = xb_[r] / wd;  // basic variable reaches 0
+        if (limit < delta - tol ||
+            (limit < delta + tol && pivot_row >= 0 &&
+             std::fabs(w_[r]) > std::fabs(w_[static_cast<std::size_t>(pivot_row)]))) {
+          delta = std::max(limit, 0.0);
+          pivot_row = static_cast<std::ptrdiff_t>(r);
+          leaving_at_upper = false;
+        }
+      } else if (wd < -opt_.pivot_tolerance && std::isfinite(ub_[bvar])) {
+        const double limit = (ub_[bvar] - xb_[r]) / (-wd);  // basic reaches ub
+        if (limit < delta - tol ||
+            (limit < delta + tol && pivot_row >= 0 &&
+             std::fabs(w_[r]) > std::fabs(w_[static_cast<std::size_t>(pivot_row)]))) {
+          delta = std::max(limit, 0.0);
+          pivot_row = static_cast<std::ptrdiff_t>(r);
+          leaving_at_upper = true;
+        }
+      }
+    }
+
+    if (!std::isfinite(delta)) {
+      // No limit: unbounded. Cannot happen in phase 1 (objective bounded).
+      TAPO_CHECK(!phase1);
+      return Step::Unbounded;
+    }
+
+    ++iterations_;
+    ++local_iter;
+
+    if (pivot_row < 0) {
+      // Bound flip: the entering variable moves to its opposite bound.
+      for (std::size_t r = 0; r < m_; ++r) xb_[r] -= dir * delta * w_[r];
+      status_[enter] = (status_[enter] == VarStatus::AtLower)
+                           ? VarStatus::AtUpper
+                           : VarStatus::AtLower;
+      continue;
+    }
+    if (!pivot(enter, dir, static_cast<std::size_t>(pivot_row), delta,
+               leaving_at_upper)) {
+      return Step::Numerical;
+    }
+    y_valid = false;
+  }
+}
+
+void RevisedSimplex::make_dual_feasible() {
+  // Nonbasic reduced costs with the wrong sign are repaired by bound flips
+  // where a finite opposite bound exists (flips do not change y, so one pass
+  // suffices). A wrong-sign reduced cost on an infinite-bound column — which
+  // happens when a coefficient change flipped a free column's pricing, e.g.
+  // the CRAC-power columns between grid points — is neutralized with a dual
+  // phase-1 cost shift: its dual-phase reduced cost is seeded at zero. The
+  // dual phase consumes costs only through the d_ seed (it re-prices
+  // nothing), the exact costs re-enter in the primal phase-2 polish, and
+  // the dual-unbounded infeasibility certificate is bounds-based, so the
+  // shift cannot change any answer — it only lets a warm basis survive
+  // instead of falling back to a cold phase 1.
+  //
+  // The pass also seeds d_, which dual_iterate maintains incrementally (one
+  // dual pivot moves every nonbasic reduced cost by -t * alpha_v; flips
+  // leave them unchanged).
+  price_y(obj2_);
+  d_.assign(n_total_, 0.0);
+  bool flipped = false;
+  for (std::size_t v = 0; v < n_total_; ++v) {
+    if (status_[v] == VarStatus::Basic) continue;
+    if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
+    const double d = obj2_[v] - col_dot(y_, v);
+    d_[v] = d;
+    if (status_[v] == VarStatus::AtLower && d > opt_.tolerance) {
+      if (std::isfinite(ub_[v])) {
+        status_[v] = VarStatus::AtUpper;
+        flipped = true;
+      } else {
+        d_[v] = 0.0;  // dual phase-1 shift
+      }
+    } else if (status_[v] == VarStatus::AtUpper && d < -opt_.tolerance) {
+      status_[v] = VarStatus::AtLower;
+      flipped = true;
+    }
+  }
+  if (flipped) compute_xb();
+}
+
+Step RevisedSimplex::dual_iterate() {
+  // Bounded-variable dual simplex with a bound-flipping ratio test (BFRT):
+  // restores primal feasibility while keeping dual feasibility. Used only on
+  // warm starts whose basis became primal infeasible through an RHS, bound
+  // or coefficient change. The BFRT is what keeps warm re-solves short: a
+  // candidate whose finite range cannot absorb the row's violation is bound-
+  // flipped within the step (its reduced cost crosses zero at a smaller dual
+  // step than the eventual pivot's, so the flip is dual feasible), and the
+  // basis change is spent only on the candidate that finishes the repair.
+  const std::size_t bland_after = 10 * (m_ + n_total_) + 500;
+  std::size_t local_iter = 0;
+
+  struct Cand {
+    std::size_t v;
+    double alpha;
+    double ratio;
+  };
+  std::vector<Cand> cands;
+
+  while (true) {
+    TAPO_CHECK_MSG(iterations_ <= max_iterations_, "caller must check the cap");
+    if (iterations_ == max_iterations_) return Step::Done;  // caller checks
+    const bool bland = local_iter > bland_after;
+
+    // Leaving row: the largest bound violation among basic variables.
+    std::ptrdiff_t r_leave = -1;
+    double worst = std::max(opt_.tolerance, 1e-9 * bnorm_);
+    bool upper_viol = false;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (-xb_[r] > worst) {
+        worst = -xb_[r];
+        r_leave = static_cast<std::ptrdiff_t>(r);
+        upper_viol = false;
+      }
+      const double u = ub_[basis_[r]];
+      if (std::isfinite(u) && xb_[r] - u > worst) {
+        worst = xb_[r] - u;
+        r_leave = static_cast<std::ptrdiff_t>(r);
+        upper_viol = true;
+      }
+    }
+    if (r_leave < 0) return Step::Done;  // primal feasible again
+    const std::size_t rl = static_cast<std::size_t>(r_leave);
+
+    rho_.assign(m_, 0.0);
+    rho_[rl] = 1.0;
+    btran(rho_);
+
+    // Collect every eligible entering candidate (moves the violated basic
+    // variable toward its bound) with its dual ratio. alphas_ keeps the
+    // pivot-row entry of every nonbasic column for the incremental reduced-
+    // cost update after the pivot; d_ was seeded by make_dual_feasible.
+    cands.clear();
+    alphas_.resize(n_total_);  // stale entries belong to skipped vars only
+    for (std::size_t v = 0; v < n_total_; ++v) {
+      if (status_[v] == VarStatus::Basic) continue;
+      if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
+      const double alpha = col_dot(rho_, v);
+      alphas_[v] = alpha;
+      bool eligible = false;
+      if (!upper_viol) {
+        // Basic variable below zero: entering must push it up.
+        eligible = (status_[v] == VarStatus::AtLower && alpha < -opt_.pivot_tolerance) ||
+                   (status_[v] == VarStatus::AtUpper && alpha > opt_.pivot_tolerance);
+      } else {
+        eligible = (status_[v] == VarStatus::AtLower && alpha > opt_.pivot_tolerance) ||
+                   (status_[v] == VarStatus::AtUpper && alpha < -opt_.pivot_tolerance);
+      }
+      if (!eligible) continue;
+      cands.push_back({v, alpha, std::fabs(d_[v]) / std::fabs(alpha)});
+    }
+    if (cands.empty()) return Step::Unbounded;  // dual unbounded
+
+    // Smallest dual ratio first (the order in which reduced costs cross
+    // zero as the dual step grows). Deterministic total order; under Bland,
+    // ties break toward the smallest index for termination.
+    std::sort(cands.begin(), cands.end(), [&](const Cand& a, const Cand& b) {
+      if (a.ratio != b.ratio) return a.ratio < b.ratio;
+      if (!bland && std::fabs(a.alpha) != std::fabs(b.alpha)) {
+        return std::fabs(a.alpha) > std::fabs(b.alpha);
+      }
+      return a.v < b.v;
+    });
+
+    // BFRT walk: flip candidates whose whole range still leaves the row
+    // violated; pivot on the first that can absorb what remains. The flips'
+    // effect on xb (-sum_v move_v * B^{-1} A_v) is accumulated sparsely in
+    // original row space and pushed through ONE ftran after the walk — a
+    // flip itself costs only its column's nonzeros, not an LU solve.
+    double remaining = worst;
+    std::size_t enter = n_total_;
+    bool any_flip = false;
+    for (const Cand& c : cands) {
+      const double range = ub_[c.v];
+      if (std::isfinite(range) &&
+          std::fabs(c.alpha) * range < remaining - opt_.tolerance) {
+        const double move =
+            (status_[c.v] == VarStatus::AtLower) ? range : -range;
+        if (!any_flip) wf_.assign(m_, 0.0);
+        any_flip = true;
+        for_col(c.v, [&](std::size_t r, double v) { wf_[r] += move * v; });
+        status_[c.v] = (status_[c.v] == VarStatus::AtLower)
+                           ? VarStatus::AtUpper
+                           : VarStatus::AtLower;
+        remaining -= std::fabs(c.alpha) * range;
+        continue;
+      }
+      enter = c.v;
+      break;
+    }
+    if (enter == n_total_) {
+      // Even moving every eligible nonbasic across its whole range leaves
+      // the row violated: the row can never be satisfied, which is a valid
+      // primal-infeasibility certificate whether or not flips were applied.
+      // (xb is left stale; only the status vector is exported after this.)
+      return Step::Unbounded;
+    }
+    if (any_flip) {
+      ftran(wf_);
+      for (std::size_t r = 0; r < m_; ++r) xb_[r] -= wf_[r];
+    }
+
+    load_col(enter, w_);
+    ftran(w_);
+    const double wr = w_[rl];
+    if (std::fabs(wr) < 1e-9) return Step::Numerical;  // rho/FTRAN disagree
+
+    const double target = upper_viol ? ub_[basis_[rl]] : 0.0;
+    const double theta = (xb_[rl] - target) / wr;  // entering moves by theta
+
+    ++iterations_;
+    ++local_iter;
+    if (reg_) reg_->count("lp.dual_iterations");
+
+    // Dual step of size t = d_enter / alpha_enter: every nonbasic reduced
+    // cost moves by -t * alpha_v (y moves by t * rho, and alpha_v is the
+    // rho-projection of column v). The entering variable's reduced cost
+    // lands on zero and the leaving one (whose pivot-row entry is 1 by
+    // construction) on -t. This O(n) update replaces a full BTRAN-and-
+    // reprice per dual pivot.
+    const double t = d_[enter] / wr;
+    for (std::size_t v = 0; v < n_total_; ++v) {
+      if (status_[v] == VarStatus::Basic) continue;
+      if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
+      d_[v] -= t * alphas_[v];
+    }
+
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (r == rl) continue;
+      xb_[r] -= theta * w_[r];
+    }
+    const double enter_old =
+        (status_[enter] == VarStatus::AtUpper) ? ub_[enter] : 0.0;
+    const std::size_t leaving = basis_[rl];
+    status_[leaving] = upper_viol ? VarStatus::AtUpper : VarStatus::AtLower;
+    basis_[rl] = enter;
+    status_[enter] = VarStatus::Basic;
+    d_[leaving] = -t;
+    d_[enter] = 0.0;
+    // After the BFRT walk theta cannot overshoot the entering variable's
+    // range (the ratio test picked a candidate that absorbs the remaining
+    // violation); any residual wrong-side value is a new violation this
+    // same loop repairs.
+    xb_[rl] = enter_old + theta;
+    if (!push_eta_and_maybe_refactor(rl)) return Step::Numerical;
+  }
+}
+
+bool RevisedSimplex::driveout_artificials() {
+  // Swap remaining (zero-valued) basic artificials for any non-artificial
+  // column with a usable pivot in their row; redundant rows keep a zero
+  // artificial pinned by ub = 0. Mirrors the dense oracle, with the tableau
+  // row recomputed as rho^T A via BTRAN.
+  for (std::size_t r = 0; r < m_; ++r) {
+    if (basis_[r] < art0_) continue;
+    rho_.assign(m_, 0.0);
+    rho_[r] = 1.0;
+    btran(rho_);
+    std::size_t replacement = n_total_;
+    for (std::size_t v = 0; v < art0_; ++v) {
+      if (status_[v] == VarStatus::Basic) continue;
+      if (std::fabs(col_dot(rho_, v)) > 1e-7) {
+        replacement = v;
+        break;
+      }
+    }
+    bool swapped = false;
+    if (replacement != n_total_) {
+      load_col(replacement, w_);
+      ftran(w_);
+      if (std::fabs(w_[r]) > 1e-9) {
+        // Degenerate pivot (delta = 0) to swap the artificial out.
+        const int dir = (status_[replacement] == VarStatus::AtLower) ? +1 : -1;
+        if (!pivot(replacement, dir, r, 0.0, /*leaving_at_upper=*/false)) {
+          return false;
+        }
+        swapped = true;
+      }
+    }
+    if (!swapped) ub_[basis_[r]] = 0.0;  // pin the artificial at zero
+  }
+  // Forbid artificials from ever re-entering.
+  for (std::size_t v = art0_; v < n_total_; ++v) {
+    if (status_[v] != VarStatus::Basic) ub_[v] = 0.0;
+  }
+  return true;
+}
+
+Outcome RevisedSimplex::solve_once(bool use_warm) {
+  warm_used_ = false;
+  if (use_warm && try_warm(*opt_.warm_start)) {
+    warm_used_ = true;
+    // Relative feasibility test: compute_xb's residual scales with |b|.
+    if (primal_infeasibility() > std::max(10 * opt_.tolerance, 1e-10 * bnorm_)) {
+      make_dual_feasible();
+      const Step sd = dual_iterate();
+      if (sd == Step::Numerical) return Outcome::Restart;
+      if (iterations_ >= max_iterations_) return Outcome::IterLimit;
+      // Dual feasibility was established before the dual phase, so dual
+      // unboundedness certifies primal infeasibility — concluding here is
+      // what makes warm sweeps cheap on infeasible grid points (no cold
+      // phase-1 re-derivation).
+      if (sd == Step::Unbounded) return Outcome::Infeasible;
+    }
+  } else {
+    if (use_warm) return Outcome::Restart;  // rejected basis: count fallback
+    cold_start();
+    if (!refactorize()) return Outcome::Restart;  // unit basis; cannot happen
+    if (needs_phase1_) {
+      // Phase 1: maximize -(sum of artificials).
+      std::vector<double> c1(n_total_, 0.0);
+      for (std::size_t v = art0_; v < n_total_; ++v) c1[v] = -1.0;
+      const Step s1 = primal_iterate(/*phase1=*/true, c1);
+      if (s1 == Step::Numerical) return Outcome::Restart;
+      if (iterations_ >= max_iterations_) return Outcome::IterLimit;
+      double infeasibility = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (basis_[r] >= art0_) infeasibility += xb_[r];
+      }
+      if (infeasibility > 1e-6) return Outcome::Infeasible;
+      if (!driveout_artificials()) return Outcome::Restart;
+    }
+  }
+
+  const Step s2 = primal_iterate(/*phase1=*/false, obj2_);
+  if (s2 == Step::Numerical) return Outcome::Restart;
+  if (iterations_ >= max_iterations_) return Outcome::IterLimit;
+  if (s2 == Step::Unbounded) return Outcome::Unbounded;
+  return Outcome::Optimal;
+}
+
+LpSolution RevisedSimplex::extract(LpStatus status) {
+  LpSolution sol;
+  sol.status = status;
+  sol.iterations = iterations_;
+  sol.warm_used = warm_used_;
+  sol.x.assign(n_struct_, 0.0);
+  const auto export_basis = [&] {
+    sol.basis.status.resize(n_struct_ + m_);
+    for (std::size_t v = 0; v < n_struct_ + m_; ++v) {
+      switch (status_[v]) {
+        case VarStatus::Basic: sol.basis.status[v] = LpBasisStatus::Basic; break;
+        case VarStatus::AtUpper: sol.basis.status[v] = LpBasisStatus::AtUpper; break;
+        case VarStatus::AtLower: sol.basis.status[v] = LpBasisStatus::AtLower; break;
+      }
+    }
+  };
+  if (status == LpStatus::Infeasible && warm_used_) {
+    // The dual phase's infeasibility certificate leaves a dual-feasible,
+    // artificial-free basis. Exporting it lets a grid sweep keep warm-
+    // starting across an infeasible stretch of points: the neighbors are
+    // usually infeasible too, and a warm dual solve concludes that in a few
+    // pivots instead of a cold phase 1. The status vector does not depend
+    // on basis order, so no canonicalization is needed here.
+    export_basis();
+  }
+  if (status != LpStatus::Optimal && status != LpStatus::IterLimit) return sol;
+
+  if (status == LpStatus::Optimal) {
+    // Canonicalize: ascending basis order and a fresh factorization (empty
+    // eta file) make the extracted numbers a function of the basis alone.
+    // When the basis is already sorted with an empty eta file (a warm solve
+    // that pivoted at most refactor_interval times from an imported basis,
+    // which try_warm builds in ascending order), lu_ IS that canonical
+    // factorization — refactorizing again would reproduce it bit for bit.
+    if (etas_.empty() && std::is_sorted(basis_.begin(), basis_.end())) {
+      compute_xb();
+    } else {
+      std::sort(basis_.begin(), basis_.end());
+      if (refactorize()) compute_xb();
+    }
+  }
+
+  std::vector<double> z(n_total_, 0.0);
+  for (std::size_t v = 0; v < n_total_; ++v) {
+    if (status_[v] == VarStatus::AtUpper && std::isfinite(ub_[v])) z[v] = ub_[v];
+  }
+  for (std::size_t r = 0; r < m_; ++r) z[basis_[r]] = xb_[r];
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    sol.x[v] = p_.lower_bound(v) + z[v];
+  }
+  sol.objective = p_.objective_value(sol.x);
+
+  // Duals y = B^{-T} c_B of the standardized system map back through the
+  // GreaterEq negation only (no rhs flips in this standardization).
+  price_y(obj2_);
+  sol.duals.assign(m_, 0.0);
+  for (std::size_t r = 0; r < m_; ++r) sol.duals[r] = rel_sign_[r] * y_[r];
+
+  if (status == LpStatus::Optimal) export_basis();
+  return sol;
+}
+
+LpSolution RevisedSimplex::run() {
+  standardize();
+  const bool want_warm = opt_.warm_start != nullptr && !opt_.warm_start->empty();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const Outcome out = solve_once(want_warm && attempt == 0);
+    if (out == Outcome::Restart) {
+      if (reg_) reg_->count("lp.fallbacks");
+      warm_used_ = false;
+      continue;
+    }
+    switch (out) {
+      case Outcome::Optimal: return extract(LpStatus::Optimal);
+      case Outcome::Infeasible: return extract(LpStatus::Infeasible);
+      case Outcome::Unbounded: return extract(LpStatus::Unbounded);
+      default: return extract(LpStatus::IterLimit);
+    }
+  }
+  // Two attempts hit numerical trouble; report the cap-style failure so
+  // callers treat the point as unusable rather than silently wrong.
+  return extract(LpStatus::IterLimit);
+}
+
+}  // namespace
+
+LpSolution solve_lp_revised(const LpProblem& problem, const LpOptions& options) {
+  RevisedSimplex solver(problem, options);
+  return solver.run();
+}
+
+}  // namespace tapo::solver::internal

@@ -46,6 +46,15 @@ HeatFlowModel::HeatFlowModel(const dc::DataCenter& dc) : dc_(dc) {
   for (std::size_t j = 0; j < nn; ++j) {
     heating_[j] = 1.0 / (dc::kAirDensity * dc::kAirSpecificHeat * dc.node_flow(j));
   }
+
+  // K_p = (I - G_nn)^-1 D maps node power to node outlet temperature; the
+  // inlet sensitivities below are what every linearize() call hands to the
+  // Stage-1/baseline LPs. None of this depends on the CRAC setpoints.
+  solver::Matrix d(nn, nn);
+  for (std::size_t j = 0; j < nn; ++j) d(j, j) = heating_[j];
+  const solver::Matrix k_p = fixed_point_->solve(d);
+  node_in_coeff_ = g_nn_.multiply(k_p);
+  crac_in_coeff_ = g_cn_.multiply(k_p);
 }
 
 Temperatures HeatFlowModel::solve(const std::vector<double>& crac_out,
@@ -86,15 +95,13 @@ LinearResponse HeatFlowModel::linearize(const std::vector<double>& crac_out) con
   LinearResponse lr;
   lr.crac_out = crac_out;
 
-  // Tout_n = K_c * Tcrac + K_p * p with K_c = (I-G_nn)^-1 G_nc and
-  // K_p = (I-G_nn)^-1 D; build K_p column block via the LU solve.
-  solver::Matrix d(nn, nn);
-  for (std::size_t j = 0; j < nn; ++j) d(j, j) = heating_[j];
-  const solver::Matrix k_p = fixed_point_->solve(d);
+  // Tout_n = K_c * Tcrac + K_p * p with K_c = (I-G_nn)^-1 G_nc; the
+  // power-sensitivity blocks derived from K_p are precomputed in the
+  // constructor, so only the setpoint-dependent offsets are built here.
   const std::vector<double> k_c_t = fixed_point_->solve(g_nc_.multiply(crac_out));
 
   // node_in = G_nc Tcrac + G_nn Tout_n
-  lr.node_in_coeff = g_nn_.multiply(k_p);
+  lr.node_in_coeff = node_in_coeff_;
   lr.node_in0 = g_nc_.multiply(crac_out);
   {
     const std::vector<double> extra = g_nn_.multiply(k_c_t);
@@ -102,7 +109,7 @@ LinearResponse HeatFlowModel::linearize(const std::vector<double>& crac_out) con
   }
 
   // crac_in = G_cc Tcrac + G_cn Tout_n
-  lr.crac_in_coeff = g_cn_.multiply(k_p);
+  lr.crac_in_coeff = crac_in_coeff_;
   lr.crac_in0 = g_cc_.multiply(crac_out);
   {
     const std::vector<double> extra = g_cn_.multiply(k_c_t);

@@ -72,6 +72,13 @@ class HeatFlowModel {
   solver::Matrix g_nc_, g_nn_, g_cc_, g_cn_;
   std::optional<solver::LuFactorization> fixed_point_;  // LU of (I - G_nn)
   std::vector<double> heating_;          // per node, degC per kW
+  // The power-sensitivity blocks of LinearResponse do not depend on the CRAC
+  // setpoints, so the O(n^3) solve/multiply chain behind them runs once here
+  // and linearize() only rebuilds the affine offsets (O(n^2) per call). The
+  // CRAC grid sweep calls linearize() per grid point, so this is the
+  // difference between the sweep being thermal-bound and LP-bound.
+  solver::Matrix node_in_coeff_;  // G_nn (I-G_nn)^-1 D
+  solver::Matrix crac_in_coeff_;  // G_cn (I-G_nn)^-1 D
 };
 
 }  // namespace tapo::thermal

@@ -10,6 +10,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kInfeasible: return "INFEASIBLE";
     case StatusCode::kInternal: return "INTERNAL";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kResourceExhausted: return "RESOURCE_EXHAUSTED";
   }
   return "UNKNOWN";
 }

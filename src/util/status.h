@@ -26,6 +26,7 @@ enum class StatusCode {
   kInfeasible,          // the optimization problem has no feasible point
   kInternal,            // a solver failed where it should not have
   kNotFound,            // a named resource (file, section) is missing
+  kResourceExhausted,   // an iteration/size cap was hit before convergence
 };
 
 const char* status_code_name(StatusCode code);
@@ -51,6 +52,9 @@ class [[nodiscard]] Status {
   }
   static Status NotFound(std::string message) {
     return {StatusCode::kNotFound, std::move(message)};
+  }
+  static Status ResourceExhausted(std::string message) {
+    return {StatusCode::kResourceExhausted, std::move(message)};
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

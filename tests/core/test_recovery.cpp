@@ -157,6 +157,28 @@ TEST_F(RecoveryFixture, ImpossibleBudgetReportsInsteadOfAborting) {
   dc().p_const_kw = original;
 }
 
+TEST_F(RecoveryFixture, WarmSeededReplanMatchesColdReplan) {
+  // The pre-fault plan's Stage-1 basis only accelerates the phase-2 sweep;
+  // the adopted plan must be bit-identical to what a cold re-plan (no basis
+  // available) produces.
+  sim::apply_fault(dc(), {0.0, sim::FaultKind::kNodeFail, 2, 0.0},
+                   kTcracMin, kTcracMax);
+  ASSERT_FALSE(assignment.stage1_basis.empty());
+
+  const RecoveryController controller(dc(), *model);
+  const RecoveryOutcome warm = controller.recover(assignment);
+
+  Assignment no_basis = assignment;
+  no_basis.stage1_basis = solver::LpBasis{};
+  const RecoveryOutcome cold = controller.recover(no_basis);
+
+  ASSERT_EQ(warm.safe, cold.safe);
+  ASSERT_EQ(warm.replan_adopted, cold.replan_adopted);
+  EXPECT_EQ(warm.plan.reward_rate, cold.plan.reward_rate);
+  EXPECT_EQ(warm.plan.crac_out_c, cold.plan.crac_out_c);
+  EXPECT_EQ(warm.plan.core_pstate, cold.plan.core_pstate);
+}
+
 TEST_F(RecoveryFixture, HealthyRecoveryKeepsFullReward) {
   // With no fault applied, the throttle's rung 0 is the previous plan itself,
   // so nothing is lost and the re-plan can only match or improve it.

@@ -152,6 +152,64 @@ TEST(Stage1, TelemetryDoesNotChangeTheSolution) {
             registry.counter_value("stage1.sweep_rounds"));
 }
 
+TEST(Stage1, IterationCapReportsResourceExhausted) {
+  // With a 1-iteration LP cap every sweep solve hits IterLimit; the result
+  // must say "resources ran out", not masquerade as thermal infeasibility.
+  const auto scenario = test::make_small_scenario(42, 8, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+  Stage1Options capped;
+  capped.lp.max_iterations = 1;
+  const Stage1Result result = solver.solve(capped);
+  EXPECT_FALSE(result.feasible);
+  EXPECT_EQ(result.status.code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(Stage1, EngineAndThreadCountDoNotChangeThePlan) {
+  // The published plan must be bit-identical across LP engines, sweep thread
+  // counts, and warm-start chaining on/off: the sweep only *selects* a
+  // setpoint, and the final re-solve always runs the Dense oracle cold.
+  const auto scenario = test::make_small_scenario(43, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+
+  const Stage1Result reference = solver.solve();
+  ASSERT_TRUE(reference.feasible);
+
+  std::vector<Stage1Options> variants(4);
+  variants[0].lp.engine = solver::LpEngine::Dense;
+  variants[1].threads = 1;
+  variants[2].threads = 4;
+  variants[3].grid.warm_chain = 1;  // chaining disabled
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const Stage1Result got = solver.solve(variants[i]);
+    ASSERT_TRUE(got.feasible) << "variant " << i;
+    EXPECT_EQ(got.objective, reference.objective) << "variant " << i;
+    EXPECT_EQ(got.crac_out_c, reference.crac_out_c) << "variant " << i;
+    EXPECT_EQ(got.node_core_power_kw, reference.node_core_power_kw)
+        << "variant " << i;
+    EXPECT_EQ(got.compute_power_kw, reference.compute_power_kw) << "variant " << i;
+  }
+}
+
+TEST(Stage1, WarmSeedDoesNotChangeThePlan) {
+  const auto scenario = test::make_small_scenario(44, 10, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+
+  const Stage1Result cold = solver.solve();
+  ASSERT_TRUE(cold.feasible);
+  ASSERT_FALSE(cold.basis.empty());
+
+  Stage1Options seeded;
+  seeded.warm_seed = &cold.basis;
+  const Stage1Result warm = solver.solve(seeded);
+  ASSERT_TRUE(warm.feasible);
+  EXPECT_EQ(warm.objective, cold.objective);
+  EXPECT_EQ(warm.crac_out_c, cold.crac_out_c);
+  EXPECT_EQ(warm.node_core_power_kw, cold.node_core_power_kw);
+}
+
 TEST(Stage1, PsiChangesSelection) {
   const auto scenario = test::make_small_scenario(40, 8, 2);
   const thermal::HeatFlowModel model(scenario.dc);

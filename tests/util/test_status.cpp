@@ -29,6 +29,15 @@ TEST(Status, CodeNamesAreStable) {
   EXPECT_STREQ(status_code_name(StatusCode::kInfeasible), "INFEASIBLE");
   EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
   EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kResourceExhausted),
+               "RESOURCE_EXHAUSTED");
+}
+
+TEST(Status, ResourceExhaustedFactory) {
+  const Status s = Status::ResourceExhausted("LP hit the iteration cap");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(s.to_string(), "RESOURCE_EXHAUSTED: LP hit the iteration cap");
 }
 
 TEST(Status, WithContextStacks) {
