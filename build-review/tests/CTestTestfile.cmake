@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests/tapo_test_util[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_solver[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_dc[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_thermal[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_core[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_scenario[1]_include.cmake")
+include("/root/repo/build-review/tests/tapo_test_integration[1]_include.cmake")

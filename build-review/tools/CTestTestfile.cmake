@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-review/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_bounds "/root/repo/build-review/tools/tapo_cli" "bounds" "--nodes=10")
+set_tests_properties(cli_bounds PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_assign "/root/repo/build-review/tools/tapo_cli" "assign" "--nodes=10" "--technique=best" "--pstates")
+set_tests_properties(cli_assign PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;6;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_simulate "/root/repo/build-review/tools/tapo_cli" "simulate" "--nodes=10" "--duration=20" "--csv")
+set_tests_properties(cli_simulate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_powermin "/root/repo/build-review/tools/tapo_cli" "powermin" "--nodes=10" "--target-fraction=0.5")
+set_tests_properties(cli_powermin PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;8;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_sweep "/root/repo/build-review/tools/tapo_cli" "sweep" "--nodes=10" "--points=3")
+set_tests_properties(cli_sweep PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_help "/root/repo/build-review/tools/tapo_cli" "--help")
+set_tests_properties(cli_help PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;10;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_trace "/root/repo/build-review/tools/tapo_cli" "trace" "--nodes=10" "--duration=60" "--burst-multiplier=4")
+set_tests_properties(cli_trace PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;11;add_test;/root/repo/tools/CMakeLists.txt;0;")
