@@ -39,11 +39,15 @@ int main() {
   const bool use_dense =
       engine_env != nullptr && std::string(engine_env) == "dense";
   const bool no_warm = std::getenv("TAPO_NO_WARM") != nullptr;
+  // TAPO_NO_SESSION=1 disables the persistent per-chain LP sessions inside
+  // the re-plan sweep (falls back to the rebuild-per-point warm chains).
+  const bool no_session = std::getenv("TAPO_NO_SESSION") != nullptr;
   util::telemetry::Registry* const reg = bench::telemetry_sink();
   std::printf("=== Extension: recovery latency and retained reward per fault "
-              "(%zu nodes, %zu scenarios, %s engine, warm seeds %s) ===\n\n",
+              "(%zu nodes, %zu scenarios, %s engine, warm seeds %s, LP "
+              "sessions %s) ===\n\n",
               nodes, runs, use_dense ? "dense" : "revised",
-              no_warm ? "off" : "on");
+              no_warm ? "off" : "on", no_session ? "off" : "on");
 
   struct FaultCase {
     const char* label;
@@ -86,6 +90,7 @@ int main() {
       options.telemetry = reg;
       options.assign.stage1.telemetry = lp_reg;
       if (use_dense) options.assign.stage1.lp.engine = solver::LpEngine::Dense;
+      if (no_session) options.assign.stage1.lp_session = false;
       sim::FaultEvent event = fault_case.event;
       if (event.kind == sim::FaultKind::kPowerCap) {
         event.value = 0.85 * scenario->dc.p_const_kw;

@@ -176,7 +176,8 @@ BENCHMARK(BM_Stage1UniformSweep)
 // warm-start hit rate, per-solve iteration histogram); with
 // TAPO_TELEMETRY_OUT set, the same lp.* counters land in the telemetry JSON.
 void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
-                             std::size_t warm_chain, bool full_grid = true) {
+                             std::size_t warm_chain, bool full_grid = true,
+                             bool lp_session = false) {
   scenario::ScenarioConfig config;
   config.num_nodes = static_cast<std::size_t>(state.range(0));
   config.num_cracs = 3;
@@ -192,17 +193,35 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
   static const char* const kBuckets[] = {"lp.iters.le_4", "lp.iters.le_16",
                                          "lp.iters.le_64", "lp.iters.le_256",
                                          "lp.iters.gt_256"};
+  // Per-solve fixed-cost accounting: the phase timers split every solve's
+  // wall clock into LP build, standardization, basis factorization and
+  // simplex pivoting — the split that showed pivots were never the dense
+  // engine's problem (docs/SOLVER.md §6) and that the session path removes
+  // the right costs rather than just shifting them.
+  static const char* const kPhases[] = {"lp.phase.build", "lp.phase.standardize",
+                                        "lp.phase.factorize", "lp.phase.pivot"};
+  static const char* const kSession[] = {
+      "lp.session.patches", "lp.session.ft_updates",
+      "lp.session.refactorizations", "lp.session.fallbacks",
+      "lp.session.resident_resumes"};
   const std::uint64_t solves0 = reg->counter_value("lp.solves");
   const std::uint64_t iters0 = reg->counter_value("lp.iterations");
   const std::uint64_t warm0 = reg->counter_value("lp.warm_starts");
   std::uint64_t buckets0[5];
   for (int i = 0; i < 5; ++i) buckets0[i] = reg->counter_value(kBuckets[i]);
+  double phases0[4];
+  for (int i = 0; i < 4; ++i) {
+    phases0[i] = reg->timer_stats(kPhases[i]).total_seconds;
+  }
+  std::uint64_t session0[5];
+  for (int i = 0; i < 5; ++i) session0[i] = reg->counter_value(kSession[i]);
 
   core::Stage1Options options;
   options.full_grid = full_grid;
   options.threads = 1;
   options.lp.engine = engine;
   options.grid.warm_chain = warm_chain;
+  options.lp_session = lp_session;
   options.telemetry = reg;
   double objective = 0.0;
   for (auto _ : state) {
@@ -218,6 +237,20 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
   const double warm =
       static_cast<double>(reg->counter_value("lp.warm_starts") - warm0);
   state.counters["objective"] = objective;
+  const double iterations = static_cast<double>(state.iterations());
+  for (int i = 0; i < 4; ++i) {
+    const double seconds = reg->timer_stats(kPhases[i]).total_seconds - phases0[i];
+    // Per-sweep milliseconds: e.g. "phase_factorize_ms" is the total time a
+    // sweep spends (re)factorizing bases across all of its LP solves.
+    state.counters[std::string("phase_") + (kPhases[i] + 9) + "_ms"] =
+        1e3 * seconds / iterations;
+  }
+  if (lp_session) {
+    for (int i = 0; i < 5; ++i) {
+      state.counters[kSession[i] + 3] = static_cast<double>(
+          reg->counter_value(kSession[i]) - session0[i]) / iterations;
+    }
+  }
   if (solves > 0.0) {
     state.counters["lp_iters_per_solve"] = iters / solves;
     state.counters["warm_hit_rate"] = warm / solves;
@@ -267,6 +300,23 @@ BENCHMARK(BM_Stage1SweepRevisedWarm)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();
 
+// Persistent-session sweep (solver/session.h): one resident LP per warm
+// chain, patched between grid points and maintained with product-form
+// column-replacement updates instead of per-point rebuild + import
+// refactorization. Same pivot counts as RevisedWarm — the difference is
+// pure fixed cost, visible in the phase_*_ms counters.
+void BM_Stage1SweepRevisedSession(benchmark::State& state) {
+  run_stage1_engine_sweep(state, solver::LpEngine::Revised,
+                          solver::GridSearchOptions{}.warm_chain,
+                          /*full_grid=*/true, /*lp_session=*/true);
+}
+BENCHMARK(BM_Stage1SweepRevisedSession)
+    ->ArgName("nodes")
+    ->Arg(40)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
 // Same comparison on the coarse-to-fine search (the paper's production
 // path): refinement rounds evaluate tightly clustered setpoints, so warm
 // re-solves converge in a handful of dual pivots (8 iterations per solve
@@ -289,6 +339,18 @@ void BM_Stage1CoarseToFineRevisedWarm(benchmark::State& state) {
                           /*full_grid=*/false);
 }
 BENCHMARK(BM_Stage1CoarseToFineRevisedWarm)
+    ->ArgName("nodes")
+    ->Arg(40)
+    ->Arg(120)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_Stage1CoarseToFineRevisedSession(benchmark::State& state) {
+  run_stage1_engine_sweep(state, solver::LpEngine::Revised,
+                          solver::GridSearchOptions{}.warm_chain,
+                          /*full_grid=*/false, /*lp_session=*/true);
+}
+BENCHMARK(BM_Stage1CoarseToFineRevisedSession)
     ->ArgName("nodes")
     ->Arg(40)
     ->Arg(120)

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Gate CI on dense-engine sweep regressions in BENCH_solver.json.
+
+Compares a freshly measured Google-Benchmark JSON file against the committed
+baseline (BENCH_solver.json at the repo root). Raw wall-clock is meaningless
+across runner generations, so every sweep time is first normalized by the
+run's own BM_LuFactorSolve time — a pure-compute proxy for machine speed
+measured in the same process — and the *normalized ratios* are compared.
+
+Only the dense-engine sweeps gate the build: they have no warm-start or
+session state, so their normalized time is stable run-to-run, while the
+revised/session benches carry chain-length and fallback variance that would
+make a hard gate flaky. The revised benches are still printed for the log.
+
+Exit status 0 when every gated bench is within the threshold (default 20%
+slower than baseline), 1 otherwise. Stdlib only.
+
+Usage: scripts/check_perf_regression.py CURRENT.json [BASELINE.json]
+       [--threshold 0.20]
+"""
+import argparse
+import json
+import pathlib
+import sys
+
+# Machine-speed proxy: mean of the LU factor+solve micro-bench sizes.
+PROXY_PREFIX = "BM_LuFactorSolve/"
+# Benches that gate the build (baseline engine, no warm/session state).
+GATED_PREFIXES = (
+    "BM_Stage1SweepDense/",
+    "BM_Stage1CoarseToFineDense/",
+)
+# Reported (not gated) for the CI log.
+REPORTED_PREFIXES = (
+    "BM_Stage1SweepRevised",
+    "BM_Stage1CoarseToFineRevised",
+)
+
+
+def load_times(path: pathlib.Path) -> dict:
+    """name -> real_time (ns) for every benchmark in a GB JSON file."""
+    with open(path) as f:
+        data = json.load(f)
+    times = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        unit = bench.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+        times[bench["name"]] = bench["real_time"] * scale
+    return times
+
+
+def proxy_time(times: dict) -> float:
+    vals = [t for name, t in times.items() if name.startswith(PROXY_PREFIX)]
+    if not vals:
+        sys.exit(f"error: no {PROXY_PREFIX}* benches found for normalization")
+    return sum(vals) / len(vals)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("current", type=pathlib.Path)
+    parser.add_argument(
+        "baseline",
+        type=pathlib.Path,
+        nargs="?",
+        default=pathlib.Path(__file__).resolve().parent.parent
+        / "BENCH_solver.json",
+    )
+    parser.add_argument("--threshold", type=float, default=0.20)
+    args = parser.parse_args()
+
+    current = load_times(args.current)
+    baseline = load_times(args.baseline)
+    cur_proxy = proxy_time(current)
+    base_proxy = proxy_time(baseline)
+
+    failed = []
+    for prefixes, gated in ((GATED_PREFIXES, True), (REPORTED_PREFIXES, False)):
+        for name in sorted(baseline):
+            if not name.startswith(prefixes):
+                continue
+            if name not in current:
+                if gated:
+                    failed.append(f"{name}: missing from current run")
+                continue
+            base_norm = baseline[name] / base_proxy
+            cur_norm = current[name] / cur_proxy
+            change = cur_norm / base_norm - 1.0
+            tag = "GATED" if gated else "info "
+            verdict = ""
+            if gated and change > args.threshold:
+                verdict = "  <-- REGRESSION"
+                failed.append(f"{name}: {change:+.1%} normalized")
+            print(f"[{tag}] {name}: {change:+.1%} vs baseline "
+                  f"(normalized by LuFactorSolve){verdict}")
+
+    if failed:
+        print(f"\n{len(failed)} gated regression(s) above "
+              f"{args.threshold:.0%}:", file=sys.stderr)
+        for line in failed:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("\nperf gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "core/reward.h"
+#include "core/stage1_lp.h"
 #include "core/stage2.h"
 #include "core/stage3.h"
 #include "dc/crac.h"
@@ -35,6 +37,11 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
                             double floor, const solver::LpOptions& lp_options) {
   const std::size_t nn = dc.num_nodes();
   const std::size_t nc = dc.num_cracs();
+
+  // Per-point fixed cost (docs/SOLVER.md §6); the persistent evaluator
+  // amortizes this across a warm chain.
+  std::optional<util::telemetry::ScopedTimer> build_timer;
+  if (lp_options.telemetry) build_timer.emplace(lp_options.telemetry, "lp.phase.build");
 
   std::vector<solver::PiecewiseLinear> arr_by_type;
   for (std::size_t t = 0; t < dc.node_types.size(); ++t) {
@@ -107,6 +114,7 @@ StageOutcome solve_power_at(const dc::DataCenter& dc,
     lp.add_constraint(std::move(terms), solver::Relation::LessEq, rhs);
   }
 
+  build_timer.reset();
   const solver::LpSolution sol = solve_lp(lp, lp_options);
   StageOutcome out;
   out.status = sol.status;
@@ -171,10 +179,50 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
     struct ChainState {
       solver::LpBasis basis;
     };
+    // Same persistent-session sweep as Stage 1: one resident MinimizePower
+    // LP per warm chain, patched in place between grid points (the reward
+    // floor is fixed within an attempt, so only the thermal RHS and the
+    // CoP coefficients move).
+    const bool use_session = options.stage1.lp_session &&
+                             options.stage1.lp.engine ==
+                                 solver::LpEngine::Revised &&
+                             options.stage1.grid.warm_chain > 1;
+    struct SessionChainState {
+      std::unique_ptr<Stage1LpEvaluator> eval;
+    };
     std::atomic<std::size_t> lp_solves{0};
     std::atomic<std::size_t> infeasible{0};
     std::atomic<std::size_t> iter_limited{0};
-    const auto objective =
+    const solver::GridChainObjective session_objective =
+        [&](const std::vector<double>& crac_out,
+            std::shared_ptr<void>& chain_state) -> std::optional<double> {
+      lp_solves.fetch_add(1, std::memory_order_relaxed);
+      const util::telemetry::ScopedTimer lp_timer(reg, "powermin.lp");
+      solver::LpOptions lp_opt = options.stage1.lp;
+      lp_opt.telemetry = reg;
+      auto* state = static_cast<SessionChainState*>(chain_state.get());
+      const solver::LpBasis* head_seed = nullptr;
+      if (state == nullptr) {
+        chain_state = std::make_shared<SessionChainState>();
+        state = static_cast<SessionChainState*>(chain_state.get());
+        state->eval = std::make_unique<Stage1LpEvaluator>(
+            dc, model, Stage1LpEvaluator::Mode::MinimizePower,
+            options.stage1.psi, floor, crac_out, lp_opt);
+        head_seed = seed;
+      } else {
+        state->eval->move_to(crac_out);
+      }
+      const Stage1Solver::LpOutcome outcome = state->eval->solve(head_seed);
+      if (!outcome.feasible) {
+        infeasible.fetch_add(1, std::memory_order_relaxed);
+        if (outcome.status == solver::LpStatus::IterLimit) {
+          iter_limited.fetch_add(1, std::memory_order_relaxed);
+        }
+        return std::nullopt;
+      }
+      return -(outcome.compute_power_kw + outcome.crac_power_kw);
+    };
+    const solver::GridChainObjective classic_objective =
         [&](const std::vector<double>& crac_out,
             std::shared_ptr<void>& chain_state) -> std::optional<double> {
       lp_solves.fetch_add(1, std::memory_order_relaxed);
@@ -203,6 +251,8 @@ PowerMinResult minimize_power_for_reward(const dc::DataCenter& dc,
       state->basis = outcome.basis;
       return -outcome.power_kw;
     };
+    const solver::GridChainObjective& objective =
+        use_session ? session_objective : classic_objective;
     // solve_power_at builds the LP from per-call state only, so the sweep
     // honours the Stage-1 threads knob (each round's chains run as one
     // parallel batch).

@@ -188,7 +188,10 @@ RecoveryOutcome RecoveryController::recover(const Assignment& previous) const {
     // The pre-fault plan's Stage-1 basis seeds the re-plan's CRAC sweep: a
     // fault perturbs bounds/RHS (failed nodes, derated CRACs, a new Pconst)
     // but leaves most of the LP intact, so dual-simplex warm starts from the
-    // old optimum converge in a handful of iterations. The sweep's final
+    // old optimum converge in a handful of iterations. The sweep itself
+    // runs on persistent per-chain LP sessions (Stage1Options::lp_session,
+    // on by default), so beyond the seeded chain heads each grid point is a
+    // patch-and-resume, not a rebuild (docs/SOLVER.md §7). The sweep's final
     // re-solve at the selected point always runs the dense oracle cold
     // (stage1.cpp), so the published plan does not depend on the seed.
     ThreeStageOptions replan_options = options_.assign;

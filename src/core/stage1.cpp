@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
+#include <optional>
 
 #include "core/reward.h"
+#include "core/stage1_lp.h"
 #include "dc/crac.h"
 #include "solver/lp.h"
 #include "solver/piecewise.h"
@@ -34,6 +37,11 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
   const std::size_t nn = dc_.num_nodes();
   const std::size_t nc = dc_.num_cracs();
   TAPO_CHECK(crac_out.size() == nc);
+
+  // Phase accounting for docs/SOLVER.md §6: everything up to solve_lp is
+  // per-point fixed cost that the persistent evaluator amortizes away.
+  std::optional<util::telemetry::ScopedTimer> build_timer;
+  if (lp_options.telemetry) build_timer.emplace(lp_options.telemetry, "lp.phase.build");
 
   // Node-level concave reward functions, shared per node type.
   std::vector<solver::PiecewiseLinear> arr_by_type;
@@ -132,6 +140,7 @@ Stage1Solver::LpOutcome Stage1Solver::solve_at(const std::vector<double>& crac_o
                       dc_.p_const_kw - base_power);
   }
 
+  build_timer.reset();
   const solver::LpSolution sol = solve_lp(lp, lp_options);
   LpOutcome out;
   out.status = sol.status;
@@ -194,10 +203,54 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
       options.grid.warm_chain > 1;
   auto round_seed = std::make_shared<solver::LpBasis>(
       options.warm_seed != nullptr ? *options.warm_seed : solver::LpBasis{});
+  // Persistent-session sweep: one resident LP per warm chain, built at the
+  // chain head (seeded from the cross-round incumbent) and patched in place
+  // for every later point of the chain. Falls back to the classic
+  // build-per-point path when disabled or not applicable (dense engine,
+  // chaining off). Sessions are per-chain — a chain runs serially on one
+  // thread and the partition is thread-count-invariant — so this preserves
+  // the bit-identity guarantees of the classic path.
+  const bool use_session = options.lp_session && cross_round_seed;
   std::atomic<std::size_t> lp_solves{0};
   std::atomic<std::size_t> infeasible{0};
   std::atomic<std::size_t> iter_limited{0};
-  const auto objective =
+  struct SessionChainState {
+    std::unique_ptr<Stage1LpEvaluator> eval;
+  };
+  const auto account = [&](const Stage1Solver::LpOutcome& outcome) {
+    if (!outcome.feasible) {
+      infeasible.fetch_add(1, std::memory_order_relaxed);
+      if (outcome.status == solver::LpStatus::IterLimit) {
+        iter_limited.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  const solver::GridChainObjective session_objective =
+      [&, round_seed](const std::vector<double>& crac_out,
+                      std::shared_ptr<void>& chain_state)
+      -> std::optional<double> {
+    lp_solves.fetch_add(1, std::memory_order_relaxed);
+    const util::telemetry::ScopedTimer lp_timer(reg, "stage1.lp");
+    solver::LpOptions lp_opt = options.lp;
+    lp_opt.telemetry = reg;
+    auto* state = static_cast<SessionChainState*>(chain_state.get());
+    const solver::LpBasis* seed = nullptr;
+    if (state == nullptr) {
+      chain_state = std::make_shared<SessionChainState>();
+      state = static_cast<SessionChainState*>(chain_state.get());
+      state->eval = std::make_unique<Stage1LpEvaluator>(
+          dc_, model_, Stage1LpEvaluator::Mode::MaximizeReward, options.psi,
+          0.0, crac_out, lp_opt);
+      seed = round_seed->empty() ? nullptr : round_seed.get();
+    } else {
+      state->eval->move_to(crac_out);
+    }
+    const LpOutcome outcome = state->eval->solve(seed);
+    account(outcome);
+    if (!outcome.feasible) return std::nullopt;
+    return outcome.objective;
+  };
+  const solver::GridChainObjective classic_objective =
       [&, round_seed](const std::vector<double>& crac_out,
                       std::shared_ptr<void>& chain_state)
       -> std::optional<double> {
@@ -233,6 +286,8 @@ Stage1Result Stage1Solver::solve(const Stage1Options& options) const {
     if (!outcome.feasible) return std::nullopt;
     return outcome.objective;
   };
+  const solver::GridChainObjective& objective =
+      use_session ? session_objective : classic_objective;
 
   solver::GridSearchOptions grid = stage1_grid_options(options);
   if (reg || cross_round_seed) {

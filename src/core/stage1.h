@@ -52,6 +52,15 @@ struct Stage1Options {
   // plan is engine-independent). The telemetry pointer inside is ignored;
   // `telemetry` below is used for the lp.* metrics too.
   solver::LpOptions lp;
+  // Persistent per-chain LP sessions (solver/session.h + core/stage1_lp.h):
+  // each warm chain builds its LP once and re-points it at successive grid
+  // points through the structure-preserving patch API, keeping the basis
+  // and LU factors resident instead of rebuilding per point. Only engaged
+  // on the revised engine with grid.warm_chain > 1; the dense engine and
+  // the final Dense polish are unaffected either way. Results stay
+  // bit-identical across thread counts (sessions are per-chain, and the
+  // chain partition is a pure function of the point sequence).
+  bool lp_session = true;
   // Optional warm-start basis for the sweep's chain heads and the first
   // solve of every chain (non-owning; must outlive solve()). Within a chain
   // each LP warm-starts from its predecessor's optimal basis regardless.

@@ -39,6 +39,38 @@ void LpProblem::add_constraint(std::vector<std::pair<std::size_t, double>> terms
   rhs_.push_back(rhs);
 }
 
+void LpProblem::patch_rhs(std::size_t r, double rhs) {
+  TAPO_CHECK_MSG(r < num_constraints(), "patch_rhs: unknown row");
+  rhs_[r] = rhs;
+}
+
+void LpProblem::patch_coefficient(std::size_t r, std::size_t v, double coeff) {
+  TAPO_CHECK_MSG(r < num_constraints(), "patch_coefficient: unknown row");
+  TAPO_CHECK_MSG(v < num_vars(), "patch_coefficient: unknown variable");
+  std::size_t hits = 0;
+  for (auto& [var, value] : rows_[r]) {
+    if (var != v) continue;
+    value = coeff;
+    ++hits;
+  }
+  TAPO_CHECK_MSG(hits == 1,
+                 "patch_coefficient: term must exist exactly once in the row "
+                 "(add a 0.0 placeholder at build time)");
+}
+
+void LpProblem::patch_bound(std::size_t v, double lo, double hi) {
+  TAPO_CHECK_MSG(v < num_vars(), "patch_bound: unknown variable");
+  TAPO_CHECK_MSG(std::isfinite(lo), "variable lower bound must be finite");
+  TAPO_CHECK_MSG(hi >= lo, "variable bounds crossed");
+  lo_[v] = lo;
+  hi_[v] = hi;
+}
+
+void LpProblem::patch_cost(std::size_t v, double obj) {
+  TAPO_CHECK_MSG(v < num_vars(), "patch_cost: unknown variable");
+  obj_[v] = obj;
+}
+
 LpProblem::SparseColumns LpProblem::columns() const {
   SparseColumns csc;
   const std::size_t n = num_vars();

@@ -87,6 +87,25 @@ class LpProblem {
   void add_constraint(std::vector<std::pair<std::size_t, double>> terms,
                       Relation rel, double rhs);
 
+  // ---- in-place patching (structure preserving) ----
+  // Mutate an already-built problem without changing its structure: the
+  // variable/row counts, each row's relation, and the sparsity pattern all
+  // stay fixed. That is what keeps an exported LpBasis — and a resident
+  // LpSession (solver/session.h) — meaningful across patches. The CRAC grid
+  // sweep uses these to re-point one resident LP at successive setpoints
+  // instead of rebuilding it per grid point.
+
+  // Replaces the RHS of row r.
+  void patch_rhs(std::size_t r, double rhs);
+  // Replaces the coefficient of variable v in row r. The (r, v) term must
+  // already exist and be unique in the row; a coefficient that may change
+  // later must be added at build time (0.0 is a valid placeholder).
+  void patch_coefficient(std::size_t r, std::size_t v, double coeff);
+  // Replaces the bounds of variable v (lo finite, hi may be kLpInfinity).
+  void patch_bound(std::size_t v, double lo, double hi);
+  // Replaces the objective coefficient of variable v.
+  void patch_cost(std::size_t v, double obj);
+
   std::size_t num_vars() const { return lo_.size(); }
   std::size_t num_constraints() const { return rel_.size(); }
 

@@ -44,6 +44,53 @@ LuFactorization::LuFactorization(const Matrix& a) : lu_(a) {
       for (std::size_t c = col + 1; c < n; ++c) dst[c] -= factor * src[c];
     }
   }
+  build_sparse_tris();
+}
+
+void LuFactorization::build_sparse_tris() {
+  const std::size_t n = lu_.rows();
+  const auto build = [n](SparseTri& t) {
+    t.start.assign(n + 1, 0);
+    t.idx.clear();
+    t.val.clear();
+  };
+  build(lrow_);
+  build(urow_);
+  build(lcol_);
+  build(ucol_);
+  udiag_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    udiag_[i] = lu_(i, i);
+    const double* r = lu_.row(i);
+    for (std::size_t j = 0; j < i; ++j) {
+      if (r[j] == 0.0) continue;
+      lrow_.idx.push_back(j);
+      lrow_.val.push_back(r[j]);
+    }
+    lrow_.start[i + 1] = lrow_.idx.size();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      if (r[j] == 0.0) continue;
+      urow_.idx.push_back(j);
+      urow_.val.push_back(r[j]);
+    }
+    urow_.start[i + 1] = urow_.idx.size();
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < i; ++j) {
+      const double v = lu_(j, i);
+      if (v == 0.0) continue;
+      ucol_.idx.push_back(j);
+      ucol_.val.push_back(v);
+    }
+    ucol_.start[i + 1] = ucol_.idx.size();
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const double v = lu_(j, i);
+      if (v == 0.0) continue;
+      lcol_.idx.push_back(j);
+      lcol_.val.push_back(v);
+    }
+    lcol_.start[i + 1] = lcol_.idx.size();
+  }
 }
 
 std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
@@ -76,19 +123,22 @@ void LuFactorization::solve_in_place(std::vector<double>& b) const {
   scratch_.resize(n);
   for (std::size_t i = 0; i < n; ++i) scratch_[i] = b[perm_[i]];
   // Forward substitution (L unit diagonal); x_j for j < i already sits in b.
+  // Only the stored nonzeros of each row participate (see SparseTri).
   for (std::size_t i = 0; i < n; ++i) {
     double acc = scratch_[i];
-    const double* r = lu_.row(i);
-    for (std::size_t j = 0; j < i; ++j) acc -= r[j] * b[j];
+    for (std::size_t k = lrow_.start[i]; k < lrow_.start[i + 1]; ++k) {
+      acc -= lrow_.val[k] * b[lrow_.idx[k]];
+    }
     b[i] = acc;
   }
   // Back substitution with U.
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     double acc = b[i];
-    const double* r = lu_.row(i);
-    for (std::size_t j = i + 1; j < n; ++j) acc -= r[j] * b[j];
-    b[i] = acc / r[i];
+    for (std::size_t k = urow_.start[i]; k < urow_.start[i + 1]; ++k) {
+      acc -= urow_.val[k] * b[urow_.idx[k]];
+    }
+    b[i] = acc / udiag_[i];
   }
 }
 
@@ -98,17 +148,22 @@ void LuFactorization::solve_transposed_in_place(std::vector<double>& b) const {
   TAPO_CHECK(b.size() == n);
   // With PA = LU (P the row permutation applied during factorization),
   // A^{-T} b = P^T L^{-T} U^{-T} b.
-  // Step 1: z = U^{-T} b. U^T is lower triangular with U's diagonal.
+  // Step 1: z = U^{-T} b. U^T is lower triangular with U's diagonal; column
+  // i of U holds row i of U^T, so ucol_ drives the substitution.
   for (std::size_t i = 0; i < n; ++i) {
     double acc = b[i];
-    for (std::size_t j = 0; j < i; ++j) acc -= lu_(j, i) * b[j];
-    b[i] = acc / lu_(i, i);
+    for (std::size_t k = ucol_.start[i]; k < ucol_.start[i + 1]; ++k) {
+      acc -= ucol_.val[k] * b[ucol_.idx[k]];
+    }
+    b[i] = acc / udiag_[i];
   }
   // Step 2: w = L^{-T} z. L^T is unit upper triangular.
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
     double acc = b[i];
-    for (std::size_t j = i + 1; j < n; ++j) acc -= lu_(j, i) * b[j];
+    for (std::size_t k = lcol_.start[i]; k < lcol_.start[i + 1]; ++k) {
+      acc -= lcol_.val[k] * b[lcol_.idx[k]];
+    }
     b[i] = acc;
   }
   // Step 3: x = P^T w, i.e. x[perm_[i]] = w[i].

@@ -42,8 +42,24 @@ class LuFactorization {
   double determinant() const;
 
  private:
+  // Sparse view of one triangle of the factors, row- or column-oriented,
+  // entries in ascending index order. The simplex basis is mostly slack
+  // (identity) columns, so L and U are sparse; the in-place kernels iterate
+  // only the stored nonzeros. Skipped terms contribute an exact ±0.0 to the
+  // dense accumulation, so the sparse substitutions produce the same values
+  // as the dense loops (ascending order keeps the summation order, too).
+  struct SparseTri {
+    std::vector<std::size_t> start;  // n + 1 offsets into idx/val
+    std::vector<std::size_t> idx;
+    std::vector<double> val;
+  };
+  void build_sparse_tris();
+
   Matrix lu_;
   std::vector<std::size_t> perm_;
+  SparseTri lrow_, urow_;  // strict lower by row, strict upper by row
+  SparseTri lcol_, ucol_;  // strict lower by column, strict upper by column
+  std::vector<double> udiag_;  // U's diagonal
   // Scratch for the in-place solves; makes those two methods unsafe to call
   // concurrently on one factorization (each simplex instance owns its own).
   mutable std::vector<double> scratch_;

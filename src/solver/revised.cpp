@@ -30,135 +30,30 @@
 // and the exported basis are computed. Extraction therefore depends only
 // on the final (basis set, nonbasic statuses), not on the pivot path, so a
 // warm re-solve landing on the same basis is bit-identical to a cold one.
+//
+// Persistent sessions (solver/session.h) reuse this same class across
+// solves: setup() standardizes once, patch_*() edit the standardized arrays
+// in place, and solve_persistent() resumes the previous solve's basis and
+// factors, repairing them with product-form column-replacement updates
+// instead of refactorizing — see the notes on apply_pending_updates below
+// and docs/SOLVER.md §7.
 #include "solver/revised.h"
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
+#include <unordered_map>
 #include <vector>
 
-#include "solver/lu.h"
 #include "solver/matrix.h"
+#include "solver/revised_core.h"
 #include "util/check.h"
 #include "util/telemetry.h"
 
 namespace tapo::solver::internal {
-namespace {
 
-enum class VarStatus : unsigned char { AtLower, AtUpper, Basic };
-
-// Outcome of one simplex phase.
-enum class Step { Done, Unbounded, Numerical };
-
-// Outcome of one cold-or-warm solve attempt.
-enum class Outcome { Optimal, Infeasible, Unbounded, IterLimit, Restart };
-
-// One product-form update: the basis change that made column `col`
-// (= B_prev^{-1} a_enter) basic in row `row`.
-struct Eta {
-  std::size_t row = 0;
-  std::vector<double> col;
-};
-
-class RevisedSimplex {
- public:
-  RevisedSimplex(const LpProblem& p, const LpOptions& opt)
-      : p_(p), opt_(opt), reg_(opt.telemetry) {}
-
-  LpSolution run();
-
- private:
-  // ---- setup ----
-  void standardize();
-  void cold_start();
-  bool try_warm(const LpBasis& wb);
-
-  // ---- basis inverse ----
-  bool refactorize();
-  void ftran(std::vector<double>& v) const;
-  void btran(std::vector<double>& v) const;
-
-  // ---- column access (structural / slack / artificial uniformly) ----
-  template <typename F>
-  void for_col(std::size_t j, F&& f) const {
-    if (j < slack0_) {
-      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
-        f(col_row_[k], col_val_[k]);
-      }
-    } else if (j < art0_) {
-      f(j - slack0_, 1.0);
-    } else {
-      f(j - art0_, art_sign_[j - art0_]);
-    }
-  }
-  double col_dot(const std::vector<double>& y, std::size_t j) const {
-    double s = 0.0;
-    for_col(j, [&](std::size_t r, double v) { s += y[r] * v; });
-    return s;
-  }
-  void load_col(std::size_t j, std::vector<double>& w) const {
-    w.assign(m_, 0.0);
-    for_col(j, [&](std::size_t r, double v) { w[r] += v; });
-  }
-
-  // ---- state recomputation ----
-  void price_y(const std::vector<double>& cost);
-  void compute_xb();
-  double primal_infeasibility() const;
-
-  // ---- pivoting ----
-  bool push_eta_and_maybe_refactor(std::size_t pivot_row);
-  bool pivot(std::size_t enter, int dir, std::size_t pivot_row, double delta,
-             bool leaving_at_upper);
-  Step primal_iterate(bool phase1, const std::vector<double>& cost);
-  Step dual_iterate();
-  void make_dual_feasible();
-  bool driveout_artificials();
-
-  Outcome solve_once(bool use_warm);
-  LpSolution extract(LpStatus status);
-
-  const LpProblem& p_;
-  LpOptions opt_;
-  util::telemetry::Registry* reg_ = nullptr;
-
-  std::size_t m_ = 0;        // rows
-  std::size_t n_struct_ = 0; // structural variables
-  std::size_t slack0_ = 0;   // first slack index (= n_struct_)
-  std::size_t art0_ = 0;     // first artificial index (= n_struct_ + m_)
-  std::size_t n_total_ = 0;  // n_struct_ + 2 * m_
-
-  // Standardized structural columns (CSC), rel_sign already applied.
-  std::vector<std::size_t> col_start_, col_row_;
-  std::vector<double> col_val_;
-
-  std::vector<double> rel_sign_;  // -1 for GreaterEq rows, +1 otherwise
-  std::vector<char> equality_;    // per row
-  std::vector<double> art_sign_;  // artificial column coefficient, per row
-  std::vector<double> b_;         // standardized rhs
-  std::vector<double> ub_;        // per variable, shifted space
-  std::vector<double> obj2_;      // phase-2 cost over all n_total_ slots
-  double bnorm_ = 0.0;            // max |b_r|, for relative feasibility tests
-
-  std::vector<std::size_t> basis_;  // variable basic in each row
-  std::vector<VarStatus> status_;   // per variable
-  std::vector<double> xb_;          // basic variable values, aligned to basis_
-
-  std::optional<LuFactorization> lu_;
-  std::vector<Eta> etas_;
-
-  std::size_t iterations_ = 0;
-  std::size_t max_iterations_ = 0;
-  bool needs_phase1_ = false;
-  bool warm_used_ = false;
-
-  // Scratch (one per solver instance; the in-place LU solves also use a
-  // per-factorization scratch, so nothing here is shareable across threads).
-  std::vector<double> y_, w_, rho_, wf_;  // wf_: BFRT flip-column scratch
-  std::vector<double> d_;       // nonbasic reduced costs (dual phase only)
-  std::vector<double> alphas_;  // pivot-row entries, refreshed per dual pivot
-};
-
-void RevisedSimplex::standardize() {
+void RevisedCore::standardize() {
+  util::telemetry::ScopedTimer timer(reg_, "lp.phase.standardize");
   m_ = p_.num_constraints();
   n_struct_ = p_.num_vars();
   slack0_ = n_struct_;
@@ -213,14 +108,101 @@ void RevisedSimplex::standardize() {
 
   max_iterations_ =
       opt_.max_iterations ? opt_.max_iterations : 50 * (m_ + n_total_) + 2000;
+
+  build_col_classes();
+
+  if (session_mode_) {
+    // Session bookkeeping: lo_ mirrors the structural lower bounds and
+    // rhs_shift_ the standardized-coefficient shift sum, so every patch can
+    // maintain b_[r] = rel_sign_[r] * rhs_raw[r] - rhs_shift_[r] in O(row)
+    // or O(column) work without replaying the standardization.
+    lo_.resize(n_struct_);
+    for (std::size_t v = 0; v < n_struct_; ++v) lo_[v] = p_.lower_bound(v);
+    rhs_shift_.assign(m_, 0.0);
+    for (std::size_t v = 0; v < n_struct_; ++v) {
+      if (lo_[v] == 0.0) continue;
+      for (std::size_t k = col_start_[v]; k < col_start_[v + 1]; ++k) {
+        rhs_shift_[col_row_[k]] += col_val_[k] * lo_[v];
+      }
+    }
+    col_dirty_.assign(n_struct_, 0);
+    dirty_cols_.clear();
+  }
 }
 
-void RevisedSimplex::cold_start() {
+void RevisedCore::build_col_classes() {
+  // Group bit-identical structural columns for priced_dot. In the Stage-1 LP
+  // every segment variable of a node repeats the node's thermal-distribution
+  // column verbatim, so the pricing scans — the dominant per-iteration cost —
+  // recompute the same dot once per segment; classes collapse that to once
+  // per node. Buckets are keyed by an FNV hash of the column bytes with an
+  // exact byte comparison against each bucket member, so two columns share a
+  // class only when their CSC slices are bitwise equal.
+  col_class_.resize(n_struct_);
+  class_dot_.assign(n_struct_, 0.0);
+  class_stamp_.assign(n_struct_, 0);
+  pricing_epoch_ = 1;  // stamps start at 0 = "never filled"
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> buckets;
+  buckets.reserve(n_struct_);
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    const std::size_t k0 = col_start_[v];
+    const std::size_t len = col_start_[v + 1] - k0;
+    std::uint64_t h = 1469598103934665603ull;
+    const auto mix = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ull;
+    };
+    mix(len);
+    for (std::size_t k = k0; k < k0 + len; ++k) {
+      mix(col_row_[k]);
+      std::uint64_t bits;
+      std::memcpy(&bits, &col_val_[k], sizeof(bits));
+      mix(bits);
+    }
+    std::size_t rep = v;
+    std::vector<std::size_t>& bucket = buckets[h];
+    for (const std::size_t u : bucket) {
+      const std::size_t u0 = col_start_[u];
+      if (col_start_[u + 1] - u0 != len) continue;
+      if (len == 0 ||
+          (std::memcmp(&col_row_[u0], &col_row_[k0],
+                       len * sizeof(col_row_[0])) == 0 &&
+           std::memcmp(&col_val_[u0], &col_val_[k0],
+                       len * sizeof(col_val_[0])) == 0)) {
+        rep = u;
+        break;
+      }
+    }
+    if (rep == v) bucket.push_back(v);
+    col_class_[v] = rep;
+  }
+}
+
+void RevisedCore::demote_col_class(std::size_t v) {
+  // A patched column no longer matches its class content. Make it a
+  // singleton; if it was the representative, re-point the surviving members
+  // (whose columns still hold the old content) at one of their own.
+  if (col_class_[v] == v) {
+    std::size_t new_rep = n_struct_;
+    for (std::size_t u = 0; u < n_struct_; ++u) {
+      if (u == v || col_class_[u] != v) continue;
+      if (new_rep == n_struct_) new_rep = u;
+      col_class_[u] = new_rep;
+    }
+  }
+  col_class_[v] = v;
+}
+
+void RevisedCore::cold_start() {
   status_.assign(n_total_, VarStatus::AtLower);
   basis_.assign(m_, 0);
   xb_.assign(m_, 0.0);
   needs_phase1_ = false;
   for (std::size_t r = 0; r < m_; ++r) {
+    // Re-derive the artificial's sign from the *current* rhs: patches can
+    // flip the sign of b_r after standardize(), and an artificial basic at
+    // |b_r| is only a consistent start when its column is sign(b_r) * e_r.
+    art_sign_[r] = b_[r] < 0.0 ? -1.0 : 1.0;
     ub_[art0_ + r] = 0.0;
     // The slack can start basic whenever its value b_r is within [0, ub]:
     // inequality rows with b_r >= 0, equality rows with b_r == 0. Everything
@@ -239,7 +221,7 @@ void RevisedSimplex::cold_start() {
   }
 }
 
-bool RevisedSimplex::try_warm(const LpBasis& wb) {
+bool RevisedCore::try_warm(const LpBasis& wb) {
   if (wb.status.size() != n_struct_ + m_) return false;
   std::size_t n_basic = 0;
   for (const LpBasisStatus s : wb.status) {
@@ -274,7 +256,8 @@ bool RevisedSimplex::try_warm(const LpBasis& wb) {
   return true;
 }
 
-bool RevisedSimplex::refactorize() {
+bool RevisedCore::refactorize() {
+  util::telemetry::ScopedTimer timer(reg_, "lp.phase.factorize");
   Matrix bm(m_, m_);
   for (std::size_t r = 0; r < m_; ++r) {
     for_col(basis_[r], [&](std::size_t row, double v) { bm(row, r) = v; });
@@ -283,11 +266,18 @@ bool RevisedSimplex::refactorize() {
   if (!f.ok()) return false;
   lu_ = std::move(f);
   etas_.clear();
+  if (session_mode_) {
+    // A from-scratch rebuild reads the patched CSC directly, so any queued
+    // column updates are incorporated for free.
+    for (const std::size_t v : dirty_cols_) col_dirty_[v] = 0;
+    dirty_cols_.clear();
+    ++session_.refactorizations;
+  }
   if (reg_) reg_->count("lp.refactorizations");
   return true;
 }
 
-void RevisedSimplex::ftran(std::vector<double>& v) const {
+void RevisedCore::ftran(std::vector<double>& v) const {
   lu_->solve_in_place(v);
   for (const Eta& e : etas_) {
     const double t = v[e.row] / e.col[e.row];
@@ -298,7 +288,7 @@ void RevisedSimplex::ftran(std::vector<double>& v) const {
   }
 }
 
-void RevisedSimplex::btran(std::vector<double>& v) const {
+void RevisedCore::btran(std::vector<double>& v) const {
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
     const Eta& e = *it;
     double s = 0.0;
@@ -309,13 +299,14 @@ void RevisedSimplex::btran(std::vector<double>& v) const {
   lu_->solve_transposed_in_place(v);
 }
 
-void RevisedSimplex::price_y(const std::vector<double>& cost) {
+void RevisedCore::price_y(const std::vector<double>& cost) {
   y_.assign(m_, 0.0);
   for (std::size_t r = 0; r < m_; ++r) y_[r] = cost[basis_[r]];
   btran(y_);
+  ++pricing_epoch_;  // invalidate priced_dot memos of the previous vector
 }
 
-void RevisedSimplex::compute_xb() {
+void RevisedCore::compute_xb() {
   w_ = b_;
   for (std::size_t j = 0; j < n_total_; ++j) {
     if (status_[j] != VarStatus::AtUpper) continue;
@@ -327,7 +318,7 @@ void RevisedSimplex::compute_xb() {
   xb_ = w_;
 }
 
-double RevisedSimplex::primal_infeasibility() const {
+double RevisedCore::primal_infeasibility() const {
   double worst = 0.0;
   for (std::size_t r = 0; r < m_; ++r) {
     worst = std::max(worst, -xb_[r]);
@@ -337,7 +328,7 @@ double RevisedSimplex::primal_infeasibility() const {
   return worst;
 }
 
-bool RevisedSimplex::push_eta_and_maybe_refactor(std::size_t pivot_row) {
+bool RevisedCore::push_eta_and_maybe_refactor(std::size_t pivot_row) {
   etas_.push_back(Eta{pivot_row, w_});
   if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
     if (!refactorize()) return false;
@@ -345,8 +336,8 @@ bool RevisedSimplex::push_eta_and_maybe_refactor(std::size_t pivot_row) {
   return true;
 }
 
-bool RevisedSimplex::pivot(std::size_t enter, int dir, std::size_t pivot_row,
-                           double delta, bool leaving_at_upper) {
+bool RevisedCore::pivot(std::size_t enter, int dir, std::size_t pivot_row,
+                        double delta, bool leaving_at_upper) {
   // w_ holds B^{-1} a_enter. Mirrors SimplexSolver::apply_pivot, with the
   // tableau elimination replaced by an eta-file append.
   for (std::size_t r = 0; r < m_; ++r) {
@@ -361,7 +352,9 @@ bool RevisedSimplex::pivot(std::size_t enter, int dir, std::size_t pivot_row,
   return push_eta_and_maybe_refactor(pivot_row);
 }
 
-Step RevisedSimplex::primal_iterate(bool phase1, const std::vector<double>& cost) {
+RevisedCore::Step RevisedCore::primal_iterate(bool phase1,
+                                              const std::vector<double>& cost) {
+  util::telemetry::ScopedTimer timer(reg_, "lp.phase.pivot");
   const double tol = opt_.tolerance;
   // Switch to Bland's anti-cycling rule if Dantzig pricing stalls (same
   // threshold as the dense oracle).
@@ -383,7 +376,7 @@ Step RevisedSimplex::primal_iterate(bool phase1, const std::vector<double>& cost
     for (std::size_t v = 0; v < n_total_; ++v) {
       if (status_[v] == VarStatus::Basic) continue;
       if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
-      const double d = cost[v] - col_dot(y_, v);
+      const double d = cost[v] - priced_dot(y_, v);
       double gain = 0.0;
       int candidate_dir = 0;
       if (status_[v] == VarStatus::AtLower && d > tol) {
@@ -467,7 +460,7 @@ Step RevisedSimplex::primal_iterate(bool phase1, const std::vector<double>& cost
   }
 }
 
-void RevisedSimplex::make_dual_feasible() {
+void RevisedCore::make_dual_feasible() {
   // Nonbasic reduced costs with the wrong sign are repaired by bound flips
   // where a finite opposite bound exists (flips do not change y, so one pass
   // suffices). A wrong-sign reduced cost on an infinite-bound column — which
@@ -489,7 +482,7 @@ void RevisedSimplex::make_dual_feasible() {
   for (std::size_t v = 0; v < n_total_; ++v) {
     if (status_[v] == VarStatus::Basic) continue;
     if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
-    const double d = obj2_[v] - col_dot(y_, v);
+    const double d = obj2_[v] - priced_dot(y_, v);
     d_[v] = d;
     if (status_[v] == VarStatus::AtLower && d > opt_.tolerance) {
       if (std::isfinite(ub_[v])) {
@@ -506,7 +499,7 @@ void RevisedSimplex::make_dual_feasible() {
   if (flipped) compute_xb();
 }
 
-Step RevisedSimplex::dual_iterate() {
+RevisedCore::Step RevisedCore::dual_iterate() {
   // Bounded-variable dual simplex with a bound-flipping ratio test (BFRT):
   // restores primal feasibility while keeping dual feasibility. Used only on
   // warm starts whose basis became primal infeasible through an RHS, bound
@@ -515,6 +508,7 @@ Step RevisedSimplex::dual_iterate() {
   // flipped within the step (its reduced cost crosses zero at a smaller dual
   // step than the eventual pivot's, so the flip is dual feasible), and the
   // basis change is spent only on the candidate that finishes the repair.
+  util::telemetry::ScopedTimer timer(reg_, "lp.phase.pivot");
   const std::size_t bland_after = 10 * (m_ + n_total_) + 500;
   std::size_t local_iter = 0;
 
@@ -553,6 +547,7 @@ Step RevisedSimplex::dual_iterate() {
     rho_.assign(m_, 0.0);
     rho_[rl] = 1.0;
     btran(rho_);
+    ++pricing_epoch_;  // the alpha scan below prices against the new rho_
 
     // Collect every eligible entering candidate (moves the violated basic
     // variable toward its bound) with its dual ratio. alphas_ keeps the
@@ -563,7 +558,7 @@ Step RevisedSimplex::dual_iterate() {
     for (std::size_t v = 0; v < n_total_; ++v) {
       if (status_[v] == VarStatus::Basic) continue;
       if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
-      const double alpha = col_dot(rho_, v);
+      const double alpha = priced_dot(rho_, v);
       alphas_[v] = alpha;
       bool eligible = false;
       if (!upper_viol) {
@@ -674,7 +669,7 @@ Step RevisedSimplex::dual_iterate() {
   }
 }
 
-bool RevisedSimplex::driveout_artificials() {
+bool RevisedCore::driveout_artificials() {
   // Swap remaining (zero-valued) basic artificials for any non-artificial
   // column with a usable pivot in their row; redundant rows keep a zero
   // artificial pinned by ub = 0. Mirrors the dense oracle, with the tableau
@@ -714,42 +709,20 @@ bool RevisedSimplex::driveout_artificials() {
   return true;
 }
 
-Outcome RevisedSimplex::solve_once(bool use_warm) {
-  warm_used_ = false;
-  if (use_warm && try_warm(*opt_.warm_start)) {
-    warm_used_ = true;
-    // Relative feasibility test: compute_xb's residual scales with |b|.
-    if (primal_infeasibility() > std::max(10 * opt_.tolerance, 1e-10 * bnorm_)) {
-      make_dual_feasible();
-      const Step sd = dual_iterate();
-      if (sd == Step::Numerical) return Outcome::Restart;
-      if (iterations_ >= max_iterations_) return Outcome::IterLimit;
-      // Dual feasibility was established before the dual phase, so dual
-      // unboundedness certifies primal infeasibility — concluding here is
-      // what makes warm sweeps cheap on infeasible grid points (no cold
-      // phase-1 re-derivation).
-      if (sd == Step::Unbounded) return Outcome::Infeasible;
-    }
-  } else {
-    if (use_warm) return Outcome::Restart;  // rejected basis: count fallback
-    cold_start();
-    if (!refactorize()) return Outcome::Restart;  // unit basis; cannot happen
-    if (needs_phase1_) {
-      // Phase 1: maximize -(sum of artificials).
-      std::vector<double> c1(n_total_, 0.0);
-      for (std::size_t v = art0_; v < n_total_; ++v) c1[v] = -1.0;
-      const Step s1 = primal_iterate(/*phase1=*/true, c1);
-      if (s1 == Step::Numerical) return Outcome::Restart;
-      if (iterations_ >= max_iterations_) return Outcome::IterLimit;
-      double infeasibility = 0.0;
-      for (std::size_t r = 0; r < m_; ++r) {
-        if (basis_[r] >= art0_) infeasibility += xb_[r];
-      }
-      if (infeasibility > 1e-6) return Outcome::Infeasible;
-      if (!driveout_artificials()) return Outcome::Restart;
-    }
+RevisedCore::Outcome RevisedCore::finish_from_basis(bool repair_primal) {
+  if (repair_primal &&
+      // Relative feasibility test: compute_xb's residual scales with |b|.
+      primal_infeasibility() > std::max(10 * opt_.tolerance, 1e-10 * bnorm_)) {
+    make_dual_feasible();
+    const Step sd = dual_iterate();
+    if (sd == Step::Numerical) return Outcome::Restart;
+    if (iterations_ >= max_iterations_) return Outcome::IterLimit;
+    // Dual feasibility was established before the dual phase, so dual
+    // unboundedness certifies primal infeasibility — concluding here is
+    // what makes warm sweeps cheap on infeasible grid points (no cold
+    // phase-1 re-derivation).
+    if (sd == Step::Unbounded) return Outcome::Infeasible;
   }
-
   const Step s2 = primal_iterate(/*phase1=*/false, obj2_);
   if (s2 == Step::Numerical) return Outcome::Restart;
   if (iterations_ >= max_iterations_) return Outcome::IterLimit;
@@ -757,7 +730,41 @@ Outcome RevisedSimplex::solve_once(bool use_warm) {
   return Outcome::Optimal;
 }
 
-LpSolution RevisedSimplex::extract(LpStatus status) {
+RevisedCore::Outcome RevisedCore::cold_attempt() {
+  cold_start();
+  if (!refactorize()) return Outcome::Restart;  // unit basis; cannot happen
+  if (needs_phase1_) {
+    // Phase 1: maximize -(sum of artificials).
+    std::vector<double> c1(n_total_, 0.0);
+    for (std::size_t v = art0_; v < n_total_; ++v) c1[v] = -1.0;
+    const Step s1 = primal_iterate(/*phase1=*/true, c1);
+    if (s1 == Step::Numerical) return Outcome::Restart;
+    if (iterations_ >= max_iterations_) return Outcome::IterLimit;
+    double infeasibility = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      if (basis_[r] >= art0_) infeasibility += xb_[r];
+    }
+    if (infeasibility > 1e-6) return Outcome::Infeasible;
+    if (!driveout_artificials()) return Outcome::Restart;
+  }
+  // repair_primal=false: phase 1 just established feasibility, and skipping
+  // the repair keeps the cold control flow (and its results) identical to
+  // the pre-session engine — phase-1 leftovers below the acceptance
+  // threshold must not trigger a dual phase here.
+  return finish_from_basis(/*repair_primal=*/false);
+}
+
+RevisedCore::Outcome RevisedCore::solve_once(bool use_warm) {
+  warm_used_ = false;
+  if (use_warm && try_warm(*opt_.warm_start)) {
+    warm_used_ = true;
+    return finish_from_basis(/*repair_primal=*/true);
+  }
+  if (use_warm) return Outcome::Restart;  // rejected basis: count fallback
+  return cold_attempt();
+}
+
+LpSolution RevisedCore::extract(LpStatus status) {
   LpSolution sol;
   sol.status = status;
   sol.iterations = iterations_;
@@ -795,7 +802,8 @@ LpSolution RevisedSimplex::extract(LpStatus status) {
       compute_xb();
     } else {
       std::sort(basis_.begin(), basis_.end());
-      if (refactorize()) compute_xb();
+      extract_refactor_ok_ = refactorize();
+      if (extract_refactor_ok_) compute_xb();
     }
   }
 
@@ -819,7 +827,7 @@ LpSolution RevisedSimplex::extract(LpStatus status) {
   return sol;
 }
 
-LpSolution RevisedSimplex::run() {
+LpSolution RevisedCore::run() {
   standardize();
   const bool want_warm = opt_.warm_start != nullptr && !opt_.warm_start->empty();
   for (int attempt = 0; attempt < 2; ++attempt) {
@@ -841,10 +849,232 @@ LpSolution RevisedSimplex::run() {
   return extract(LpStatus::IterLimit);
 }
 
-}  // namespace
+// ---- persistent-session implementation ----
+
+void RevisedCore::setup() {
+  TAPO_CHECK_MSG(!session_mode_, "setup() must run exactly once");
+  session_mode_ = true;
+  standardize();
+}
+
+void RevisedCore::patch_rhs(std::size_t r, double rhs) {
+  TAPO_CHECK_MSG(session_mode_ && r < m_, "patch_rhs: bad row / no setup()");
+  b_[r] = rel_sign_[r] * rhs - rhs_shift_[r];
+  b_dirty_ = true;
+}
+
+void RevisedCore::patch_coefficient(std::size_t r, std::size_t v,
+                                    double coeff) {
+  TAPO_CHECK_MSG(session_mode_ && r < m_ && v < n_struct_,
+                 "patch_coefficient: bad row/var / no setup()");
+  // The CSC column is row-sorted, so the entry is found by binary search.
+  const auto first = col_row_.begin() + static_cast<std::ptrdiff_t>(col_start_[v]);
+  const auto last = col_row_.begin() + static_cast<std::ptrdiff_t>(col_start_[v + 1]);
+  const auto it = std::lower_bound(first, last, r);
+  TAPO_CHECK_MSG(it != last && *it == r,
+                 "patch_coefficient: term absent from the standardized matrix");
+  const std::size_t k =
+      static_cast<std::size_t>(it - col_row_.begin());
+  const double new_std = rel_sign_[r] * coeff;
+  const double old_std = col_val_[k];
+  if (new_std == old_std) return;
+  demote_col_class(v);  // its content now diverges from its pricing class
+  col_val_[k] = new_std;
+  if (lo_[v] != 0.0) {
+    const double shift_delta = (new_std - old_std) * lo_[v];
+    rhs_shift_[r] += shift_delta;
+    b_[r] -= shift_delta;
+  }
+  b_dirty_ = true;
+  // A basic column's change invalidates the resident factorization; queue a
+  // product-form column-replacement update (applied at the next solve).
+  if (resident_ok_ && status_.size() > v && status_[v] == VarStatus::Basic &&
+      !col_dirty_[v]) {
+    col_dirty_[v] = 1;
+    dirty_cols_.push_back(v);
+  }
+}
+
+void RevisedCore::patch_bound(std::size_t v, double lo, double hi) {
+  TAPO_CHECK_MSG(session_mode_ && v < n_struct_,
+                 "patch_bound: bad var / no setup()");
+  if (lo != lo_[v]) {
+    const double dlo = lo - lo_[v];
+    for (std::size_t k = col_start_[v]; k < col_start_[v + 1]; ++k) {
+      const double shift_delta = col_val_[k] * dlo;
+      rhs_shift_[col_row_[k]] += shift_delta;
+      b_[col_row_[k]] -= shift_delta;
+    }
+    lo_[v] = lo;
+  }
+  ub_[v] = std::isfinite(hi) ? hi - lo : kLpInfinity;
+  b_dirty_ = true;
+  // Same revalidation as try_warm: an upper status needs a finite, positive
+  // range under the new bounds.
+  if (!status_.empty() && status_[v] == VarStatus::AtUpper &&
+      !(std::isfinite(ub_[v]) && ub_[v] > 0.0)) {
+    status_[v] = VarStatus::AtLower;
+  }
+}
+
+void RevisedCore::patch_cost(std::size_t v, double obj) {
+  TAPO_CHECK_MSG(session_mode_ && v < n_struct_,
+                 "patch_cost: bad var / no setup()");
+  // Dual feasibility is re-established by the resume path (dual repair or
+  // primal phase 2), so a cost change needs no factor work at all.
+  obj2_[v] = obj;
+}
+
+bool RevisedCore::apply_pending_updates() {
+  if (dirty_cols_.empty()) return true;
+  // When the patch set rivals the refactorization budget, one rebuild from
+  // the already-patched CSC is cheaper (and tighter numerically) than a
+  // long chain of sequential column replacements.
+  const std::size_t budget = std::min<std::size_t>(
+      std::max<std::size_t>(1, opt_.refactor_interval), m_ / 4 + 1);
+  if (dirty_cols_.size() + etas_.size() >= budget) {
+    return refactorize();  // clears the dirty queue
+  }
+  // Sequential product-form column replacement (Forrest–Tomlin style, spike
+  // kept as a full eta column): for a basic column v in basis row r whose
+  // values changed, w = B^{-1} a_new through the *current* factors gives
+  // the replacement eta {r, w}. A small pivot w_r means the new column is
+  // near-dependent on the rest of the basis through these factors — the
+  // stability monitor demotes that to a refactorization.
+  // Iterate by index: refactorize() inside the loop would clear the queue.
+  std::vector<std::size_t> queue;
+  queue.swap(dirty_cols_);
+  for (const std::size_t v : queue) col_dirty_[v] = 0;
+  for (const std::size_t v : queue) {
+    if (status_[v] != VarStatus::Basic) continue;
+    std::size_t r = m_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (basis_[i] == v) { r = i; break; }
+    }
+    TAPO_CHECK_MSG(r < m_, "basic column missing from basis");
+    load_col(v, w_);
+    ftran(w_);
+    double wmax = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) wmax = std::max(wmax, std::fabs(w_[i]));
+    if (std::fabs(w_[r]) < 1e-6 * std::max(1.0, wmax)) {
+      ++session_.stability_refactorizations;
+      if (reg_) reg_->count("lp.session.stability_refactorizations");
+      return refactorize();
+    }
+    etas_.push_back(Eta{r, w_});
+    ++session_.ft_updates;
+    if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
+      if (!refactorize()) return false;
+      break;  // remaining queue entries were absorbed by the rebuild
+    }
+  }
+  return true;
+}
+
+bool RevisedCore::residual_ok() {
+  // ||b_eff - B xb||_inf against the patched system, using the same
+  // effective rhs as compute_xb. Catches accumulated factor error that the
+  // spike check alone cannot see.
+  rho_ = b_;
+  for (std::size_t j = 0; j < n_total_; ++j) {
+    if (status_[j] != VarStatus::AtUpper) continue;
+    const double u = ub_[j];
+    if (u == 0.0 || !std::isfinite(u)) continue;
+    for_col(j, [&](std::size_t r, double v) { rho_[r] -= v * u; });
+  }
+  for (std::size_t r = 0; r < m_; ++r) {
+    const double x = xb_[r];
+    if (x == 0.0) continue;
+    for_col(basis_[r], [&](std::size_t row, double v) { rho_[row] -= v * x; });
+  }
+  double worst = 0.0;
+  for (std::size_t r = 0; r < m_; ++r) worst = std::max(worst, std::fabs(rho_[r]));
+  return worst <= 1e-7 * std::max(1.0, bnorm_);
+}
+
+LpSolution RevisedCore::solve_persistent(const LpBasis* seed) {
+  TAPO_CHECK_MSG(session_mode_, "solve_persistent: setup() must run first");
+  iterations_ = 0;
+  if (b_dirty_) {
+    bnorm_ = 0.0;
+    for (std::size_t r = 0; r < m_; ++r) {
+      bnorm_ = std::max(bnorm_, std::fabs(b_[r]));
+    }
+    b_dirty_ = false;
+  }
+
+  const bool have_seed = seed != nullptr && !seed->empty();
+  const bool warm_available = have_seed || resident_ok_;
+  warm_used_ = false;
+  bool decided = false;
+  Outcome out = Outcome::Restart;
+
+  if (have_seed) {
+    // Chain-head import: one refactorization, like PR 4's warm path. The
+    // import replaces the resident state wholesale (try_warm rebuilds the
+    // status vector and refactorizes, flushing any queued column updates).
+    if (try_warm(*seed)) {
+      ++session_.seed_imports;
+      warm_used_ = true;
+      out = finish_from_basis(/*repair_primal=*/true);
+      decided = out != Outcome::Restart;
+    }
+  } else if (resident_ok_) {
+    // Resident resume: no rebuild, no standardization, no import
+    // refactorization. Queued column updates are applied as product-form
+    // replacements; the residual monitor guards the recomputed xb.
+    if (apply_pending_updates()) {
+      compute_xb();
+      if (residual_ok()) {
+        ++session_.resident_resumes;
+        warm_used_ = true;
+        out = finish_from_basis(/*repair_primal=*/true);
+        decided = out != Outcome::Restart;
+      }
+    }
+  }
+
+  if (!decided) {
+    if (warm_available) {
+      ++session_.fallbacks;
+      if (reg_) reg_->count("lp.fallbacks");
+    }
+    warm_used_ = false;
+    out = cold_attempt();
+    if (out == Outcome::Restart) {
+      // Mirror run(): one retry, then report the cap-style failure.
+      if (reg_) reg_->count("lp.fallbacks");
+      out = cold_attempt();
+      if (out == Outcome::Restart) out = Outcome::IterLimit;
+    }
+  }
+
+  LpStatus status = LpStatus::IterLimit;
+  switch (out) {
+    case Outcome::Optimal: status = LpStatus::Optimal; break;
+    case Outcome::Infeasible: status = LpStatus::Infeasible; break;
+    case Outcome::Unbounded: status = LpStatus::Unbounded; break;
+    default: break;
+  }
+  extract_refactor_ok_ = true;
+  LpSolution sol = extract(status);
+  // Resident state is reusable when the factors still describe basis_:
+  // after a canonical Optimal extraction (sorted basis + fresh or already-
+  // canonical LU), or after a warm Infeasible conclusion (the certificate
+  // basis is dual feasible and artificial-free — resuming from it is the
+  // session form of PR 4's certificate warm-start across an infeasible
+  // stretch of grid points).
+  resident_ok_ = (status == LpStatus::Optimal && extract_refactor_ok_) ||
+                 (status == LpStatus::Infeasible && warm_used_);
+  if (!resident_ok_) {
+    for (const std::size_t v : dirty_cols_) col_dirty_[v] = 0;
+    dirty_cols_.clear();
+  }
+  return sol;
+}
 
 LpSolution solve_lp_revised(const LpProblem& problem, const LpOptions& options) {
-  RevisedSimplex solver(problem, options);
+  RevisedCore solver(problem, options);
   return solver.run();
 }
 

@@ -1,0 +1,231 @@
+// Internal: the revised-simplex engine class behind solve_lp_revised and
+// LpSession. Not part of the public solver API — include solver/lp.h (one-
+// shot solves) or solver/session.h (persistent sessions) instead.
+//
+// The class has two entry points over one set of state:
+//   * run() — the one-shot path used by solve_lp: standardize, warm/cold
+//     attempts, canonical extraction. Behavior-identical to the pre-session
+//     engine (docs/SOLVER.md §1–§5).
+//   * the persistent-session interface — setup() once, then any number of
+//     patch_*() calls followed by solve_persistent(). Patches edit the
+//     resident standardized arrays in place (CSC values, shifted RHS,
+//     bounds, costs); a patched column that is currently basic is queued for
+//     a product-form (Forrest–Tomlin-style) column-replacement update of the
+//     resident factorization instead of a refactorization. A stability
+//     monitor (spike-pivot and residual checks) demotes updates to a
+//     refactorization and, failing that, to the cold path, so a session
+//     solve is never less correct than a fresh one (docs/SOLVER.md §7).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "solver/lp.h"
+#include "solver/lu.h"
+
+namespace tapo::solver::internal {
+
+class RevisedCore {
+ public:
+  RevisedCore(const LpProblem& p, const LpOptions& opt)
+      : p_(p), opt_(opt), reg_(opt.telemetry) {}
+
+  // One-shot solve (standardize + warm/cold attempts + canonical extract).
+  LpSolution run();
+
+  // ---- persistent-session interface (driven by LpSession) ----
+
+  // Counters a session accumulates across its lifetime; never reset.
+  struct SessionCounters {
+    std::uint64_t ft_updates = 0;        // product-form column replacements
+    std::uint64_t refactorizations = 0;  // LU rebuilds (any reason)
+    std::uint64_t stability_refactorizations = 0;  // monitor-triggered ones
+    std::uint64_t fallbacks = 0;      // resident/seed state abandoned for cold
+    std::uint64_t resident_resumes = 0;  // solves served from resident state
+    std::uint64_t seed_imports = 0;      // chain-head basis imports
+  };
+
+  // Standardizes the resident problem once; call before the first
+  // solve_persistent() and never again (the structure is fixed).
+  void setup();
+
+  // In-place patches of the standardized arrays. The caller (LpSession)
+  // applies the same patch to the LpProblem this core references, so
+  // extraction — which reads bounds/objective through the problem — stays
+  // consistent. patch_coefficient requires the CSC entry to exist.
+  void patch_rhs(std::size_t r, double rhs);
+  void patch_coefficient(std::size_t r, std::size_t v, double coeff);
+  void patch_bound(std::size_t v, double lo, double hi);
+  void patch_cost(std::size_t v, double obj);
+
+  // Solves the resident (patched) problem. A non-empty seed re-imports that
+  // basis (one refactorization — the chain-head cost); otherwise the
+  // previous solve's basis and factors are resumed with pending column
+  // updates applied. Falls back to a cold solve on any validation or
+  // numerical failure. Extraction is canonical, exactly like run().
+  LpSolution solve_persistent(const LpBasis* seed);
+
+  const SessionCounters& session_counters() const { return session_; }
+
+ private:
+  enum class VarStatus : unsigned char { AtLower, AtUpper, Basic };
+  enum class Step { Done, Unbounded, Numerical };
+  enum class Outcome { Optimal, Infeasible, Unbounded, IterLimit, Restart };
+
+  // One product-form update: the basis change that made column `col`
+  // (= B_prev^{-1} a_enter) basic in row `row`. Kept dense: entering columns
+  // mix the (dense) thermal rows through B^{-1}, so a sparse representation
+  // was measured to cost more in indirection than it saves in flops.
+  struct Eta {
+    std::size_t row = 0;
+    std::vector<double> col;
+  };
+
+  // ---- setup ----
+  void standardize();
+  void build_col_classes();
+  void demote_col_class(std::size_t v);
+  void cold_start();
+  bool try_warm(const LpBasis& wb);
+
+  // ---- basis inverse ----
+  bool refactorize();
+  void ftran(std::vector<double>& v) const;
+  void btran(std::vector<double>& v) const;
+
+  // ---- column access (structural / slack / artificial uniformly) ----
+  template <typename F>
+  void for_col(std::size_t j, F&& f) const {
+    if (j < slack0_) {
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        f(col_row_[k], col_val_[k]);
+      }
+    } else if (j < art0_) {
+      f(j - slack0_, 1.0);
+    } else {
+      f(j - art0_, art_sign_[j - art0_]);
+    }
+  }
+  double col_dot(const std::vector<double>& y, std::size_t j) const {
+    double s = 0.0;
+    for_col(j, [&](std::size_t r, double v) { s += y[r] * v; });
+    return s;
+  }
+  void load_col(std::size_t j, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    for_col(j, [&](std::size_t r, double v) { w[r] += v; });
+  }
+
+  // Memoized pricing dot. Structural columns that are bit-identical (every
+  // Stage-1 segment variable of a node carries its node's thermal column)
+  // share a class; the dot against the current pricing vector is computed
+  // once per class per pricing epoch. The class representative's entries are
+  // the same values in the same order as the member's, so the memoized sum
+  // is bit-identical to col_dot — pivot selection cannot change.
+  double priced_dot(const std::vector<double>& y, std::size_t j) {
+    if (j >= slack0_) return col_dot(y, j);  // slack/artificial: O(1) anyway
+    const std::size_t rep = col_class_[j];
+    if (class_stamp_[rep] != pricing_epoch_) {
+      class_dot_[rep] = col_dot(y, rep);
+      class_stamp_[rep] = pricing_epoch_;
+    }
+    return class_dot_[rep];
+  }
+
+  // ---- state recomputation ----
+  void price_y(const std::vector<double>& cost);
+  void compute_xb();
+  double primal_infeasibility() const;
+
+  // ---- pivoting ----
+  bool push_eta_and_maybe_refactor(std::size_t pivot_row);
+  bool pivot(std::size_t enter, int dir, std::size_t pivot_row, double delta,
+             bool leaving_at_upper);
+  Step primal_iterate(bool phase1, const std::vector<double>& cost);
+  Step dual_iterate();
+  void make_dual_feasible();
+  bool driveout_artificials();
+
+  // Shared solve tail from an established (warm, resident, or post-phase-1)
+  // basis: optional dual repair of primal infeasibility, then primal
+  // phase 2. repair_primal is false on the cold path, where phase 1 already
+  // guarantees feasibility (matching the pre-session control flow exactly).
+  Outcome finish_from_basis(bool repair_primal);
+  Outcome cold_attempt();
+  Outcome solve_once(bool use_warm);
+  LpSolution extract(LpStatus status);
+
+  // ---- persistent-session internals ----
+  // Applies queued column-replacement updates to the resident factorization;
+  // refactorizes on a spike pivot or a full eta file. False = numerical
+  // failure (caller falls back to cold).
+  bool apply_pending_updates();
+  // Residual stability check of the resident solution xb against the
+  // patched system; part of the session's stability monitor.
+  bool residual_ok();
+
+  const LpProblem& p_;
+  LpOptions opt_;
+  util::telemetry::Registry* reg_ = nullptr;
+
+  std::size_t m_ = 0;         // rows
+  std::size_t n_struct_ = 0;  // structural variables
+  std::size_t slack0_ = 0;    // first slack index (= n_struct_)
+  std::size_t art0_ = 0;      // first artificial index (= n_struct_ + m_)
+  std::size_t n_total_ = 0;   // n_struct_ + 2 * m_
+
+  // Standardized structural columns (CSC), rel_sign already applied.
+  std::vector<std::size_t> col_start_, col_row_;
+  std::vector<double> col_val_;
+
+  // Pricing dedup state (see priced_dot). col_class_[v] is the smallest
+  // structural index whose column is bit-identical to v's (v itself for a
+  // singleton); patch_coefficient demotes the patched column to a singleton.
+  std::vector<std::size_t> col_class_;
+  std::vector<double> class_dot_;          // memoized dot, indexed by rep
+  std::vector<std::uint64_t> class_stamp_; // epoch the memo slot was filled
+  std::uint64_t pricing_epoch_ = 1;        // bumped when y_/rho_ change
+
+  std::vector<double> rel_sign_;  // -1 for GreaterEq rows, +1 otherwise
+  std::vector<char> equality_;    // per row
+  std::vector<double> art_sign_;  // artificial column coefficient, per row
+  std::vector<double> b_;         // standardized rhs
+  std::vector<double> ub_;        // per variable, shifted space
+  std::vector<double> obj2_;      // phase-2 cost over all n_total_ slots
+  double bnorm_ = 0.0;            // max |b_r|, for relative feasibility tests
+
+  std::vector<std::size_t> basis_;  // variable basic in each row
+  std::vector<VarStatus> status_;   // per variable
+  std::vector<double> xb_;          // basic variable values, aligned to basis_
+
+  std::optional<LuFactorization> lu_;
+  std::vector<Eta> etas_;
+
+  std::size_t iterations_ = 0;
+  std::size_t max_iterations_ = 0;
+  bool needs_phase1_ = false;
+  bool warm_used_ = false;
+
+  // Session state. lo_ mirrors the structural lower bounds and rhs_shift_
+  // the per-row sum of a_std * lo, so patches can maintain the standardized
+  // b_ = rel_sign * rhs_raw - rhs_shift incrementally. dirty_cols_ queues
+  // patched columns that were basic at patch time for factor updates.
+  std::vector<double> lo_;         // n_struct_, session mode only
+  std::vector<double> rhs_shift_;  // m_, session mode only
+  std::vector<std::size_t> dirty_cols_;
+  std::vector<char> col_dirty_;  // n_struct_, dedupes dirty_cols_
+  bool session_mode_ = false;
+  bool resident_ok_ = false;  // basis_/status_/factors describe a prior solve
+  bool b_dirty_ = false;      // bnorm_ needs a refresh before the next solve
+  bool extract_refactor_ok_ = true;  // canonical refactorize succeeded
+  SessionCounters session_;
+
+  // Scratch (one per solver instance; the in-place LU solves also use a
+  // per-factorization scratch, so nothing here is shareable across threads).
+  std::vector<double> y_, w_, rho_, wf_;  // wf_: BFRT flip-column scratch
+  std::vector<double> d_;       // nonbasic reduced costs (dual phase only)
+  std::vector<double> alphas_;  // pivot-row entries, refreshed per dual pivot
+};
+
+}  // namespace tapo::solver::internal

@@ -1,0 +1,82 @@
+// Persistent warm LP solving: one resident problem, patched in place and
+// re-solved many times.
+//
+// solve_lp (lp.h) prices every solve at full fixed cost: build the
+// LpProblem, standardize it into CSC form, refactorize the warm basis, and
+// refactorize once more for canonical extraction. docs/SOLVER.md §6 measured
+// that those fixed costs — not simplex pivots — are why the dense tableau
+// kept winning wall-clock even at a ~0.9 warm-hit rate. An LpSession pays
+// them once: it owns the problem, its standardized arrays, the basis and the
+// LU factors across solves, and callers mutate the resident problem through
+// the structure-preserving patch API instead of rebuilding it.
+//
+// Between solves the factorization is maintained, not rebuilt: pivots extend
+// the product-form eta file as usual, and a patched column that is currently
+// basic gets a Forrest–Tomlin-style column-replacement update at the next
+// solve. A stability monitor (spike-pivot check on each replacement,
+// residual check on the resumed solution) demotes updates to a
+// refactorization, and any failure beyond that falls back to the engine's
+// cold path — a session solve is never less correct than a fresh one, and
+// canonical extraction keeps its results a function of the final basis
+// alone, exactly like solve_lp. Protocol details: docs/SOLVER.md §7.
+//
+// The CRAC grid sweep (core/stage1.cpp), powermin attempts and recovery
+// re-plans hold one session per warm chain. Not thread-safe; one session
+// belongs to one chain on one thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "solver/lp.h"
+
+namespace tapo::solver {
+
+class LpSession {
+ public:
+  // Lifetime counters, cumulative across all solves of this session.
+  struct Stats {
+    std::uint64_t solves = 0;
+    std::uint64_t patches = 0;            // patch_* calls accepted
+    std::uint64_t ft_updates = 0;         // product-form column replacements
+    std::uint64_t refactorizations = 0;   // LU rebuilds (any reason)
+    std::uint64_t stability_refactorizations = 0;  // monitor-triggered
+    std::uint64_t fallbacks = 0;          // warm/resident state abandoned
+    std::uint64_t resident_resumes = 0;   // solves resumed without any rebuild
+    std::uint64_t seed_imports = 0;       // solves warm-started from a seed
+  };
+
+  // Takes ownership of the built problem and standardizes it once
+  // (telemetry: lp.session.build). The engine choice in options is ignored —
+  // a session is always the revised engine (the dense oracle has no
+  // persistent form); warm_start is ignored in favor of per-solve seeds.
+  LpSession(LpProblem problem, const LpOptions& options);
+  ~LpSession();
+  LpSession(LpSession&&) noexcept;
+  LpSession& operator=(LpSession&&) noexcept;
+
+  // Structure-preserving patches, applied to the resident standardized
+  // arrays AND the owned LpProblem (same contracts as LpProblem::patch_*).
+  void patch_rhs(std::size_t r, double rhs);
+  void patch_coefficient(std::size_t r, std::size_t v, double coeff);
+  void patch_bound(std::size_t v, double lo, double hi);
+  void patch_cost(std::size_t v, double obj);
+
+  // Solves the resident problem. A non-null, non-empty seed re-imports that
+  // basis (chain-head / cross-round seeding); otherwise the previous
+  // solve's basis and factors are resumed in place. Results — including the
+  // exported basis and the infeasibility-certificate convention — match
+  // solve_lp with the revised engine on an identically patched problem.
+  LpSolution solve(const LpBasis* seed = nullptr);
+
+  // The resident problem (patched state); useful for oracle re-solves.
+  const LpProblem& problem() const;
+
+  Stats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tapo::solver

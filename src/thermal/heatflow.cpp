@@ -87,13 +87,13 @@ Temperatures HeatFlowModel::solve(const std::vector<double>& crac_out,
   return temps;
 }
 
-LinearResponse HeatFlowModel::linearize(const std::vector<double>& crac_out) const {
+HeatFlowModel::AffineOffsets HeatFlowModel::offsets(
+    const std::vector<double>& crac_out) const {
   const std::size_t nc = dc_.num_cracs();
   const std::size_t nn = dc_.num_nodes();
   TAPO_CHECK(crac_out.size() == nc);
 
-  LinearResponse lr;
-  lr.crac_out = crac_out;
+  AffineOffsets off;
 
   // Tout_n = K_c * Tcrac + K_p * p with K_c = (I-G_nn)^-1 G_nc; the
   // power-sensitivity blocks derived from K_p are precomputed in the
@@ -101,20 +101,29 @@ LinearResponse HeatFlowModel::linearize(const std::vector<double>& crac_out) con
   const std::vector<double> k_c_t = fixed_point_->solve(g_nc_.multiply(crac_out));
 
   // node_in = G_nc Tcrac + G_nn Tout_n
-  lr.node_in_coeff = node_in_coeff_;
-  lr.node_in0 = g_nc_.multiply(crac_out);
+  off.node_in0 = g_nc_.multiply(crac_out);
   {
     const std::vector<double> extra = g_nn_.multiply(k_c_t);
-    for (std::size_t j = 0; j < nn; ++j) lr.node_in0[j] += extra[j];
+    for (std::size_t j = 0; j < nn; ++j) off.node_in0[j] += extra[j];
   }
 
   // crac_in = G_cc Tcrac + G_cn Tout_n
-  lr.crac_in_coeff = crac_in_coeff_;
-  lr.crac_in0 = g_cc_.multiply(crac_out);
+  off.crac_in0 = g_cc_.multiply(crac_out);
   {
     const std::vector<double> extra = g_cn_.multiply(k_c_t);
-    for (std::size_t i = 0; i < nc; ++i) lr.crac_in0[i] += extra[i];
+    for (std::size_t i = 0; i < nc; ++i) off.crac_in0[i] += extra[i];
   }
+  return off;
+}
+
+LinearResponse HeatFlowModel::linearize(const std::vector<double>& crac_out) const {
+  LinearResponse lr;
+  lr.crac_out = crac_out;
+  AffineOffsets off = offsets(crac_out);
+  lr.node_in0 = std::move(off.node_in0);
+  lr.crac_in0 = std::move(off.crac_in0);
+  lr.node_in_coeff = node_in_coeff_;
+  lr.crac_in_coeff = crac_in_coeff_;
   return lr;
 }
 

@@ -54,6 +54,24 @@ class HeatFlowModel {
 
   LinearResponse linearize(const std::vector<double>& crac_out) const;
 
+  // The setpoint-dependent part of LinearResponse alone. The coefficient
+  // blocks are CRAC-independent (see node_in_coeff()/crac_in_coeff()), so a
+  // caller that keeps a resident LP across grid points — the persistent
+  // Stage-1 evaluator — re-reads only these offsets per point instead of
+  // copying the full matrices. linearize() is implemented on top of this,
+  // so the two views are arithmetically identical.
+  struct AffineOffsets {
+    std::vector<double> node_in0;  // NCN
+    std::vector<double> crac_in0;  // NCRAC
+  };
+  AffineOffsets offsets(const std::vector<double>& crac_out) const;
+
+  // CRAC-independent inlet sensitivities to node power (kW), precomputed in
+  // the constructor: node_in_coeff()(j, i) is degC at node j's inlet per kW
+  // at node i; crac_in_coeff() likewise for CRAC inlets.
+  const solver::Matrix& node_in_coeff() const { return node_in_coeff_; }
+  const solver::Matrix& crac_in_coeff() const { return crac_in_coeff_; }
+
   // Total electrical CRAC power for a steady state (sum of Eq. 3 over units).
   double total_crac_power_kw(const Temperatures& temps) const;
 

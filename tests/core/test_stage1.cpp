@@ -176,11 +176,12 @@ TEST(Stage1, EngineAndThreadCountDoNotChangeThePlan) {
   const Stage1Result reference = solver.solve();
   ASSERT_TRUE(reference.feasible);
 
-  std::vector<Stage1Options> variants(4);
+  std::vector<Stage1Options> variants(5);
   variants[0].lp.engine = solver::LpEngine::Dense;
   variants[1].threads = 1;
   variants[2].threads = 4;
   variants[3].grid.warm_chain = 1;  // chaining disabled
+  variants[4].lp_session = false;   // per-point rebuild instead of sessions
   for (std::size_t i = 0; i < variants.size(); ++i) {
     const Stage1Result got = solver.solve(variants[i]);
     ASSERT_TRUE(got.feasible) << "variant " << i;
@@ -189,6 +190,38 @@ TEST(Stage1, EngineAndThreadCountDoNotChangeThePlan) {
     EXPECT_EQ(got.node_core_power_kw, reference.node_core_power_kw)
         << "variant " << i;
     EXPECT_EQ(got.compute_power_kw, reference.compute_power_kw) << "variant " << i;
+  }
+}
+
+TEST(Stage1, SessionSweepIsBitIdenticalAcrossThreadCounts) {
+  // The persistent-session sweep (the default) holds one resident LP per
+  // warm chain. Chains are a pure function of the point sequence, so the
+  // published plan must stay bit-identical for any worker count, and must
+  // match the session-free rebuild-per-point sweep.
+  const auto scenario = test::make_small_scenario(45, 12, 2);
+  const thermal::HeatFlowModel model(scenario.dc);
+  const Stage1Solver solver(scenario.dc, model);
+
+  Stage1Options no_session;
+  no_session.lp_session = false;
+  const Stage1Result reference = solver.solve(no_session);
+  ASSERT_TRUE(reference.feasible);
+
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+    Stage1Options with_session;
+    with_session.lp_session = true;
+    with_session.threads = threads;
+    const Stage1Result got = solver.solve(with_session);
+    ASSERT_TRUE(got.feasible) << "threads " << threads;
+    EXPECT_EQ(got.objective, reference.objective) << "threads " << threads;
+    EXPECT_EQ(got.crac_out_c, reference.crac_out_c) << "threads " << threads;
+    EXPECT_EQ(got.node_core_power_kw, reference.node_core_power_kw)
+        << "threads " << threads;
+    EXPECT_EQ(got.compute_power_kw, reference.compute_power_kw)
+        << "threads " << threads;
+    EXPECT_EQ(got.crac_power_kw, reference.crac_power_kw)
+        << "threads " << threads;
   }
 }
 
