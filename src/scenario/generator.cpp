@@ -120,13 +120,21 @@ std::optional<Scenario> generate_scenario(const ScenarioConfig& config) {
   dc.redline_node_c = config.redline_node_c;
   dc.redline_crac_c = config.redline_crac_c;
 
-  // Uniform node-type mix (Section VI.B).
+  // Node-type mix (Section VI.B): uniform by default, weighted when the
+  // config skews the park. The uniform path keeps the original uniform_int
+  // draw so existing seeds reproduce bit-identically.
   {
+    TAPO_CHECK_MSG(config.node_type_mix.empty() ||
+                       config.node_type_mix.size() == dc.node_types.size(),
+                   "one mix weight per node type required");
     util::Rng rng = master.fork(kNodeMix);
     dc.nodes.resize(config.num_nodes);
     for (auto& node : dc.nodes) {
-      node.type = static_cast<std::size_t>(
-          rng.uniform_int(0, static_cast<std::int64_t>(dc.node_types.size()) - 1));
+      node.type =
+          config.node_type_mix.empty()
+              ? static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(dc.node_types.size()) - 1))
+              : rng.pick_weighted(config.node_type_mix);
     }
   }
   dc.layout = dc::make_hot_cold_aisle_layout(config.num_nodes, config.num_cracs);

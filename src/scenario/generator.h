@@ -34,6 +34,12 @@ struct ScenarioConfig {
   // {0.6, 1.0} from the SPECpower throughput ratio).
   std::vector<double> node_type_performance = {0.6, 1.0};
 
+  // Node-type mix weights, one per node type. Empty keeps the paper's
+  // uniform draw (bit-identical to the pre-weight generator for any seed);
+  // non-empty draws each node's type proportionally to the weights, which is
+  // how scenario profiles express skewed machine parks.
+  std::vector<double> node_type_mix;
+
   double redline_node_c = 25.0;
   double redline_crac_c = 40.0;
   double pconst_factor = 0.5;  // Pconst = Pmin + factor*(Pmax-Pmin)

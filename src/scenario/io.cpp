@@ -20,6 +20,8 @@ std::string hex_double(double v) {
   return buf;
 }
 
+}  // namespace
+
 // Names may contain spaces, '%' or newlines; they are stored URL-style so
 // every name round-trips and saving can never fail.
 std::string encode_name(const std::string& name) {
@@ -53,6 +55,8 @@ std::string decode_name(const std::string& encoded) {
   }
   return out;
 }
+
+namespace {
 
 // Whitespace-delimited token scanner that tracks the current line, so every
 // parse error can say where in the document it happened.

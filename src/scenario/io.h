@@ -46,4 +46,10 @@ LoadResult load_data_center(std::istream& is);
 bool save_data_center_file(const dc::DataCenter& dc, const std::string& path);
 LoadResult load_data_center_file(const std::string& path);
 
+// Percent-encoding shared by every tapo text format for free-form names:
+// space, '%' and newline are escaped so any name survives a line- or
+// token-oriented document; decode inverts encode for arbitrary input.
+std::string encode_name(const std::string& name);
+std::string decode_name(const std::string& encoded);
+
 }  // namespace tapo::scenario

@@ -31,6 +31,28 @@ double tracking_error_at(const dc::DataCenter& dc,
   return weight_sum > 0.0 ? err_sum / weight_sum : 0.0;
 }
 
+// Deepest per-core backlog (seconds of admitted-but-unfinished work) at time
+// `now`, normalized by the longest relative deadline in the workload. With
+// the admission check on this can never exceed 1.0 — a task is only admitted
+// if it finishes inside its own deadline, which caps every core's queue at
+// the slowest type's deadline. Values climbing past 1.0 therefore mean
+// unguarded admission is stacking work faster than the park executes it,
+// which is the runaway the soak anomaly pass watches for.
+double backlog_depth(const dc::DataCenter& dc,
+                     const std::vector<double>& core_free_time, double now) {
+  double deepest = 0.0;
+  for (const double free_at : core_free_time) {
+    if (free_at - now > deepest) deepest = free_at - now;
+  }
+  double max_deadline = 0.0;
+  for (const auto& type : dc.task_types) {
+    if (type.relative_deadline > max_deadline) {
+      max_deadline = type.relative_deadline;
+    }
+  }
+  return max_deadline > 0.0 ? deepest / max_deadline : 0.0;
+}
+
 }  // namespace
 
 util::Status SimOptions::validate() const {
@@ -153,6 +175,7 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
                     tracking_error_at(dc, assignment, scheduler, t));
         reg->sample("sim.queue_depth", t,
                     static_cast<double>(engine.pending()));
+        reg->sample("scheduler.backlog", t, backlog_depth(dc, core_free_time, t));
       });
     }
   }
@@ -468,6 +491,7 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
                     tracking_error_at(dc, plans.back(), *scheduler, t));
         reg->sample("sim.queue_depth", t,
                     static_cast<double>(engine.pending()));
+        reg->sample("scheduler.backlog", t, backlog_depth(dc, core_free_time, t));
         reg->sample("sim.active_power_kw", t, active_power_kw);
       });
     }

@@ -1,5 +1,6 @@
 #include "util/args.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
@@ -18,8 +19,19 @@ void ArgParser::add_flag(const std::string& name, const std::string& help) {
 
 void ArgParser::add_option(const std::string& name, const std::string& help,
                            const std::string& default_value) {
+  add_option(name, '\0', help, default_value);
+}
+
+void ArgParser::add_option(const std::string& name, char short_name,
+                           const std::string& help,
+                           const std::string& default_value) {
   TAPO_CHECK_MSG(!flags_.count(name) && !options_.count(name), "duplicate arg");
-  options_[name] = Option{help, default_value, default_value};
+  if (short_name != '\0') {
+    TAPO_CHECK_MSG(short_name != 'h', "-h is reserved for --help");
+    TAPO_CHECK_MSG(!short_options_.count(short_name), "duplicate short arg");
+    short_options_[short_name] = name;
+  }
+  options_[name] = Option{help, default_value, default_value, short_name};
   order_.push_back(name);
 }
 
@@ -37,6 +49,27 @@ bool ArgParser::parse(const std::vector<std::string>& args) {
       return false;
     }
     if (arg.rfind("--", 0) != 0) {
+      // One-letter alias: "-j8" (attached value) or "-j 8" (next argument).
+      // Only letters are candidates, so "-5" stays a positional.
+      if (arg.size() >= 2 && arg[0] == '-' &&
+          std::isalpha(static_cast<unsigned char>(arg[1]))) {
+        const auto alias = short_options_.find(arg[1]);
+        if (alias == short_options_.end()) {
+          error_ = "unknown argument " + arg;
+          return false;
+        }
+        Option& opt = options_.at(alias->second);
+        if (arg.size() > 2) {
+          opt.value = arg.substr(2);
+        } else {
+          if (i + 1 >= args.size()) {
+            error_ = "option -" + std::string(1, arg[1]) + " requires a value";
+            return false;
+          }
+          opt.value = args[++i];
+        }
+        continue;
+      }
       positional_.push_back(arg);
       continue;
     }
@@ -112,8 +145,10 @@ std::string ArgParser::usage() const {
       os << "  --" << name << "\n      " << it->second.help << "\n";
     } else {
       const Option& opt = options_.at(name);
-      os << "  --" << name << "=<value>   (default: " << opt.default_value
-         << ")\n      " << opt.help << "\n";
+      os << "  --" << name << "=<value>";
+      if (opt.short_name != '\0') os << ", -" << opt.short_name << "<value>";
+      os << "   (default: " << opt.default_value << ")\n      " << opt.help
+         << "\n";
     }
   }
   os << "  --help\n      print this message\n";

@@ -1,0 +1,298 @@
+#include "util/telemetry_read.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+namespace tapo::util::telemetry {
+
+namespace {
+
+// Minimal JSON value tree; only what Registry::to_json emits.
+struct JsonValue {
+  enum class Kind { kNull, kNumber, kString, kBool, kArray, kObject };
+  Kind kind = Kind::kNull;
+  double number = 0.0;
+  bool boolean = false;
+  std::string string;
+  std::vector<JsonValue> array;
+  // Parse order preserved; lookups are linear (snapshot objects are small).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  util::StatusOr<JsonValue> parse() {
+    util::StatusOr<JsonValue> v = value();
+    if (!v.ok()) return v;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing content after document");
+    return v;
+  }
+
+ private:
+  util::Status fail(const std::string& message) const {
+    std::size_t line = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') ++line;
+    }
+    return util::Status::InvalidArgument("line " + std::to_string(line) +
+                                         ": " + message);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    skip_ws();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  util::StatusOr<JsonValue> value() {
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string_value();
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue{};
+        }
+        return fail("malformed literal");
+      case 't':
+      case 'f': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kBool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+          v.boolean = true;
+          pos_ += 4;
+          return v;
+        }
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return v;
+        }
+        return fail("malformed literal");
+      }
+      case '\0': return fail("unexpected end of document");
+      default: return number();
+    }
+  }
+
+  util::StatusOr<JsonValue> object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      if (peek() != '"') return fail("expected a string key");
+      util::StatusOr<JsonValue> key = string_value();
+      if (!key.ok()) return key.status();
+      if (peek() != ':') return fail("expected ':'");
+      ++pos_;
+      util::StatusOr<JsonValue> item = value();
+      if (!item.ok()) return item.status();
+      v.object.emplace_back(std::move(key->string), std::move(*item));
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return v;
+      }
+      return fail("expected ',' or '}'");
+    }
+  }
+
+  util::StatusOr<JsonValue> array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      util::StatusOr<JsonValue> item = value();
+      if (!item.ok()) return item.status();
+      v.array.push_back(std::move(*item));
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return v;
+      }
+      return fail("expected ',' or ']'");
+    }
+  }
+
+  util::StatusOr<JsonValue> string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    ++pos_;  // '"'
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            char* end = nullptr;
+            const std::string hex = text_.substr(pos_, 4);
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (!end || end != hex.c_str() + 4) {
+              return fail("malformed \\u escape");
+            }
+            pos_ += 4;
+            // The registry only emits \u00XX (control characters).
+            c = static_cast<char>(code);
+            break;
+          }
+          default: c = esc; break;  // \" \\ \/
+        }
+      }
+      v.string.push_back(c);
+    }
+    if (pos_ >= text_.size()) return fail("unterminated string");
+    ++pos_;  // closing '"'
+    return v;
+  }
+
+  util::StatusOr<JsonValue> number() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    if (end == pos_) return fail("expected a value");
+    char* parse_end = nullptr;
+    const std::string token = text_.substr(pos_, end - pos_);
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = std::strtod(token.c_str(), &parse_end);
+    if (!parse_end || *parse_end != '\0') {
+      return fail("malformed number '" + token + "'");
+    }
+    pos_ = end;
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<Snapshot> parse_snapshot(const std::string& text) {
+  util::StatusOr<JsonValue> parsed = Parser(text).parse();
+  if (!parsed.ok()) return parsed.status();
+  const JsonValue& root = *parsed;
+  if (root.kind != JsonValue::Kind::kObject) {
+    return util::Status::InvalidArgument("document is not a JSON object");
+  }
+  const JsonValue* schema = root.find("schema");
+  if (!schema || schema->kind != JsonValue::Kind::kString ||
+      schema->string != "tapo-telemetry-v1") {
+    return util::Status::InvalidArgument(
+        "missing or unexpected schema (want tapo-telemetry-v1)");
+  }
+
+  Snapshot snapshot;
+  if (const JsonValue* counters = root.find("counters")) {
+    if (counters->kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("'counters' is not an object");
+    }
+    for (const auto& [name, v] : counters->object) {
+      if (v.kind != JsonValue::Kind::kNumber || v.number < 0) {
+        return util::Status::InvalidArgument("counter '" + name +
+                                             "' is not a non-negative number");
+      }
+      snapshot.counters[name] = static_cast<std::uint64_t>(v.number);
+    }
+  }
+  if (const JsonValue* gauges = root.find("gauges")) {
+    if (gauges->kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("'gauges' is not an object");
+    }
+    for (const auto& [name, v] : gauges->object) {
+      if (v.kind == JsonValue::Kind::kNull) continue;  // non-finite at record
+      if (v.kind != JsonValue::Kind::kNumber) {
+        return util::Status::InvalidArgument("gauge '" + name +
+                                             "' is not a number");
+      }
+      snapshot.gauges[name] = v.number;
+    }
+  }
+  if (const JsonValue* series = root.find("series")) {
+    if (series->kind != JsonValue::Kind::kObject) {
+      return util::Status::InvalidArgument("'series' is not an object");
+    }
+    for (const auto& [name, v] : series->object) {
+      if (v.kind != JsonValue::Kind::kArray) {
+        return util::Status::InvalidArgument("series '" + name +
+                                             "' is not an array");
+      }
+      std::vector<Sample>& samples = snapshot.series[name];
+      samples.reserve(v.array.size());
+      for (const JsonValue& point : v.array) {
+        if (point.kind != JsonValue::Kind::kArray || point.array.size() != 2 ||
+            point.array[0].kind != JsonValue::Kind::kNumber ||
+            point.array[1].kind != JsonValue::Kind::kNumber) {
+          return util::Status::InvalidArgument(
+              "series '" + name + "' has a sample that is not [x, value]");
+        }
+        samples.push_back({point.array[0].number, point.array[1].number});
+      }
+    }
+  }
+  return snapshot;
+}
+
+util::StatusOr<Snapshot> read_snapshot(std::istream& is) {
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return parse_snapshot(buffer.str());
+}
+
+util::StatusOr<Snapshot> read_snapshot_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return util::Status::NotFound("cannot open '" + path + "'");
+  util::StatusOr<Snapshot> result = read_snapshot(is);
+  if (!result.ok()) return result.status().with_context(path);
+  return result;
+}
+
+}  // namespace tapo::util::telemetry

@@ -1,0 +1,53 @@
+// Telemetry series readback: parses a "tapo-telemetry-v1" JSON document
+// (the exact shape Registry::to_json emits, docs/OBSERVABILITY.md) back into
+// counters, gauges and series.
+//
+// This is the read half the soak harness needs: `tapo_soak` re-opens the
+// per-scenario telemetry it (or any earlier run, or tapo_cli) archived and
+// runs the anomaly pass over the recovered series, so regression checking
+// works on files, not only on a live in-process Registry. The parser is a
+// deliberately small recursive-descent reader over the registry's own output
+// grammar — objects, arrays, strings, numbers, null — with a line-numbered
+// InvalidArgument for anything malformed; it is not a general JSON library.
+// Timers and the event log are skipped: readback serves the anomaly
+// detectors, which consume only monotonic counters and (x, value) series.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/telemetry.h"
+
+namespace tapo::util::telemetry {
+
+// The deterministic slice of one registry snapshot. Samples keep their
+// serialized order (Registry emits them in insertion order).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::vector<Sample>> series;
+
+  std::uint64_t counter(const std::string& name) const {
+    const auto it = counters.find(name);
+    return it == counters.end() ? 0 : it->second;
+  }
+  const std::vector<Sample>* find_series(const std::string& name) const {
+    const auto it = series.find(name);
+    return it == series.end() ? nullptr : &it->second;
+  }
+};
+
+// Parses one snapshot document. Fails with InvalidArgument ("line N: ...")
+// on malformed JSON, a missing/mismatched "schema" field, or non-numeric
+// metric payloads; never aborts on operator input. Null-valued gauges
+// (serialized non-finite doubles) are dropped from the snapshot.
+util::StatusOr<Snapshot> read_snapshot(std::istream& is);
+util::StatusOr<Snapshot> parse_snapshot(const std::string& text);
+// File wrapper; errors gain a "<path>:" prefix.
+util::StatusOr<Snapshot> read_snapshot_file(const std::string& path);
+
+}  // namespace tapo::util::telemetry

@@ -1,0 +1,74 @@
+// Differential coverage of the committed scenarios/ library: every profile
+// parses, validates, round-trips through the canonical serializer exactly,
+// and produces a feasible three-stage plan — unless it is tagged
+// `expect infeasible`, in which case no plan may exist. TAPO_SCENARIOS_DIR
+// is injected by tests/CMakeLists.txt so the suite runs from any build dir.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "scenario/profile.h"
+#include "soak/runner.h"
+
+namespace tapo::scenario {
+namespace {
+
+std::vector<ScenarioProfile> committed_library() {
+  util::StatusOr<std::vector<ScenarioProfile>> loaded =
+      load_profile_dir(TAPO_SCENARIOS_DIR);
+  EXPECT_TRUE(loaded.ok()) << loaded.status().to_string();
+  return loaded.ok() ? *loaded : std::vector<ScenarioProfile>{};
+}
+
+TEST(Library, HasTheCommittedProfiles) {
+  const auto profiles = committed_library();
+  EXPECT_GE(profiles.size(), 20u);
+  std::set<std::string> names;
+  for (const auto& p : profiles) names.insert(p.name);
+  EXPECT_EQ(names.size(), profiles.size()) << "duplicate profile names";
+  // Anchors the catalog: the paper-scale baseline and the stress ceiling.
+  EXPECT_TRUE(names.count("paper-150"));
+  EXPECT_TRUE(names.count("stress-600"));
+  EXPECT_TRUE(names.count("infeasible-redline-30"));
+}
+
+TEST(Library, EveryProfileValidatesAndRoundTripsExactly) {
+  for (const ScenarioProfile& p : committed_library()) {
+    EXPECT_TRUE(p.validate().ok()) << p.name;
+    const std::string canonical = serialize_profile(p);
+    util::StatusOr<ScenarioProfile> reparsed = parse_profile(canonical);
+    ASSERT_TRUE(reparsed.ok()) << p.name << ": "
+                               << reparsed.status().to_string();
+    EXPECT_EQ(*reparsed, p) << p.name;
+    EXPECT_EQ(serialize_profile(*reparsed), canonical) << p.name;
+    // Content hash is a pure function of the semantic profile.
+    EXPECT_EQ(profile_hash(*reparsed), profile_hash(p)) << p.name;
+  }
+}
+
+TEST(Library, HashesAreUniqueAcrossTheSuite) {
+  std::set<std::uint64_t> hashes;
+  const auto profiles = committed_library();
+  for (const auto& p : profiles) hashes.insert(profile_hash(p));
+  EXPECT_EQ(hashes.size(), profiles.size());
+}
+
+// Plan-only pass over the whole library: every profile must reach the
+// feasibility its tag promises. The DES phase is exercised by the soak
+// smoke job and tests/soak/test_runner.cpp; skipping it here keeps the
+// tier-1 suite fast even with the 600-node stress profile included.
+TEST(Library, EveryProfilePlansAsTagged) {
+  soak::SoakOptions options;
+  options.run_sim = false;
+  const soak::SoakResult result =
+      soak::run_suite(committed_library(), options);
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  for (const soak::ScenarioOutcome& outcome : result.outcomes) {
+    EXPECT_TRUE(outcome.pass) << outcome.name << ": " << outcome.report_json;
+  }
+}
+
+}  // namespace
+}  // namespace tapo::scenario

@@ -1,0 +1,205 @@
+// Soak runner determinism and cache behavior, in the style of
+// tests/sim/test_faults.cpp bit-identity coverage: the same suite must
+// produce byte-identical per-scenario reports at thread counts {1, 2, 8}
+// and from a warm cache, cache keys must follow the documented
+// invalidation rules (semantic change -> re-run; cosmetic change -> hit),
+// and the planted-regression fixture must fail the suite.
+#include "soak/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "scenario/profile.h"
+
+namespace tapo::soak {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Small, fast profiles: the determinism contract is scale-independent.
+std::vector<scenario::ScenarioProfile> small_suite() {
+  std::vector<scenario::ScenarioProfile> profiles;
+  scenario::ScenarioProfile a;
+  a.name = "runner-a";
+  a.nodes = 10;
+  a.cracs = 1;
+  a.sim.duration_s = 30.0;
+  a.sim.warmup_s = 3.0;
+  a.sim.samples = 32;
+  profiles.push_back(a);
+
+  scenario::ScenarioProfile b = a;
+  b.name = "runner-b";
+  b.nodes = 12;
+  b.seed = 4;
+  b.arrival.kind = scenario::ArrivalOverlay::Kind::kScale;
+  b.arrival.scale = 1.2;
+  profiles.push_back(b);
+
+  scenario::ScenarioProfile c = a;
+  c.name = "runner-c faults";
+  c.nodes = 14;
+  scenario::FaultStorm storm;
+  storm.seed = 3;
+  storm.horizon_s = 25.0;
+  storm.node_failures = 2;
+  storm.node_repair_after_s = 8.0;
+  c.faults = storm;
+  profiles.push_back(c);
+  return profiles;
+}
+
+std::vector<std::string> reports_of(const SoakResult& result) {
+  std::vector<std::string> reports;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    reports.push_back(o.report_json);
+  }
+  return reports;
+}
+
+struct TempDir {
+  explicit TempDir(const std::string& stem)
+      : path(fs::temp_directory_path() / stem) {
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+  fs::path path;
+};
+
+TEST(Runner, ReportsAreBitIdenticalAcrossThreadCounts) {
+  const auto suite = small_suite();
+  SoakOptions options;
+  options.threads = 1;
+  const SoakResult serial = run_suite(suite, options);
+  ASSERT_TRUE(serial.status.ok());
+  EXPECT_EQ(serial.executed, suite.size());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{8}}) {
+    SoakOptions parallel_options;
+    parallel_options.threads = threads;
+    const SoakResult parallel = run_suite(suite, parallel_options);
+    ASSERT_TRUE(parallel.status.ok());
+    EXPECT_EQ(reports_of(parallel), reports_of(serial))
+        << "threads=" << threads;
+  }
+}
+
+TEST(Runner, WarmCacheSkipsAndReproducesReportsExactly) {
+  const auto suite = small_suite();
+  TempDir cache("tapo_soak_cache_test");
+  SoakOptions options;
+  options.threads = 2;
+  options.cache_dir = cache.path.string();
+
+  const SoakResult cold = run_suite(suite, options);
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_EQ(cold.executed, suite.size());
+  EXPECT_EQ(cold.cached, 0u);
+
+  const SoakResult warm = run_suite(suite, options);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_EQ(warm.executed, 0u);
+  EXPECT_EQ(warm.cached, suite.size());
+  EXPECT_EQ(reports_of(warm), reports_of(cold));
+  for (const ScenarioOutcome& o : warm.outcomes) {
+    EXPECT_TRUE(o.from_cache) << o.name;
+  }
+}
+
+TEST(Runner, SemanticChangeInvalidatesOnlyThatEntry) {
+  auto suite = small_suite();
+  TempDir cache("tapo_soak_cache_invalidation_test");
+  SoakOptions options;
+  options.threads = 2;
+  options.cache_dir = cache.path.string();
+  const SoakResult cold = run_suite(suite, options);
+  ASSERT_TRUE(cold.status.ok());
+
+  // Rule 1: a semantic field change re-keys the profile and re-runs it.
+  suite[1].seed += 1;
+  const SoakResult after = run_suite(suite, options);
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_EQ(after.executed, 1u);
+  EXPECT_EQ(after.cached, suite.size() - 1);
+  EXPECT_FALSE(after.outcomes[1].from_cache);
+  EXPECT_NE(after.outcomes[1].hash, cold.outcomes[1].hash);
+
+  // Rule 2: cosmetic re-serialization (comments, blank lines) keys
+  // identically — the hash covers the canonical form, not the file bytes.
+  util::StatusOr<scenario::ScenarioProfile> cosmetic =
+      scenario::parse_profile("# a comment\n\n" +
+                              scenario::serialize_profile(suite[0]));
+  ASSERT_TRUE(cosmetic.ok());
+  EXPECT_EQ(scenario::profile_hash(*cosmetic),
+            scenario::profile_hash(suite[0]));
+
+  // Rule 3: the salt fences runner-behavior versions; it is part of the
+  // hash preimage, so bumping it in a future change re-keys everything.
+  EXPECT_NE(std::string(scenario::kProfileHashSalt).find("tapo-scenarios"),
+            std::string::npos);
+}
+
+TEST(Runner, TelemetryArtifactWrittenOnExecutionNotOnCacheHit) {
+  const auto suite = small_suite();
+  TempDir cache("tapo_soak_artifact_cache");
+  TempDir out("tapo_soak_artifact_out");
+  SoakOptions options;
+  options.threads = 2;
+  options.cache_dir = cache.path.string();
+  options.out_dir = out.path.string();
+  const SoakResult cold = run_suite(suite, options);
+  ASSERT_TRUE(cold.status.ok());
+  std::size_t artifacts = 0;
+  for (const auto& e : fs::directory_iterator(out.path)) {
+    (void)e;
+    ++artifacts;
+  }
+  EXPECT_EQ(artifacts, suite.size());
+  fs::remove_all(out.path);
+  fs::create_directories(out.path);
+  const SoakResult warm = run_suite(suite, options);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_EQ(warm.cached, suite.size());
+  EXPECT_TRUE(fs::is_empty(out.path)) << "cache hits must not rewrite artifacts";
+}
+
+TEST(Runner, PlantedRegressionFixtureFailsTheSuite) {
+  util::StatusOr<std::vector<scenario::ScenarioProfile>> planted =
+      scenario::load_profile_dir(TAPO_PLANTED_DIR);
+  ASSERT_TRUE(planted.ok()) << planted.status().to_string();
+  ASSERT_FALSE(planted->empty());
+  const SoakResult result = run_suite(*planted, {});
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_FALSE(result.pass());
+  EXPECT_GT(result.failed, 0u);
+  bool saw_ramp = false;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    for (const Anomaly& a : o.anomalies) {
+      if (a.detector == "ramp" && a.series == "scheduler.backlog") {
+        saw_ramp = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_ramp) << "planted queue ramp did not fire";
+}
+
+TEST(Runner, SuiteReportEmbedsScenarioReportsVerbatim) {
+  const auto suite = small_suite();
+  const SoakResult result = run_suite(suite, {});
+  ASSERT_TRUE(result.status.ok());
+  std::ostringstream os;
+  write_suite_report(result, os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("\"schema\":\"tapo-soak-suite-v1\""), std::string::npos);
+  for (const ScenarioOutcome& o : result.outcomes) {
+    EXPECT_NE(text.find(o.report_json), std::string::npos) << o.name;
+  }
+}
+
+}  // namespace
+}  // namespace tapo::soak

@@ -1,0 +1,193 @@
+// tapo_soak: fleet soak runner over a declarative scenario suite.
+//
+//   tapo_soak --suite scenarios/ -j8 [--out dir] [--cache dir]
+//       Load every *.tapo profile in the suite directory, execute the
+//       misses in parallel (cache hits by content hash are skipped), run
+//       the telemetry anomaly pass, and print the "tapo-soak-suite-v1"
+//       report to stdout (or --report <file>).
+//
+//   tapo_soak --gen 10 --gen-seed 7 --gen-out generated/
+//       Emit seeded random profiles in the same "tapo-scenarios v1" format
+//       (they can then be soaked like any committed profile).
+//
+//   tapo_soak --check telemetry.json
+//       Re-run the anomaly pass over an archived "tapo-telemetry-v1" file.
+//
+// Filters for CI smoke runs: --filter <substring> keeps matching profile
+// names only; --max-nodes N skips larger instances.
+//
+// Exit codes: 0 all pass, 1 at least one scenario failed (anomaly fired,
+// feasibility mismatch, or sim error), 2 bad input (unreadable suite,
+// malformed profile, unknown flags).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "scenario/profile.h"
+#include "soak/anomaly.h"
+#include "soak/runner.h"
+#include "util/args.h"
+#include "util/telemetry_read.h"
+
+namespace {
+
+using namespace tapo;
+
+int run_generate(const util::ArgParser& args) {
+  scenario::ProfileGenConfig config;
+  config.count = static_cast<std::size_t>(args.option_int("gen"));
+  config.seed = static_cast<std::uint64_t>(args.option_int("gen-seed"));
+  config.max_nodes = static_cast<std::size_t>(args.option_int("gen-max-nodes"));
+  const std::string out = args.option("gen-out");
+  if (out.empty()) {
+    std::cerr << "error: --gen requires --gen-out <dir>\n";
+    return 2;
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  if (ec) {
+    std::cerr << "error: cannot create '" << out << "': " << ec.message()
+              << "\n";
+    return 2;
+  }
+  const std::vector<scenario::ScenarioProfile> profiles =
+      scenario::generate_random_profiles(config);
+  for (const scenario::ScenarioProfile& profile : profiles) {
+    const std::string path = out + "/" + profile.name + ".tapo";
+    if (!scenario::save_profile_file(profile, path)) {
+      std::cerr << "error: cannot write '" << path << "'\n";
+      return 2;
+    }
+  }
+  std::cout << "wrote " << profiles.size() << " profiles to " << out << "\n";
+  return 0;
+}
+
+int run_check(const std::string& path) {
+  util::StatusOr<util::telemetry::Snapshot> snapshot =
+      util::telemetry::read_snapshot_file(path);
+  if (!snapshot.ok()) {
+    std::cerr << "error: " << snapshot.status().to_string() << "\n";
+    return 2;
+  }
+  const std::vector<soak::Anomaly> anomalies = soak::detect_anomalies(*snapshot);
+  for (const soak::Anomaly& a : anomalies) {
+    std::cout << "ANOMALY [" << a.detector << "] " << a.detail << "\n";
+  }
+  if (anomalies.empty()) {
+    std::cout << "ok: no anomalies in " << path << "\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  util::ArgParser args("tapo_soak",
+                       "fleet soak runner over a declarative scenario suite");
+  args.add_option("suite", "directory of *.tapo scenario profiles", "");
+  args.add_option("jobs", 'j', "worker threads across scenarios (0 = all)",
+                  "0");
+  args.add_option("out", "directory for per-scenario telemetry artifacts", "");
+  args.add_option("cache", "report cache directory (skip unchanged entries)",
+                  "");
+  args.add_option("report", "write the suite report here instead of stdout",
+                  "");
+  args.add_option("filter", "keep only profiles whose name contains this", "");
+  args.add_option("max-nodes", "skip profiles with more nodes than this", "0");
+  args.add_flag("plan-only", "skip the DES phase (feasibility only)");
+  args.add_flag("list", "list selected profiles and hashes, do not run");
+  args.add_option("check", "anomaly-check an archived telemetry JSON file", "");
+  args.add_option("gen", "emit this many seeded random profiles and exit", "0");
+  args.add_option("gen-seed", "random-profile generator seed", "1");
+  args.add_option("gen-max-nodes", "random-profile node-count ceiling", "600");
+  args.add_option("gen-out", "directory for generated profiles", "");
+  if (!args.parse(argc, argv)) {
+    if (args.help_requested()) {
+      std::cout << args.usage();
+      return 0;
+    }
+    std::cerr << "error: " << args.error() << "\n" << args.usage();
+    return 2;
+  }
+
+  if (args.option_int("gen") > 0) return run_generate(args);
+  if (!args.option("check").empty()) return run_check(args.option("check"));
+
+  const std::string suite = args.option("suite");
+  if (suite.empty()) {
+    std::cerr << "error: --suite <dir> is required (or --gen / --check)\n"
+              << args.usage();
+    return 2;
+  }
+  util::StatusOr<std::vector<scenario::ScenarioProfile>> loaded =
+      scenario::load_profile_dir(suite);
+  if (!loaded.ok()) {
+    std::cerr << "error: " << loaded.status().to_string() << "\n";
+    return 2;
+  }
+  std::vector<scenario::ScenarioProfile> profiles = std::move(*loaded);
+
+  const std::string filter = args.option("filter");
+  const std::int64_t max_nodes = args.option_int("max-nodes");
+  std::vector<scenario::ScenarioProfile> selected;
+  for (scenario::ScenarioProfile& profile : profiles) {
+    if (!filter.empty() && profile.name.find(filter) == std::string::npos) {
+      continue;
+    }
+    if (max_nodes > 0 &&
+        profile.nodes > static_cast<std::size_t>(max_nodes)) {
+      continue;
+    }
+    selected.push_back(std::move(profile));
+  }
+  if (selected.empty()) {
+    std::cerr << "error: no profiles selected from '" << suite << "'\n";
+    return 2;
+  }
+
+  if (args.flag("list")) {
+    for (const scenario::ScenarioProfile& profile : selected) {
+      std::printf("%016llx  %s  (%zu nodes, %zu cracs)\n",
+                  static_cast<unsigned long long>(
+                      scenario::profile_hash(profile)),
+                  profile.name.c_str(), profile.nodes, profile.cracs);
+    }
+    return 0;
+  }
+
+  soak::SoakOptions options;
+  options.threads = static_cast<std::size_t>(args.option_int("jobs"));
+  options.out_dir = args.option("out");
+  options.cache_dir = args.option("cache");
+  options.run_sim = !args.flag("plan-only");
+  const soak::SoakResult result = soak::run_suite(selected, options);
+  if (!result.status.ok()) {
+    std::cerr << "error: " << result.status.to_string() << "\n";
+    return 2;
+  }
+
+  for (const soak::ScenarioOutcome& outcome : result.outcomes) {
+    std::fprintf(stderr, "%-6s %s%s\n", outcome.pass ? "pass" : "FAIL",
+                 outcome.name.c_str(), outcome.from_cache ? " (cached)" : "");
+  }
+  std::fprintf(stderr, "%zu executed, %zu cached, %zu failed\n",
+               result.executed, result.cached, result.failed);
+
+  const std::string report_path = args.option("report");
+  if (report_path.empty()) {
+    soak::write_suite_report(result, std::cout);
+  } else {
+    std::ofstream os(report_path);
+    if (!os) {
+      std::cerr << "error: cannot write '" << report_path << "'\n";
+      return 2;
+    }
+    soak::write_suite_report(result, os);
+  }
+  return result.pass() ? 0 : 1;
+}
