@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Gate CI on dense-engine sweep regressions in BENCH_solver.json.
+"""Gate CI on normalized benchmark regressions (BENCH_*.json).
 
 Compares a freshly measured Google-Benchmark JSON file against the committed
 baseline (BENCH_solver.json at the repo root). Raw wall-clock is meaningless
@@ -15,23 +15,31 @@ make a hard gate flaky. The revised benches are still printed for the log.
 Exit status 0 when every gated bench is within the threshold (default 20%
 slower than baseline), 1 otherwise. Stdlib only.
 
+The defaults reproduce the solver gate. --proxy-prefix / --gated-prefix /
+--reported-prefix redirect the same machinery at other bench binaries; the
+scheduler gate normalizes BM_RouteIndexed by the same-run BM_RouteScan, which
+turns the check into a speedup-ratio gate (an indexed-path regression moves
+the ratio even on a differently-provisioned runner).
+
 Usage: scripts/check_perf_regression.py CURRENT.json [BASELINE.json]
-       [--threshold 0.20]
+       [--threshold 0.20] [--proxy-prefix P] [--gated-prefix P ...]
+       [--reported-prefix P ...]
 """
 import argparse
 import json
 import pathlib
 import sys
 
+# Solver-gate defaults; overridable from the command line.
 # Machine-speed proxy: mean of the LU factor+solve micro-bench sizes.
-PROXY_PREFIX = "BM_LuFactorSolve/"
+DEFAULT_PROXY_PREFIX = "BM_LuFactorSolve/"
 # Benches that gate the build (baseline engine, no warm/session state).
-GATED_PREFIXES = (
+DEFAULT_GATED_PREFIXES = (
     "BM_Stage1SweepDense/",
     "BM_Stage1CoarseToFineDense/",
 )
 # Reported (not gated) for the CI log.
-REPORTED_PREFIXES = (
+DEFAULT_REPORTED_PREFIXES = (
     "BM_Stage1SweepRevised",
     "BM_Stage1CoarseToFineRevised",
 )
@@ -51,10 +59,10 @@ def load_times(path: pathlib.Path) -> dict:
     return times
 
 
-def proxy_time(times: dict) -> float:
-    vals = [t for name, t in times.items() if name.startswith(PROXY_PREFIX)]
+def proxy_time(times: dict, proxy_prefix: str) -> float:
+    vals = [t for name, t in times.items() if name.startswith(proxy_prefix)]
     if not vals:
-        sys.exit(f"error: no {PROXY_PREFIX}* benches found for normalization")
+        sys.exit(f"error: no {proxy_prefix}* benches found for normalization")
     return sum(vals) / len(vals)
 
 
@@ -69,15 +77,20 @@ def main() -> int:
         / "BENCH_solver.json",
     )
     parser.add_argument("--threshold", type=float, default=0.20)
+    parser.add_argument("--proxy-prefix", default=DEFAULT_PROXY_PREFIX)
+    parser.add_argument("--gated-prefix", action="append", default=None)
+    parser.add_argument("--reported-prefix", action="append", default=None)
     args = parser.parse_args()
+    gated_prefixes = tuple(args.gated_prefix or DEFAULT_GATED_PREFIXES)
+    reported_prefixes = tuple(args.reported_prefix or DEFAULT_REPORTED_PREFIXES)
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)
-    cur_proxy = proxy_time(current)
-    base_proxy = proxy_time(baseline)
+    cur_proxy = proxy_time(current, args.proxy_prefix)
+    base_proxy = proxy_time(baseline, args.proxy_prefix)
 
     failed = []
-    for prefixes, gated in ((GATED_PREFIXES, True), (REPORTED_PREFIXES, False)):
+    for prefixes, gated in ((gated_prefixes, True), (reported_prefixes, False)):
         for name in sorted(baseline):
             if not name.startswith(prefixes):
                 continue
@@ -94,7 +107,7 @@ def main() -> int:
                 verdict = "  <-- REGRESSION"
                 failed.append(f"{name}: {change:+.1%} normalized")
             print(f"[{tag}] {name}: {change:+.1%} vs baseline "
-                  f"(normalized by LuFactorSolve){verdict}")
+                  f"(normalized by {args.proxy_prefix.rstrip('/')}){verdict}")
 
     if failed:
         print(f"\n{len(failed)} gated regression(s) above "

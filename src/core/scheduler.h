@@ -8,14 +8,37 @@
 // core qualifies the task is dropped. ATC is the realized assignment rate:
 // tasks routed so far divided by elapsed time (with a short warm-up floor so
 // the ratio is meaningful at the start of a run).
+//
+// Two interchangeable selection paths implement the min-ratio rule (see
+// docs/SCHEDULER.md):
+//  * scan    — the reference O(candidates) argmin over the candidate list;
+//  * indexed — a per-task-type min-heap ordered by the time-independent key
+//              count(i,k)/TC(i,k). ATC/TC = (count/elapsed)/TC shares the
+//              positive factor 1/elapsed across all cores at a given `now`,
+//              so heap order is ratio order; the few popped entries are
+//              re-scored with the scan's exact floating-point expression and
+//              an epsilon-margin stopping rule, which makes every indexed
+//              decision bit-identical to the scan's. Candidates with
+//              bitwise-identical TC and assignment count share the exact
+//              ratio, so the heap holds one entry per such *cohort bucket*
+//              rather than one per candidate — real LP assignments give many
+//              cores of a type the same desired rate, and min-ratio routing
+//              then pins whole cohorts at equal keys; per-candidate entries
+//              would force the tie window to examine every member on every
+//              route (docs/SCHEDULER.md §2).
+// The ablation policies always use the scan.
 #pragma once
 
+#include <cmath>
 #include <cstddef>
+#include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/assigner.h"
 #include "dc/datacenter.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace tapo::util::telemetry {
 class Registry;
@@ -30,15 +53,48 @@ namespace tapo::core {
 // active core that could ever serve the type (not just TC > 0 cores).
 enum class SchedulerPolicy { MinAtcTcRatio, EarliestFinish, Random };
 
+// Selection-path override. kAuto resolves to the indexed path for
+// MinAtcTcRatio and the scan for the ablation policies (which have no
+// time-independent key); kScan forces the reference path everywhere;
+// kIndexed forces the index where it applies and falls back to the scan
+// where it does not. Decisions are bit-identical across all three.
+enum class RouteMode { kAuto, kScan, kIndexed };
+
+// Cumulative routing-path statistics, kept as plain counters so the hot
+// path never touches the telemetry registry; the simulation loop publishes
+// them as scheduler.* counters at end of run (docs/OBSERVABILITY.md).
+struct RoutingStats {
+  std::size_t routed = 0;           // route() calls
+  std::size_t indexed_routes = 0;   // served by the candidate index
+  std::size_t scan_routes = 0;      // served by the reference scan
+  std::size_t index_pops = 0;       // cohort-bucket entries examined
+  std::size_t index_deferred = 0;   // blocked entries pushed back
+  std::size_t index_stale_pops = 0; // defensive discards (0 by invariant)
+};
+
 struct SchedulerOptions {
   SchedulerPolicy policy = SchedulerPolicy::MinAtcTcRatio;
+  RouteMode route_mode = RouteMode::kAuto;
   // Elapsed-time floor (seconds) in the ATC estimate; prevents the ratio
-  // from saturating on the first assignments of a run.
+  // from saturating on the first assignments of a run. The floor is load
+  // bearing: at the first arrival `now == start time`, so the elapsed time
+  // is exactly this value and ATC = count / warmup_seconds. A zero or
+  // non-finite floor would make that first estimate 0/0; validate()
+  // rejects such configurations and the constructor enforces it.
   double warmup_seconds = 1.0;
   // Admit a task only if its queueing + execution delay meets the deadline.
   bool deadline_check = true;
   // Seed for the Random policy.
   std::uint64_t random_seed = 1;
+  // Origin of the ATC elapsed-time clock. NaN (the default) keeps the
+  // historical behavior — the first routed arrival starts the clock. The
+  // sharded simulation pins every shard to the global first-arrival time so
+  // shard-local ratios match the single-scheduler run bit for bit.
+  double start_time = std::numeric_limits<double>::quiet_NaN();
+  // Cross-checks every indexed decision against the reference scan and
+  // aborts on divergence. Test/debug knob; the differential suites keep it
+  // on through randomized sequences.
+  bool validate_index = false;
   // Optional metrics sink (scheduler.* in docs/OBSERVABILITY.md). The
   // aggregate drop/assignment counters are recorded by the simulation loop
   // at end of run; per-decision "sched.assign"/"sched.drop" event records
@@ -46,12 +102,23 @@ struct SchedulerOptions {
   // routing hot path carries no telemetry code by default. Recording never
   // affects routing decisions.
   util::telemetry::Registry* telemetry = nullptr;
+
+  // Rejects degenerate configurations (non-positive or non-finite ATC
+  // warm-up floor) so callers can report instead of aborting.
+  util::Status validate() const;
 };
 
 class DynamicScheduler {
  public:
   DynamicScheduler(const dc::DataCenter& dc, const Assignment& assignment,
                    SchedulerOptions options = {});
+
+  // Shard constructor: builds routing state only for the given task types
+  // (the sharded simulation's per-component schedulers, docs/SCHEDULER.md
+  // §4). Routing a type outside the shard is a programming error.
+  DynamicScheduler(const dc::DataCenter& dc, const Assignment& assignment,
+                   SchedulerOptions options,
+                   const std::vector<std::size_t>& shard_types);
 
   struct Decision {
     bool assigned = false;
@@ -77,16 +144,73 @@ class DynamicScheduler {
   std::size_t assigned_count(std::size_t task_type) const;
   std::size_t dropped_count(std::size_t task_type) const;
 
+  const RoutingStats& stats() const { return stats_; }
+
+  // Whether MinAtcTcRatio routing goes through the candidate index under
+  // the resolved route_mode.
+  bool routes_with_index() const { return use_index_; }
+
+  // Index invariant check (property tests): for every owned task type the
+  // cohort buckets partition the candidate list, every member of a bucket
+  // has the bucket's exact count and its cohort's exact TC, every bucket has
+  // exactly one live heap entry whose key equals count/TC, and the entries
+  // form a valid min-heap. Aborts on violation.
+  void check_index_invariants() const;
+
  private:
+  // One heap entry per cohort bucket (a set of candidates with
+  // bitwise-identical TC and assignment count, which therefore share the
+  // exact ATC/TC ratio). `pos` is the bucket's minimum candidate position at
+  // push time — it orders equal-key ties toward the scan's first-candidate
+  // rule, but the authoritative tie-break always re-derives the bucket's
+  // current minimum eligible member at examination time. `count` identifies
+  // the bucket within its cohort; `group` indexes cohorts_[type].
+  struct IndexEntry {
+    double key = 0.0;  // count / TC at push time
+    std::uint32_t pos = 0;
+    std::uint32_t group = 0;
+    double count = 0.0;
+  };
+
+  // Candidates of one task type sharing a bitwise-identical desired rate,
+  // partitioned into buckets by current assignment count. Members are kept
+  // in ascending candidate-position order so the bucket's representative
+  // (front) is the scan's tie-break winner among its members.
+  struct CohortBucket {
+    double count = 0.0;
+    std::vector<std::uint32_t> members;  // candidate positions, ascending
+  };
+  struct Cohort {
+    double tc = 0.0;
+    std::vector<CohortBucket> buckets;  // few per cohort; linear lookup
+  };
+
+  void build(const std::vector<std::size_t>* shard_types);
+  Decision route_scan(std::size_t task_type, double now,
+                      const std::vector<double>& core_free_time);
+  Decision route_indexed(std::size_t task_type, double now,
+                         const std::vector<double>& core_free_time);
+  // The MinAtcTcRatio scan selection without side effects, shared by
+  // route_scan and the validate_index cross-check.
+  Decision select_min_ratio(std::size_t task_type, double now,
+                            const std::vector<double>& core_free_time) const;
+
   const dc::DataCenter& dc_;
   const Assignment& assignment_;
   SchedulerOptions options_;
   double start_time_ = 0.0;
   bool started_ = false;
+  bool use_index_ = false;
 
+  std::vector<std::uint8_t> owned_;                   // per task type
   std::vector<std::vector<std::size_t>> candidates_;  // per task type
+  std::vector<std::vector<double>> exec_seconds_;     // [type][candidate pos]
   std::vector<std::vector<double>> counts_;           // [task type][core]
+  std::vector<std::vector<Cohort>> cohorts_;          // [task type][group]
+  std::vector<std::vector<IndexEntry>> index_;        // [task type] min-heap
+  std::vector<IndexEntry> stash_;                     // route-local scratch
   std::vector<std::size_t> assigned_, dropped_;
+  RoutingStats stats_;
   util::Rng rng_;
 };
 

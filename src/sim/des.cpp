@@ -2,15 +2,20 @@
 
 #include <cmath>
 #include <deque>
+#include <limits>
 #include <memory>
+#include <numeric>
 #include <utility>
 
 #include "util/check.h"
 #include "util/telemetry.h"
+#include "util/threadpool.h"
 
 namespace tapo::sim {
 
 namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 // TC-weighted relative L1 deviation of realized from desired rates at `now`
 // (the SimResult::mean_tracking_error definition, evaluated mid-run by the
@@ -53,6 +58,309 @@ double backlog_depth(const dc::DataCenter& dc,
   return max_deadline > 0.0 ? deepest / max_deadline : 0.0;
 }
 
+// Per-type next-arrival calendar for batched admission. Each task type's
+// renewal stream is drawn lazily exactly as the old one-event-per-arrival
+// design did (one interarrival per processed arrival, stopping once the next
+// time would pass the horizon), so arrival times are bit-identical — only
+// the event-calendar traffic is gone. peek() is an O(owned types) min-scan;
+// with the paper-scale handful of task types that beats a heap.
+class ArrivalPump {
+ public:
+  ArrivalPump(const std::vector<dc::TaskType>& task_types, util::Rng rng,
+              double horizon, const std::vector<std::size_t>* types = nullptr)
+      : arrivals_(task_types, std::move(rng)), horizon_(horizon) {
+    next_.assign(task_types.size(), kInf);
+    if (types) {
+      owned_ = *types;
+    } else {
+      owned_.resize(task_types.size());
+      std::iota(owned_.begin(), owned_.end(), 0);
+    }
+    for (std::size_t i : owned_) {
+      const double delay = arrivals_.next_interarrival(i);
+      if (std::isfinite(delay) && delay <= horizon_) next_[i] = delay;
+    }
+  }
+
+  // Earliest pending arrival; false when every stream is drained. Exact-time
+  // ties resolve to the lowest task type id.
+  bool peek(double& time, std::size_t& type) const {
+    time = kInf;
+    for (std::size_t i : owned_) {
+      if (next_[i] < time) {
+        time = next_[i];
+        type = i;
+      }
+    }
+    return time <= horizon_;
+  }
+
+  // Consumes the arrival of `type` at time `now` and draws its successor.
+  void advance(std::size_t type, double now) {
+    const double delay = arrivals_.next_interarrival(type);
+    next_[type] = (std::isfinite(delay) && now + delay <= horizon_)
+                      ? now + delay
+                      : kInf;
+  }
+
+ private:
+  ArrivalProcess arrivals_;
+  std::vector<double> next_;
+  std::vector<std::size_t> owned_;
+  double horizon_;
+};
+
+// Admission-batch statistics published as sim.* telemetry at end of run.
+struct BatchStats {
+  std::size_t batches = 0;
+  std::size_t max_batch = 0;
+};
+
+// Drives one event loop to the horizon: admission batches interleaved with
+// calendar events in global time order (calendar first on exact ties). The
+// `admit` callback routes a single arrival at its arrival time.
+template <typename Admit>
+void run_event_loop(Engine& engine, ArrivalPump& pump, double horizon,
+                    BatchStats& stats, const Admit& admit) {
+  double ta = 0.0;
+  std::size_t type = 0;
+  while (true) {
+    const bool have_arrival = pump.peek(ta, type);
+    const double te = engine.next_time();
+    if (have_arrival && ta < te) {
+      std::size_t batch = 0;
+      do {
+        admit(type, ta);
+        pump.advance(type, ta);
+        ++batch;
+      } while (pump.peek(ta, type) && ta < te);
+      ++stats.batches;
+      if (batch > stats.max_batch) stats.max_batch = batch;
+    } else if (!engine.run_one(horizon)) {
+      break;
+    }
+  }
+  engine.run_until(horizon);  // no events left; advances the clock only
+}
+
+void record_routing_stats(util::telemetry::Registry* reg,
+                          const core::RoutingStats& stats,
+                          const BatchStats& batches) {
+  if (!reg) return;
+  reg->count("scheduler.routes_indexed", stats.indexed_routes);
+  reg->count("scheduler.routes_scan", stats.scan_routes);
+  reg->count("scheduler.index_pops", stats.index_pops);
+  reg->count("scheduler.index_deferred", stats.index_deferred);
+  reg->count("scheduler.index_stale_pops", stats.index_stale_pops);
+  reg->count("sim.arrival_batches", batches.batches);
+  reg->gauge_max("sim.max_batch_size", static_cast<double>(batches.max_batch));
+}
+
+void accumulate(core::RoutingStats& into, const core::RoutingStats& from) {
+  into.routed += from.routed;
+  into.indexed_routes += from.indexed_routes;
+  into.scan_routes += from.scan_routes;
+  into.index_pops += from.index_pops;
+  into.index_deferred += from.index_deferred;
+  into.index_stale_pops += from.index_stale_pops;
+}
+
+// Component-sharded simulation (docs/SCHEDULER.md §4). Task types that share
+// a candidate core must co-shard — union-find over the candidate structure
+// finds the connected components, each of which runs as a fully independent
+// sub-simulation. Exactness rests on three facts: per-type arrival streams
+// are independent RNG substreams, a component's routing state (ATC counts,
+// index heaps, core backlog) is touched by no other component, and the ATC
+// clock is pinned to the global first-arrival time in every shard.
+SimResult simulate_sharded(const dc::DataCenter& dc,
+                           const core::Assignment& assignment,
+                           const SimOptions& options,
+                           const core::SchedulerOptions& scheduler_options,
+                           util::telemetry::Registry* reg,
+                           std::size_t threads) {
+  const double horizon = options.duration_seconds;
+  const double warmup = options.warmup_seconds;
+  const std::size_t t = dc.num_task_types();
+
+  // Candidate structure (policy-aware: the ablation policies share every
+  // active core, so they collapse into one component).
+  core::SchedulerOptions probe_options = scheduler_options;
+  probe_options.telemetry = nullptr;
+  const core::DynamicScheduler probe(dc, assignment, probe_options);
+
+  std::vector<std::size_t> parent(t);
+  std::iota(parent.begin(), parent.end(), 0);
+  const std::function<std::size_t(std::size_t)> find =
+      [&](std::size_t i) -> std::size_t {
+    while (parent[i] != i) {
+      parent[i] = parent[parent[i]];
+      i = parent[i];
+    }
+    return i;
+  };
+  std::vector<std::ptrdiff_t> core_owner(dc.total_cores(), -1);
+  for (std::size_t i = 0; i < t; ++i) {
+    for (std::size_t k : probe.candidates(i)) {
+      if (core_owner[k] < 0) {
+        core_owner[k] = static_cast<std::ptrdiff_t>(i);
+      } else {
+        const std::size_t a = find(i);
+        const std::size_t b = find(static_cast<std::size_t>(core_owner[k]));
+        if (a != b) parent[std::max(a, b)] = std::min(a, b);
+      }
+    }
+  }
+  std::vector<std::vector<std::size_t>> comps;
+  std::vector<std::ptrdiff_t> comp_of_root(t, -1);
+  std::vector<std::size_t> comp_of_type(t, 0);
+  for (std::size_t i = 0; i < t; ++i) {
+    const std::size_t r = find(i);
+    if (comp_of_root[r] < 0) {
+      comp_of_root[r] = static_cast<std::ptrdiff_t>(comps.size());
+      comps.emplace_back();
+    }
+    comp_of_type[i] = static_cast<std::size_t>(comp_of_root[r]);
+    comps[static_cast<std::size_t>(comp_of_root[r])].push_back(i);
+  }
+
+  // Global first-arrival time pins every shard's ATC clock to the value the
+  // single-scheduler run would use (a throwaway pump re-draws exactly the
+  // first interarrival of each substream).
+  core::SchedulerOptions shard_options = scheduler_options;
+  shard_options.telemetry = nullptr;  // per-decision events are serial-only
+  {
+    ArrivalPump probe_pump(dc.task_types, util::Rng(options.seed), horizon);
+    double t0 = 0.0;
+    std::size_t first_type = 0;
+    if (probe_pump.peek(t0, first_type)) shard_options.start_time = t0;
+  }
+
+  struct ShardRun {
+    std::vector<PerTypeMetrics> per_type;
+    std::unique_ptr<core::DynamicScheduler> scheduler;
+    BatchStats batches;
+    std::size_t events = 0;
+    std::size_t max_pending = 0;
+  };
+  std::vector<ShardRun> runs(comps.size());
+
+  util::ThreadPool pool(threads);
+  pool.parallel_for(comps.size(), [&](std::size_t c) {
+    ShardRun& run = runs[c];
+    run.per_type.assign(t, {});
+    Engine engine;
+    ArrivalPump pump(dc.task_types, util::Rng(options.seed), horizon,
+                     &comps[c]);
+    run.scheduler = std::make_unique<core::DynamicScheduler>(
+        dc, assignment, shard_options, comps[c]);
+    std::vector<double> core_free_time(dc.total_cores(), 0.0);
+    run_event_loop(
+        engine, pump, horizon, run.batches,
+        [&](std::size_t type, double now) {
+          PerTypeMetrics& m = run.per_type[type];
+          if (now >= warmup) ++m.arrived;
+          const auto decision = run.scheduler->route(type, now, core_free_time);
+          if (decision.assigned) {
+            const double start = std::max(now, core_free_time[decision.core]);
+            const double finish = start + decision.exec_seconds;
+            core_free_time[decision.core] = finish;
+            const double deadline = now + dc.task_types[type].relative_deadline;
+            if (now >= warmup) ++m.assigned;
+            if (finish <= horizon) {
+              engine.schedule_at(
+                  finish, [&m, &dc, type, finish, deadline, warmup] {
+                    if (finish < warmup) return;
+                    if (finish <= deadline + 1e-12) {
+                      ++m.completed_in_time;
+                      m.reward += dc.task_types[type].reward;
+                    } else {
+                      ++m.completed_late;
+                    }
+                  });
+            }
+          } else if (now >= warmup) {
+            ++m.dropped;
+          }
+        });
+    run.events = engine.executed();
+    run.max_pending = engine.max_pending();
+  });
+
+  // Deterministic merge: every aggregate is reduced in task-type order, so
+  // the result is bit-identical to the serial loop's regardless of thread
+  // count or component layout.
+  SimResult result;
+  result.per_type.assign(t, {});
+  for (std::size_t i = 0; i < t; ++i) {
+    result.per_type[i] = runs[comp_of_type[i]].per_type[i];
+    result.per_type[i].desired_rate = 0.0;
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      result.per_type[i].desired_rate += assignment.tc(i, k);
+    }
+  }
+  result.measured_seconds = horizon - warmup;
+  for (const PerTypeMetrics& m : result.per_type) result.total_reward += m.reward;
+  result.reward_rate = result.total_reward / result.measured_seconds;
+
+  double err_sum = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t i = 0; i < t; ++i) {
+    const core::DynamicScheduler& shard = *runs[comp_of_type[i]].scheduler;
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      const double tc = assignment.tc(i, k);
+      if (tc <= 0.0) continue;
+      err_sum += std::fabs(shard.atc(i, k, horizon) - tc);
+      weight_sum += tc;
+    }
+  }
+  result.mean_tracking_error = weight_sum > 0.0 ? err_sum / weight_sum : 0.0;
+
+  result.energy_kwh =
+      assignment.total_power_kw() * result.measured_seconds / 3600.0;
+  result.reward_per_kwh =
+      result.energy_kwh > 0.0 ? result.total_reward / result.energy_kwh : 0.0;
+
+  if (reg) {
+    reg->count("sim.runs");
+    core::RoutingStats routing;
+    BatchStats batches;
+    std::size_t events = 0;
+    std::size_t max_pending = 0;
+    for (const ShardRun& run : runs) {
+      accumulate(routing, run.scheduler->stats());
+      batches.batches += run.batches.batches;
+      if (run.batches.max_batch > batches.max_batch) {
+        batches.max_batch = run.batches.max_batch;
+      }
+      events += run.events;
+      if (run.max_pending > max_pending) max_pending = run.max_pending;
+    }
+    reg->count("sim.events_processed", events);
+    reg->gauge_max("sim.queue_depth_high_water",
+                   static_cast<double>(max_pending));
+    std::size_t arrived = 0, assigned = 0, dropped = 0, in_time = 0, late = 0;
+    for (const PerTypeMetrics& m : result.per_type) {
+      arrived += m.arrived;
+      assigned += m.assigned;
+      dropped += m.dropped;
+      in_time += m.completed_in_time;
+      late += m.completed_late;
+    }
+    reg->count("sim.arrivals", arrived);
+    reg->count("scheduler.assigned", assigned);
+    reg->count("scheduler.dropped", dropped);
+    reg->count("scheduler.completed_in_time", in_time);
+    reg->count("scheduler.deadline_misses", late);
+    reg->gauge_set("scheduler.final_tracking_error",
+                   result.mean_tracking_error);
+    reg->gauge_set("sim.reward_rate", result.reward_rate);
+    reg->gauge_set("sim.drop_fraction", result.drop_fraction());
+    reg->gauge_set("sim.energy_kwh", result.energy_kwh);
+    record_routing_stats(reg, routing, batches);
+  }
+  return result;
+}
+
 }  // namespace
 
 util::Status SimOptions::validate() const {
@@ -69,6 +377,9 @@ util::Status SimOptions::validate() const {
         "sim warm-up must end before the horizon (warmup " +
         std::to_string(warmup_seconds) + "s >= duration " +
         std::to_string(duration_seconds) + "s)");
+  }
+  if (util::Status s = scheduler.validate(); !s.ok()) {
+    return s.with_context("scheduler options");
   }
   return util::Status::Ok();
 }
@@ -99,10 +410,20 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
   util::telemetry::Registry* const reg = options.telemetry;
   const util::telemetry::ScopedTimer run_timer(reg, "sim.run");
 
-  Engine engine;
-  ArrivalProcess arrivals(dc.task_types, util::Rng(options.seed));
   core::SchedulerOptions scheduler_options = options.scheduler;
   if (!scheduler_options.telemetry) scheduler_options.telemetry = reg;
+
+  const std::size_t threads = options.threads == 0
+                                  ? util::ThreadPool::hardware_threads()
+                                  : options.threads;
+  if (threads > 1) {
+    return simulate_sharded(dc, assignment, options, scheduler_options, reg,
+                            threads);
+  }
+
+  Engine engine;
+  ArrivalPump pump(dc.task_types, util::Rng(options.seed),
+                   options.duration_seconds);
   core::DynamicScheduler scheduler(dc, assignment, scheduler_options);
 
   std::vector<double> core_free_time(dc.total_cores(), 0.0);
@@ -116,51 +437,6 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
 
   const double horizon = options.duration_seconds;
   const double warmup = options.warmup_seconds;
-
-  // Per-type arrival loop: each arrival routes the task and schedules the
-  // next arrival of its type. Reward is booked at the *completion* event -
-  // booking at admission would credit queued work that never executes inside
-  // the measured window, letting deep-queueing policies appear to beat the
-  // steady-state LP bound (deadlines of slow task types span minutes).
-  std::function<void(std::size_t)> arrive = [&](std::size_t type) {
-    const double now = engine.now();
-    if (now <= horizon) {
-      PerTypeMetrics& m = result.per_type[type];
-      if (now >= warmup) ++m.arrived;
-      const auto decision = scheduler.route(type, now, core_free_time);
-      if (decision.assigned) {
-        const double start = std::max(now, core_free_time[decision.core]);
-        const double finish = start + decision.exec_seconds;
-        core_free_time[decision.core] = finish;
-        const double deadline = now + dc.task_types[type].relative_deadline;
-        if (now >= warmup) ++m.assigned;
-        if (finish <= horizon) {
-          engine.schedule_at(finish, [&m, &dc, type, finish, deadline, warmup] {
-            if (finish < warmup) return;  // completed inside the warm-up
-            if (finish <= deadline + 1e-12) {
-              ++m.completed_in_time;
-              m.reward += dc.task_types[type].reward;
-            } else {
-              ++m.completed_late;
-            }
-          });
-        }
-      } else if (now >= warmup) {
-        ++m.dropped;
-      }
-    }
-    const double delay = arrivals.next_interarrival(type);
-    if (std::isfinite(delay) && engine.now() + delay <= horizon) {
-      engine.schedule_in(delay, [&, type] { arrive(type); });
-    }
-  };
-
-  for (std::size_t type = 0; type < dc.num_task_types(); ++type) {
-    const double delay = arrivals.next_interarrival(type);
-    if (std::isfinite(delay) && delay <= horizon) {
-      engine.schedule_at(delay, [&, type] { arrive(type); });
-    }
-  }
 
   // Telemetry samplers: pure observers at evenly spaced simulated times.
   // They read scheduler/engine state but mutate nothing, so enabling them
@@ -180,7 +456,39 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
     }
   }
 
-  engine.run_until(horizon);
+  // Batched admission: every arrival that falls strictly before the next
+  // calendar event routes in one tight loop. Reward is booked at the
+  // *completion* event — booking at admission would credit queued work that
+  // never executes inside the measured window, letting deep-queueing
+  // policies appear to beat the steady-state LP bound (deadlines of slow
+  // task types span minutes).
+  BatchStats batches;
+  run_event_loop(
+      engine, pump, horizon, batches, [&](std::size_t type, double now) {
+        PerTypeMetrics& m = result.per_type[type];
+        if (now >= warmup) ++m.arrived;
+        const auto decision = scheduler.route(type, now, core_free_time);
+        if (decision.assigned) {
+          const double start = std::max(now, core_free_time[decision.core]);
+          const double finish = start + decision.exec_seconds;
+          core_free_time[decision.core] = finish;
+          const double deadline = now + dc.task_types[type].relative_deadline;
+          if (now >= warmup) ++m.assigned;
+          if (finish <= horizon) {
+            engine.schedule_at(finish, [&m, &dc, type, finish, deadline, warmup] {
+              if (finish < warmup) return;  // completed inside the warm-up
+              if (finish <= deadline + 1e-12) {
+                ++m.completed_in_time;
+                m.reward += dc.task_types[type].reward;
+              } else {
+                ++m.completed_late;
+              }
+            });
+          }
+        } else if (now >= warmup) {
+          ++m.dropped;
+        }
+      });
 
   result.measured_seconds = horizon - warmup;
   for (const PerTypeMetrics& m : result.per_type) result.total_reward += m.reward;
@@ -219,6 +527,7 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
     reg->gauge_set("sim.reward_rate", result.reward_rate);
     reg->gauge_set("sim.drop_fraction", result.drop_fraction());
     reg->gauge_set("sim.energy_kwh", result.energy_kwh);
+    record_routing_stats(reg, scheduler.stats(), batches);
   }
   return result;
 }
@@ -258,18 +567,21 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
   const double tcrac_max = options.recovery.assign.stage1.tcrac_max_c;
 
   Engine engine;
-  ArrivalProcess arrivals(dc.task_types, util::Rng(options.sim.seed));
+  ArrivalPump pump(dc.task_types, util::Rng(options.sim.seed), horizon);
   core::SchedulerOptions scheduler_options = options.sim.scheduler;
   if (!scheduler_options.telemetry) scheduler_options.telemetry = reg;
 
   // Plan swaps keep every adopted Assignment alive in a deque (the scheduler
   // holds a reference to its plan) and rebuild the scheduler, which resets
   // its ATC tracking state — intentional: realized-rate history against a
-  // retired plan is meaningless for the new rate matrix.
+  // retired plan is meaningless for the new rate matrix. Routing-path stats
+  // of retired schedulers accumulate so the end-of-run scheduler.* counters
+  // cover the whole run.
   std::deque<core::Assignment> plans;
   plans.push_back(initial);
   auto scheduler = std::make_unique<core::DynamicScheduler>(
       dc, plans.back(), scheduler_options);
+  core::RoutingStats retired_stats;
 
   SimResult& result = out.sim;
   result.per_type.assign(dc.num_task_types(), {});
@@ -337,30 +649,6 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     }
     return true;
   };
-
-  std::function<void(std::size_t)> arrive = [&](std::size_t type) {
-    const double now = engine.now();
-    if (now <= horizon) {
-      PerTypeMetrics& m = result.per_type[type];
-      if (now >= warmup) ++m.arrived;
-      const double deadline = now + dc.task_types[type].relative_deadline;
-      if (try_assign(type, now, deadline, now >= warmup)) {
-        if (now >= warmup) ++m.assigned;
-      } else if (now >= warmup) {
-        ++m.dropped;
-      }
-    }
-    const double delay = arrivals.next_interarrival(type);
-    if (std::isfinite(delay) && engine.now() + delay <= horizon) {
-      engine.schedule_in(delay, [&, type] { arrive(type); });
-    }
-  };
-  for (std::size_t type = 0; type < dc.num_task_types(); ++type) {
-    const double delay = arrivals.next_interarrival(type);
-    if (std::isfinite(delay) && delay <= horizon) {
-      engine.schedule_at(delay, [&, type] { arrive(type); });
-    }
-  }
 
   const auto on_fault = [&](const FaultEvent& ev) {
     const double now = engine.now();
@@ -438,6 +726,7 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     integrate_to(now);
     plans.push_back(std::move(rec.throttle));
     active_power_kw = plans.back().total_power_kw();
+    accumulate(retired_stats, scheduler->stats());
     scheduler = std::make_unique<core::DynamicScheduler>(dc, plans.back(),
                                                          scheduler_options);
 
@@ -469,6 +758,7 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
             integrate_to(engine.now());
             plans.push_back(std::move(replan));
             active_power_kw = plans.back().total_power_kw();
+            accumulate(retired_stats, scheduler->stats());
             scheduler = std::make_unique<core::DynamicScheduler>(
                 dc, plans.back(), scheduler_options);
             if (reg) reg->count("recovery.replans_activated");
@@ -497,7 +787,19 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     }
   }
 
-  engine.run_until(horizon);
+  BatchStats batches;
+  run_event_loop(engine, pump, horizon, batches,
+                 [&](std::size_t type, double now) {
+                   PerTypeMetrics& m = result.per_type[type];
+                   if (now >= warmup) ++m.arrived;
+                   const double deadline =
+                       now + dc.task_types[type].relative_deadline;
+                   if (try_assign(type, now, deadline, now >= warmup)) {
+                     if (now >= warmup) ++m.assigned;
+                   } else if (now >= warmup) {
+                     ++m.dropped;
+                   }
+                 });
   integrate_to(horizon);
 
   result.measured_seconds = horizon - warmup;
@@ -522,6 +824,8 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     reg->count("scheduler.dropped", dropped);
     reg->gauge_set("sim.reward_rate", result.reward_rate);
     reg->gauge_set("sim.energy_kwh", result.energy_kwh);
+    accumulate(retired_stats, scheduler->stats());
+    record_routing_stats(reg, retired_stats, batches);
   }
 
   dc.p_const_kw = saved_pconst;

@@ -7,6 +7,15 @@
 // a task completing by its deadline earns its type's reward. The collected
 // reward rate is the measurable counterpart of the first step's predicted
 // steady-state reward rate.
+//
+// Arrivals are admitted in batches: instead of one calendar event per task,
+// a per-type next-arrival calendar drains every arrival that falls strictly
+// before the next calendar event (completion, sampler, fault) in one tight
+// loop, so the per-task cost is a routing decision plus an O(task types)
+// min-scan — no priority-queue traffic, no per-arrival callback allocation.
+// SimOptions::threads additionally shards the whole simulation by connected
+// components of the candidate structure. docs/SCHEDULER.md describes both
+// and the determinism contract they keep.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +44,16 @@ struct SimOptions {
   double warmup_seconds = 0.0;
   core::SchedulerOptions scheduler;
   std::uint64_t seed = 1;
+  // Worker threads for the component-sharded simulation (docs/SCHEDULER.md
+  // §4): task types are partitioned into connected components of shared
+  // candidate cores; each component runs as an independent sub-simulation
+  // (own event calendar, own arrival substreams, own scheduler shard) and
+  // the results merge deterministically. 1 (default) runs the serial
+  // reference loop; 0 uses every hardware thread. SimResult is bit-identical
+  // for any thread count, but mid-run telemetry series and per-decision
+  // event records are only recorded by the serial loop (shards cannot
+  // observe cross-shard state mid-run without synchronizing).
+  std::size_t threads = 1;
   // Optional metrics sink (sim.* / scheduler.* in docs/OBSERVABILITY.md):
   // end-of-run counters (events processed, queue high-water, drops, deadline
   // misses) plus ATC/TC tracking-error and queue-depth series sampled at

@@ -1,5 +1,7 @@
 #include "sim/engine.h"
 
+#include <limits>
+
 #include "util/check.h"
 
 namespace tapo::sim {
@@ -13,6 +15,21 @@ void Engine::schedule_at(double when, Callback cb) {
 void Engine::schedule_in(double delay, Callback cb) {
   TAPO_CHECK(delay >= 0.0);
   schedule_at(now_ + delay, std::move(cb));
+}
+
+double Engine::next_time() const {
+  return queue_.empty() ? std::numeric_limits<double>::infinity()
+                        : queue_.top().time;
+}
+
+bool Engine::run_one(double horizon) {
+  if (queue_.empty() || queue_.top().time > horizon) return false;
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ev.cb();
+  ++executed_;
+  return true;
 }
 
 std::size_t Engine::run_until(double horizon) {

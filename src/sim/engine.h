@@ -26,6 +26,18 @@ class Engine {
   // scheduled exactly at the horizon still run. Returns events executed.
   std::size_t run_until(double horizon);
 
+  // Time of the earliest pending event, +infinity when the calendar is
+  // empty. Lets the batched-admission loop in sim/des.cpp drain arrivals
+  // up to (but not past) the next calendar event without going through the
+  // priority queue per arrival.
+  double next_time() const;
+
+  // Executes the single earliest event if its time is <= horizon; returns
+  // whether an event ran. The batched DES loop alternates run_one with
+  // arrival-batch admission so calendar events and arrivals stay in global
+  // time order (ties run the calendar event first).
+  bool run_one(double horizon);
+
   std::size_t pending() const { return queue_.size(); }
 
   // Lifetime observability counters (sim.* metrics): total events executed

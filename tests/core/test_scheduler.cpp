@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
+
 #include "core/assigner.h"
 #include "testutil.h"
 #include "thermal/heatflow.h"
@@ -221,6 +224,315 @@ TEST_F(SchedulerFixture, RandomPolicySpreadsAcrossCores) {
     if (d.assigned) ++hits[d.core];
   }
   EXPECT_GE(hits.size(), 3u);
+}
+
+// --- Candidate-index differential and property tests ----------------------
+//
+// The indexed routing path promises *bit-identical* decisions to the
+// reference scan (docs/SCHEDULER.md §2). These tests drive both paths
+// through the same randomized arrival sequences and compare every decision.
+
+// Drives `steps` randomized routes through two schedulers that must agree
+// on every decision. Core backlog follows the first scheduler's decisions
+// (both must pick the same core anyway, and the EXPECTs catch divergence
+// before the backlogs could drift apart).
+void expect_identical_decisions(const dc::DataCenter& dc, DynamicScheduler& a,
+                                DynamicScheduler& b, std::uint64_t seed,
+                                int steps) {
+  util::Rng rng(seed);
+  std::vector<double> free_a(dc.total_cores(), 0.0);
+  std::vector<double> free_b(dc.total_cores(), 0.0);
+  double now = 0.0;
+  for (int n = 0; n < steps; ++n) {
+    now += rng.exponential(40.0);
+    const auto type =
+        static_cast<std::size_t>(rng.uniform_int(0, dc.num_task_types() - 1));
+    const auto da = a.route(type, now, free_a);
+    const auto db = b.route(type, now, free_b);
+    ASSERT_EQ(da.assigned, db.assigned) << "step " << n << " type " << type;
+    if (da.assigned) {
+      ASSERT_EQ(da.core, db.core) << "step " << n << " type " << type;
+      ASSERT_EQ(da.exec_seconds, db.exec_seconds);
+      const double start = std::max(now, free_a[da.core]);
+      free_a[da.core] = start + da.exec_seconds;
+      free_b[db.core] = free_a[da.core];
+    }
+    // Occasionally let some cores drain completely so the busy/idle mix and
+    // the deadline filter both get exercised.
+    if (n % 97 == 96) {
+      for (std::size_t k = 0; k < dc.total_cores(); k += 3) {
+        free_a[k] = free_b[k] = now;
+      }
+    }
+  }
+  ASSERT_GT(a.stats().routed, 0u);
+}
+
+TEST_F(SchedulerFixture, IndexedMatchesScanBitForBit) {
+  for (const std::uint64_t seed : {7u, 19u, 23u}) {
+    SchedulerOptions scan;
+    scan.route_mode = RouteMode::kScan;
+    SchedulerOptions indexed;
+    indexed.route_mode = RouteMode::kIndexed;
+    DynamicScheduler a(scenario->dc, assignment, scan);
+    DynamicScheduler b(scenario->dc, assignment, indexed);
+    ASSERT_FALSE(a.routes_with_index());
+    ASSERT_TRUE(b.routes_with_index());
+    expect_identical_decisions(scenario->dc, a, b, seed, 3000);
+    EXPECT_EQ(a.stats().routed, b.stats().routed);
+    EXPECT_EQ(b.stats().indexed_routes, b.stats().routed);
+    EXPECT_EQ(b.stats().index_stale_pops, 0u);  // invariant: never stale
+  }
+}
+
+TEST_F(SchedulerFixture, IndexedMatchesScanWithoutDeadlineCheck) {
+  SchedulerOptions scan;
+  scan.route_mode = RouteMode::kScan;
+  scan.deadline_check = false;
+  SchedulerOptions indexed = scan;
+  indexed.route_mode = RouteMode::kIndexed;
+  DynamicScheduler a(scenario->dc, assignment, scan);
+  DynamicScheduler b(scenario->dc, assignment, indexed);
+  expect_identical_decisions(scenario->dc, a, b, 5, 2000);
+}
+
+TEST_F(SchedulerFixture, IndexedMatchesScanAcrossWarmups) {
+  for (const double warmup : {0.25, 1.0, 30.0}) {
+    SchedulerOptions scan;
+    scan.route_mode = RouteMode::kScan;
+    scan.warmup_seconds = warmup;
+    SchedulerOptions indexed = scan;
+    indexed.route_mode = RouteMode::kIndexed;
+    DynamicScheduler a(scenario->dc, assignment, scan);
+    DynamicScheduler b(scenario->dc, assignment, indexed);
+    expect_identical_decisions(scenario->dc, a, b, 11, 1500);
+  }
+}
+
+TEST_F(SchedulerFixture, AblationPoliciesFallBackToScanUnderAuto) {
+  for (const auto policy :
+       {SchedulerPolicy::EarliestFinish, SchedulerPolicy::Random}) {
+    SchedulerOptions options;
+    options.policy = policy;
+    options.route_mode = RouteMode::kAuto;
+    const DynamicScheduler scheduler(scenario->dc, assignment, options);
+    EXPECT_FALSE(scheduler.routes_with_index());
+  }
+  SchedulerOptions options;
+  options.route_mode = RouteMode::kAuto;
+  const DynamicScheduler scheduler(scenario->dc, assignment, options);
+  EXPECT_TRUE(scheduler.routes_with_index());
+}
+
+TEST_F(SchedulerFixture, ValidateIndexCrossCheckPasses) {
+  // validate_index re-runs the reference scan after every indexed decision
+  // and aborts on divergence; surviving a long randomized sequence is the
+  // self-checking form of the differential test.
+  SchedulerOptions options;
+  options.route_mode = RouteMode::kIndexed;
+  options.validate_index = true;
+  DynamicScheduler a(scenario->dc, assignment, options);
+  DynamicScheduler b(scenario->dc, assignment, options);
+  expect_identical_decisions(scenario->dc, a, b, 31, 2000);
+}
+
+// Copy of the fixture assignment with every positive TC entry of a row
+// replaced by the row mean — the shape real LP output takes, where whole
+// candidate sets share one desired rate and min-ratio routing pins them at
+// bitwise-equal index keys.
+Assignment uniform_tc_assignment(const dc::DataCenter& dc,
+                                 const Assignment& assignment) {
+  Assignment uniform = assignment;
+  for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+    double rate = 0.0;
+    std::size_t n = 0;
+    for (std::size_t k = 0; k < dc.total_cores(); ++k) {
+      if (uniform.tc(i, k) > 0.0) {
+        rate += uniform.tc(i, k);
+        ++n;
+      }
+    }
+    for (std::size_t k = 0; k < dc.total_cores() && n > 0; ++k) {
+      if (uniform.tc(i, k) > 0.0) {
+        uniform.tc(i, k) = rate / static_cast<double>(n);
+      }
+    }
+  }
+  return uniform;
+}
+
+TEST_F(SchedulerFixture, UniformTcCohortsMatchScanUnderSaturation) {
+  // Saturating arrivals against uniform desired rates: the ratio filter
+  // blocks the whole frontier cohort on most routes — the regime where a
+  // per-candidate index would re-examine every equal-key member each time.
+  // The bucketed index must stay bit-identical while touching only one
+  // entry per cohort bucket.
+  const Assignment uniform = uniform_tc_assignment(scenario->dc, assignment);
+  SchedulerOptions scan;
+  scan.route_mode = RouteMode::kScan;
+  SchedulerOptions indexed;
+  indexed.route_mode = RouteMode::kIndexed;
+  indexed.validate_index = true;
+  DynamicScheduler a(scenario->dc, uniform, scan);
+  DynamicScheduler b(scenario->dc, uniform, indexed);
+  util::Rng rng(13);
+  std::vector<double> free_a(scenario->dc.total_cores(), 0.0);
+  std::vector<double> free_b(scenario->dc.total_cores(), 0.0);
+  double now = 0.0;
+  std::size_t drops = 0;
+  for (int step = 0; step < 4000; ++step) {
+    now += rng.exponential(320.0);  // ~8x the differential driver's rate
+    const auto type = static_cast<std::size_t>(
+        rng.uniform_int(0, scenario->dc.num_task_types() - 1));
+    const auto da = a.route(type, now, free_a);
+    const auto db = b.route(type, now, free_b);
+    ASSERT_EQ(da.assigned, db.assigned) << "step " << step;
+    if (da.assigned) {
+      ASSERT_EQ(da.core, db.core) << "step " << step;
+      free_a[da.core] = std::max(now, free_a[da.core]) + da.exec_seconds;
+      free_b[db.core] = free_a[da.core];
+    } else {
+      ++drops;
+    }
+  }
+  b.check_index_invariants();
+  EXPECT_GT(drops, 0u);  // the drive reached saturation
+  // One entry per cohort bucket keeps examinations within a small constant
+  // of the route count even with the whole frontier saturated.
+  EXPECT_LT(b.stats().index_pops, 8 * b.stats().routed);
+}
+
+TEST_F(SchedulerFixture, CohortDeadlineSubstitutionMatchesScan) {
+  // Members of a cohort bucket share the ratio but not the queue: when the
+  // bucket's lowest-position member is deadline-blocked, the scan admits
+  // the next member in position order, and the index must substitute the
+  // same member (and keep its bookkeeping consistent afterwards).
+  const Assignment uniform = uniform_tc_assignment(scenario->dc, assignment);
+  SchedulerOptions scan;
+  scan.route_mode = RouteMode::kScan;
+  SchedulerOptions indexed;
+  indexed.route_mode = RouteMode::kIndexed;
+  indexed.validate_index = true;
+  DynamicScheduler a(scenario->dc, uniform, scan);
+  DynamicScheduler b(scenario->dc, uniform, indexed);
+  std::size_t type = scenario->dc.num_task_types();
+  for (std::size_t i = 0; i < scenario->dc.num_task_types(); ++i) {
+    if (a.candidates(i).size() >= 3) {
+      type = i;
+      break;
+    }
+  }
+  ASSERT_LT(type, scenario->dc.num_task_types()) << "need a 3+ candidate type";
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  // Block the first half of the candidate list far beyond any deadline so
+  // substitution happens inside the zero-count cohort, then alternate the
+  // blocked half to exercise re-derived tie-breaks across arrivals.
+  const auto& cands = a.candidates(type);
+  double now = 0.0;
+  for (int step = 0; step < 64; ++step) {
+    now += 0.05;
+    for (std::size_t p = 0; p < cands.size(); ++p) {
+      const bool block = (step % 2 == 0) ? (p < cands.size() / 2)
+                                         : (p % 3 == static_cast<std::size_t>(step) % 3);
+      free_time[cands[p]] = block ? now + 1e9 : 0.0;
+    }
+    const auto da = a.route(type, now, free_time);
+    const auto db = b.route(type, now, free_time);
+    ASSERT_EQ(da.assigned, db.assigned) << "step " << step;
+    if (da.assigned) {
+      ASSERT_EQ(da.core, db.core) << "step " << step;
+    }
+    b.check_index_invariants();
+  }
+  EXPECT_GT(b.stats().routed, 0u);
+}
+
+TEST_F(SchedulerFixture, IndexInvariantsHoldAfterRandomizedUpdates) {
+  SchedulerOptions options;
+  options.route_mode = RouteMode::kIndexed;
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  util::Rng rng(17);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  double now = 0.0;
+  for (int n = 0; n < 500; ++n) {
+    now += rng.exponential(20.0);
+    const auto type = static_cast<std::size_t>(
+        rng.uniform_int(0, scenario->dc.num_task_types() - 1));
+    const auto d = scheduler.route(type, now, free_time);
+    if (d.assigned) {
+      free_time[d.core] = std::max(now, free_time[d.core]) + d.exec_seconds;
+    }
+    if (n % 50 == 49) scheduler.check_index_invariants();
+  }
+  scheduler.check_index_invariants();
+}
+
+TEST_F(SchedulerFixture, ShardSchedulerMatchesFullSchedulerOnOwnedTypes) {
+  SchedulerOptions options;
+  DynamicScheduler full(scenario->dc, assignment, options);
+  // Shard owning only type 0: decisions for type 0 must match the full
+  // scheduler's as long as no other type's arrivals touch type 0's ATC
+  // state — which they never do (counts are per (type, core)).
+  const std::vector<std::size_t> shard_types = {0};
+  DynamicScheduler shard(scenario->dc, assignment, options, shard_types);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  util::Rng rng(3);
+  double now = 0.0;
+  for (int n = 0; n < 300; ++n) {
+    now += rng.exponential(25.0);
+    const auto da = full.route(0, now, free_time);
+    const auto db = shard.route(0, now, free_time);
+    ASSERT_EQ(da.assigned, db.assigned);
+    if (da.assigned) {
+      ASSERT_EQ(da.core, db.core);
+      free_time[da.core] = std::max(now, free_time[da.core]) + da.exec_seconds;
+    }
+  }
+}
+
+// --- ATC warm-up edge and options validation -------------------------------
+
+TEST_F(SchedulerFixture, FirstArrivalAtStartTimeUsesWarmupFloor) {
+  // At the first routed arrival `now == start_time`, so elapsed time is
+  // exactly the warm-up floor and ATC = count / warmup_seconds. With a zero
+  // floor this would be 0/0 — the reason validate() rejects it.
+  SchedulerOptions options;
+  options.warmup_seconds = 4.0;
+  options.start_time = 10.0;
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  const auto d = scheduler.route(0, 10.0, free_time);
+  ASSERT_TRUE(d.assigned);
+  EXPECT_DOUBLE_EQ(scheduler.atc(0, d.core, 10.0), 1.0 / 4.0);
+  // Before the floor expires the denominator stays pinned...
+  EXPECT_DOUBLE_EQ(scheduler.atc(0, d.core, 12.0), 1.0 / 4.0);
+  // ...and past it the true elapsed time takes over.
+  EXPECT_DOUBLE_EQ(scheduler.atc(0, d.core, 18.0), 1.0 / 8.0);
+}
+
+TEST_F(SchedulerFixture, NanStartTimeStartsClockAtFirstRoute) {
+  SchedulerOptions options;
+  options.warmup_seconds = 2.0;
+  DynamicScheduler scheduler(scenario->dc, assignment, options);
+  std::vector<double> free_time(scenario->dc.total_cores(), 0.0);
+  const auto d = scheduler.route(0, 7.5, free_time);
+  ASSERT_TRUE(d.assigned);
+  EXPECT_DOUBLE_EQ(scheduler.atc(0, d.core, 7.5), 0.5);  // 1 / warmup floor
+}
+
+TEST(SchedulerOptionsTest, ValidateRejectsDegenerateWarmup) {
+  SchedulerOptions options;
+  EXPECT_TRUE(options.validate().ok());
+  options.warmup_seconds = 0.0;
+  EXPECT_FALSE(options.validate().ok());
+  options.warmup_seconds = -1.0;
+  EXPECT_FALSE(options.validate().ok());
+  options.warmup_seconds = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_FALSE(options.validate().ok());
+  options.warmup_seconds = std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(options.validate().ok());
+  options.warmup_seconds = 0.5;
+  EXPECT_TRUE(options.validate().ok());
 }
 
 }  // namespace
