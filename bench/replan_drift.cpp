@@ -1,0 +1,187 @@
+// Robustness extension: reward under demand drift — one-shot vs rolling
+// re-plans vs the piecewise trace oracle.
+//
+// The paper plans once for stationary arrival rates. This harness drives the
+// online simulation with a time-varying trace (flash crowd, diurnal swing,
+// decaying burst) and compares three operating modes:
+//   one-shot   the stationary plan rides out the drift unchanged;
+//   rolling    the receding-horizon re-planner (core/replanner.h) patches
+//              the resident rate LP on a cadence and adopts verified plans
+//              with the actuation delay recovery.replan_delay_s;
+//   oracle     the piecewise upper reference: an instant, clairvoyant
+//              Stage-3 re-plan at every trace boundary, scored by predicted
+//              reward x segment duration (no actuation delay, no sampling
+//              noise) on the one-shot plan's P-states.
+// "recaptured" is how much of the one-shot-to-oracle gap rolling closes.
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/assigner.h"
+#include "core/replanner.h"
+#include "core/stage3.h"
+#include "scenario/generator.h"
+#include "sim/des.h"
+#include "thermal/heatflow.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace {
+
+using namespace tapo;
+
+// Clairvoyant piecewise reference: predicted Stage-3 reward at the trace's
+// rates, integrated segment by segment over [0, horizon].
+double oracle_reward(dc::DataCenter& dc, const core::Assignment& plan,
+                     const sim::RateTrace& trace, double horizon) {
+  std::vector<double> cuts = {0.0, horizon};
+  for (const auto& segs : trace.per_type) {
+    for (const sim::RateSegment& s : segs) {
+      if (s.start_s > 0.0 && s.start_s < horizon) cuts.push_back(s.start_s);
+    }
+  }
+  std::sort(cuts.begin(), cuts.end());
+  cuts.erase(std::unique(cuts.begin(), cuts.end()), cuts.end());
+
+  const std::vector<dc::TaskType> original = dc.task_types;
+  double total = 0.0;
+  for (std::size_t c = 0; c + 1 < cuts.size(); ++c) {
+    for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+      dc.task_types[i].arrival_rate = trace.rate_at(i, cuts[c]);
+    }
+    const core::Stage3Result seg = core::solve_stage3(dc, plan.core_pstate);
+    if (seg.optimal) total += seg.reward_rate * (cuts[c + 1] - cuts[c]);
+  }
+  dc.task_types = original;
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t nodes = bench::env_size("TAPO_NODES", 24);
+  const std::size_t runs = bench::env_size("TAPO_RUNS", 5);
+  const double horizon = 120.0;
+  util::telemetry::Registry* const reg = bench::telemetry_sink();
+  std::printf("=== Extension: one-shot vs rolling re-plans vs trace oracle "
+              "under demand drift (%zu nodes, %zu scenarios, %.0f s) ===\n\n",
+              nodes, runs, horizon);
+
+  struct Shape {
+    const char* label;
+    sim::RateTraceGenConfig config;
+  };
+  std::vector<Shape> shapes;
+  {
+    sim::RateTraceGenConfig c;
+    c.kind = sim::RateTraceGenConfig::Kind::kFlashCrowd;
+    c.horizon_s = horizon;
+    c.magnitude = 3.0;
+    c.start_s = 20.0;
+    c.duration_s = 50.0;
+    shapes.push_back({"flash crowd x3", c});
+  }
+  {
+    sim::RateTraceGenConfig c;
+    c.kind = sim::RateTraceGenConfig::Kind::kDiurnal;
+    c.horizon_s = horizon;
+    c.amplitude = 0.6;
+    shapes.push_back({"diurnal +-60%", c});
+  }
+  {
+    sim::RateTraceGenConfig c;
+    c.kind = sim::RateTraceGenConfig::Kind::kDecayingBurst;
+    c.horizon_s = horizon;
+    c.magnitude = 4.0;
+    c.start_s = 20.0;
+    c.duration_s = 25.0;
+    shapes.push_back({"burst x4 decay", c});
+  }
+
+  util::Table table({"trace", "one-shot reward", "rolling reward",
+                     "oracle reward", "rolling vs one-shot (%)",
+                     "gap recaptured (%)", "steps", "adoptions"});
+  for (const Shape& shape : shapes) {
+    util::RunningStats oneshot_r, rolling_r, oracle_r, gain_pct, recap_pct;
+    std::size_t steps = 0, adoptions = 0, measured = 0;
+    for (std::size_t run = 0; run < runs; ++run) {
+      scenario::ScenarioConfig config;
+      config.num_nodes = nodes;
+      config.num_cracs = 2;
+      config.seed = 93000 + run;
+      auto scenario = scenario::generate_scenario(config);
+      if (!scenario) continue;
+      // Plan the park at 40% of its drawn rates so the drift has capacity
+      // headroom to claim — the regime where re-planning can pay.
+      for (auto& t : scenario->dc.task_types) t.arrival_rate *= 0.4;
+      const thermal::HeatFlowModel model(scenario->dc);
+      const core::ThreeStageAssigner assigner(scenario->dc, model);
+      const core::Assignment plan = assigner.assign();
+      if (!plan.feasible || plan.reward_rate <= 0.0) continue;
+
+      sim::RateTraceGenConfig trace_config = shape.config;
+      trace_config.seed = 500 + run;
+      const sim::RateTrace trace =
+          sim::generate_rate_trace(scenario->dc.task_types, trace_config);
+
+      sim::FaultSimOptions options;
+      options.sim.duration_seconds = horizon;
+      options.sim.seed = 7 + run;
+      options.sim.rate_trace = &trace;
+      const sim::FaultSimResult oneshot = sim::simulate_with_faults(
+          scenario->dc, model, plan, sim::FaultSchedule{}, options);
+      if (!oneshot.status.ok()) continue;
+
+      core::ReplannerOptions replan;
+      replan.cadence_s = 15.0;
+      replan.tracking_error_threshold = 0.5;
+      replan.telemetry = reg;
+      options.replan = replan;
+      const sim::FaultSimResult rolling = sim::simulate_with_faults(
+          scenario->dc, model, plan, sim::FaultSchedule{}, options);
+      if (!rolling.status.ok()) continue;
+
+      const double oracle =
+          oracle_reward(scenario->dc, plan, trace, horizon);
+      oneshot_r.add(oneshot.sim.total_reward);
+      rolling_r.add(rolling.sim.total_reward);
+      oracle_r.add(oracle);
+      gain_pct.add(100.0 * (rolling.sim.total_reward -
+                            oneshot.sim.total_reward) /
+                   oneshot.sim.total_reward);
+      const double gap = oracle - oneshot.sim.total_reward;
+      if (gap > 1e-9) {
+        recap_pct.add(100.0 *
+                      (rolling.sim.total_reward - oneshot.sim.total_reward) /
+                      gap);
+      }
+      steps += rolling.horizon_steps;
+      adoptions += rolling.horizon_adoptions;
+      ++measured;
+    }
+    table.add_row(
+        {shape.label, util::fmt(oneshot_r.mean(), 0),
+         util::fmt(rolling_r.mean(), 0), util::fmt(oracle_r.mean(), 0),
+         util::fmt_ci(gain_pct.mean(), gain_pct.ci_halfwidth(0.95)),
+         util::fmt_ci(recap_pct.mean(), recap_pct.ci_halfwidth(0.95)),
+         std::to_string(steps), std::to_string(adoptions)});
+    std::fprintf(stderr, "  %s done (%zu scenarios)\n", shape.label, measured);
+    if (reg) {
+      reg->gauge_set(std::string("bench.replan.gain_pct.") + shape.label,
+                     gain_pct.mean());
+      reg->gauge_set(std::string("bench.replan.recaptured_pct.") + shape.label,
+                     recap_pct.mean());
+    }
+  }
+  table.print(std::cout);
+  std::printf(
+      "\nReading: the oracle is the clairvoyant upper reference (instant,\n"
+      "delay-free re-plans at every trace boundary, scored by predicted\n"
+      "reward); rolling pays the actuation delay and the cadence but should\n"
+      "recapture most of the one-shot-to-oracle gap whenever the drift\n"
+      "leaves capacity headroom.\n");
+  bench::write_telemetry();
+  return 0;
+}

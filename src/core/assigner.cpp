@@ -88,8 +88,10 @@ Assignment best_of(std::vector<Assignment> candidates) {
 
 AssignmentCheck verify_assignment(const dc::DataCenter& dc,
                                   const thermal::HeatFlowModel& model,
-                                  const Assignment& assignment) {
+                                  const Assignment& assignment,
+                                  const std::vector<double>* arrival_rates) {
   AssignmentCheck check;
+  if (arrival_rates) TAPO_CHECK(arrival_rates->size() == dc.num_task_types());
   if (!assignment.feasible) return check;
   TAPO_CHECK(assignment.core_pstate.size() == dc.total_cores());
   TAPO_CHECK(assignment.tc.rows() == dc.num_task_types());
@@ -144,7 +146,9 @@ AssignmentCheck verify_assignment(const dc::DataCenter& dc,
   for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
     double total = 0.0;
     for (std::size_t k = 0; k < dc.total_cores(); ++k) total += assignment.tc(i, k);
-    if (total > dc.task_types[i].arrival_rate + 1e-6) check.rates_ok = false;
+    const double cap =
+        arrival_rates ? (*arrival_rates)[i] : dc.task_types[i].arrival_rate;
+    if (total > cap + 1e-6) check.rates_ok = false;
   }
   return check;
 }

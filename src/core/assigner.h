@@ -84,8 +84,14 @@ struct AssignmentCheck {
 };
 
 // Independently validates every model constraint for an assignment.
-AssignmentCheck verify_assignment(const dc::DataCenter& dc,
-                                  const thermal::HeatFlowModel& model,
-                                  const Assignment& assignment);
+// `arrival_rates` (one per task type) overrides the data center's stationary
+// rates in the arrivals check (Eq. 7 c3) — the receding-horizon re-planner
+// verifies its candidates against the drifted trace rates it planned for,
+// not the stationary ones. Power, thermal, capacity and deadline checks are
+// unaffected. nullptr keeps the stationary rates.
+AssignmentCheck verify_assignment(
+    const dc::DataCenter& dc, const thermal::HeatFlowModel& model,
+    const Assignment& assignment,
+    const std::vector<double>* arrival_rates = nullptr);
 
 }  // namespace tapo::core

@@ -1,0 +1,225 @@
+#include "core/replanner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <utility>
+
+#include "core/recovery.h"
+#include "util/check.h"
+#include "util/telemetry.h"
+
+namespace tapo::core {
+
+util::Status ReplannerOptions::validate() const {
+  if (!std::isfinite(cadence_s) || cadence_s <= 0.0) {
+    return util::Status::InvalidArgument(
+        "replan cadence must be positive and finite");
+  }
+  if (!std::isfinite(tracking_error_threshold)) {
+    return util::Status::InvalidArgument(
+        "replan tracking-error threshold must be finite");
+  }
+  if (!std::isfinite(sensor_period_s) || sensor_period_s <= 0.0) {
+    return util::Status::InvalidArgument(
+        "replan sensor period must be positive and finite");
+  }
+  if (!std::isfinite(min_gap_s) || min_gap_s <= 0.0) {
+    return util::Status::InvalidArgument(
+        "replan retry gap must be positive and finite");
+  }
+  if (!std::isfinite(max_backoff_s) || max_backoff_s < min_gap_s) {
+    return util::Status::InvalidArgument(
+        "replan backoff cap must be finite and >= the retry gap");
+  }
+  return util::Status::Ok();
+}
+
+RollingPlanner::RollingPlanner(const dc::DataCenter& dc,
+                               const thermal::HeatFlowModel& model,
+                               const Assignment& active,
+                               ReplannerOptions options)
+    : dc_(dc), model_(model), options_(std::move(options)), active_(active) {
+  TAPO_CHECK(options_.validate().ok());
+  TAPO_CHECK(active_.core_pstate.size() == dc_.total_cores());
+  build_session();
+}
+
+// Mirrors the Stage-3 class aggregation (core/stage3.cpp): one variable per
+// (task type, (node type, P-state) class), class-capacity rows, then one
+// arrival row per task type whose right-hand side — the only place lambda_i
+// appears in the whole three-stage pipeline — is what step() patches.
+void RollingPlanner::build_session() {
+  vars_.clear();
+  arrival_row_.assign(dc_.num_task_types(), -1);
+  session_.reset();
+
+  std::map<std::pair<std::size_t, std::size_t>, std::vector<std::size_t>>
+      classes;
+  for (std::size_t k = 0; k < dc_.total_cores(); ++k) {
+    if (!dc_.core_available(k)) continue;
+    const std::size_t type = dc_.core_type(k);
+    const std::size_t ps = active_.core_pstate[k];
+    if (ps == dc_.node_types[type].off_state()) continue;
+    classes[{type, ps}].push_back(k);
+  }
+
+  solver::LpProblem lp;
+  std::vector<std::vector<std::size_t>> by_type(dc_.num_task_types());
+  for (const auto& [key, cores] : classes) {
+    const auto [type, ps] = key;
+    std::vector<std::pair<std::size_t, double>> capacity_terms;
+    for (std::size_t i = 0; i < dc_.num_task_types(); ++i) {
+      if (!dc_.ecs.can_meet_deadline(i, type, ps,
+                                     dc_.task_types[i].relative_deadline)) {
+        continue;
+      }
+      const double ecs = dc_.ecs.ecs(i, type, ps);
+      const std::size_t v =
+          lp.add_variable(0.0, solver::kLpInfinity, dc_.task_types[i].reward);
+      vars_.push_back({v, i, cores});
+      by_type[i].push_back(vars_.size() - 1);
+      capacity_terms.emplace_back(v, 1.0 / ecs);
+    }
+    if (!capacity_terms.empty()) {
+      lp.add_constraint(std::move(capacity_terms), solver::Relation::LessEq,
+                        static_cast<double>(cores.size()));
+    }
+  }
+  for (std::size_t i = 0; i < dc_.num_task_types(); ++i) {
+    if (by_type[i].empty()) continue;
+    std::vector<std::pair<std::size_t, double>> terms;
+    for (std::size_t idx : by_type[i]) terms.emplace_back(vars_[idx].var, 1.0);
+    arrival_row_[i] = static_cast<std::ptrdiff_t>(lp.num_constraints());
+    lp.add_constraint(std::move(terms), solver::Relation::LessEq,
+                      dc_.task_types[i].arrival_rate);
+  }
+
+  if (!vars_.empty()) {
+    solver::LpOptions lp_options = options_.lp;
+    if (!lp_options.telemetry) lp_options.telemetry = options_.telemetry;
+    session_ = std::make_unique<solver::LpSession>(std::move(lp), lp_options);
+  }
+}
+
+void RollingPlanner::rebind(const Assignment& active) {
+  TAPO_CHECK(active.core_pstate.size() == dc_.total_cores());
+  active_ = active;
+  build_session();
+  ++rebuilds_;
+  if (options_.telemetry) options_.telemetry->count("replan.session_rebuilds");
+}
+
+solver::LpSession::Stats RollingPlanner::session_stats() const {
+  return session_ ? session_->stats() : solver::LpSession::Stats{};
+}
+
+HorizonStep RollingPlanner::degrade(util::Status reason) {
+  ++failures_;
+  util::telemetry::Registry* const reg = options_.telemetry;
+  if (reg) reg->count("replan.degraded_steps");
+
+  HorizonStep out;
+  out.status = std::move(reason);
+  const double backoff =
+      options_.min_gap_s *
+      std::exp2(static_cast<double>(std::min<std::size_t>(failures_, 32) - 1));
+  out.retry_after_s = std::min(backoff, options_.max_backoff_s);
+
+  // Ladder rung 2 vs 3: hold the active plan if it still verifies on the
+  // current (possibly degraded) data center; otherwise fall back to the
+  // LP-free safety throttle so the run never operates an invalid plan. The
+  // hold check asks "is this plan still physically safe" (power, thermal,
+  // core capacity, deadlines); the arrivals bound is checked against the
+  // plan's own per-type totals — it was verified against the demand it was
+  // planned for when adopted, and a since-shrunk demand cannot make an
+  // admission *upper bound* unsafe.
+  std::vector<double> held_rates(dc_.num_task_types(), 0.0);
+  for (std::size_t i = 0; i < dc_.num_task_types(); ++i) {
+    for (std::size_t k = 0; k < dc_.total_cores(); ++k) {
+      held_rates[i] += active_.tc(i, k);
+    }
+  }
+  if (verify_assignment(dc_, model_, active_, &held_rates).ok()) {
+    out.rung = HorizonStep::Rung::kHeld;
+    return out;
+  }
+  RecoveryOptions recovery_options;
+  recovery_options.telemetry = reg;
+  const RecoveryController controller(dc_, model_, recovery_options);
+  out.plan = controller.safety_throttle(active_);
+  out.rung = HorizonStep::Rung::kThrottled;
+  if (reg) reg->count("replan.throttles");
+  // The throttle's P-states differ from the active plan's, so the resident
+  // LP no longer matches reality; re-anchor on the throttle.
+  rebind(out.plan);
+  return out;
+}
+
+HorizonStep RollingPlanner::step(const std::vector<double>& lambda) {
+  TAPO_CHECK(lambda.size() == dc_.num_task_types());
+  util::telemetry::Registry* const reg = options_.telemetry;
+  const util::telemetry::ScopedTimer step_timer(reg, "replan.step");
+  if (reg) reg->count("replan.steps");
+
+  for (const double l : lambda) {
+    if (!std::isfinite(l) || l < 0.0) {
+      return degrade(util::Status::InvalidArgument(
+          "horizon step: arrival rates must be finite and non-negative"));
+    }
+  }
+  if (!session_) {
+    return degrade(util::Status::FailedPrecondition(
+        "horizon step: no schedulable (type, class) pair — every core off"));
+  }
+
+  // The demand-only patch: T right-hand sides on the resident LP.
+  for (std::size_t i = 0; i < dc_.num_task_types(); ++i) {
+    if (arrival_row_[i] < 0) continue;
+    session_->patch_rhs(static_cast<std::size_t>(arrival_row_[i]), lambda[i]);
+  }
+  const solver::LpSolution sol = session_->solve();
+  if (!sol.optimal()) {
+    return degrade(
+        sol.status == solver::LpStatus::IterLimit
+            ? util::Status::ResourceExhausted(
+                  "horizon step: rate LP exceeded the solve deadline")
+            : util::Status::Internal("horizon step: rate LP did not converge"));
+  }
+
+  Assignment candidate;
+  candidate.technique = "rolling-horizon";
+  candidate.crac_out_c = active_.crac_out_c;
+  candidate.core_pstate = active_.core_pstate;
+  candidate.tc = solver::Matrix(dc_.num_task_types(), dc_.total_cores());
+  for (const VarInfo& v : vars_) {
+    const double per_core =
+        sol.x[v.var] / static_cast<double>(v.cores.size());
+    if (per_core <= 0.0) continue;
+    for (std::size_t core : v.cores) candidate.tc(v.task_type, core) = per_core;
+  }
+  candidate.reward_rate = sol.objective;
+  candidate.feasible = true;
+  candidate = finalize_assignment(dc_, model_, std::move(candidate));
+  if (!candidate.feasible) {
+    return degrade(candidate.status.with_context("horizon step: finalize"));
+  }
+  // Verified against the demand this step planned for: under a drifting
+  // trace the targeted rates legitimately exceed the stationary ones.
+  if (const AssignmentCheck check =
+          verify_assignment(dc_, model_, candidate, &lambda);
+      !check.ok()) {
+    return degrade(util::Status::Internal(
+        "horizon step: candidate failed independent verification"));
+  }
+
+  failures_ = 0;
+  active_ = candidate;  // same class structure: no rebuild needed
+  if (reg) reg->count("replan.adoptions");
+  HorizonStep out;
+  out.rung = HorizonStep::Rung::kAdopted;
+  out.plan = std::move(candidate);
+  return out;
+}
+
+}  // namespace tapo::core

@@ -131,6 +131,50 @@ util::Status ScenarioProfile::validate() const {
       }
       break;
   }
+  switch (trace.kind) {
+    case TraceOverlay::Kind::kNone:
+      break;
+    case TraceOverlay::Kind::kDiurnal:
+      if (!std::isfinite(trace.amplitude) || trace.amplitude < 0.0 ||
+          trace.amplitude > 1.0) {
+        return invalid("trace diurnal amplitude must be in [0, 1]");
+      }
+      if (trace.segments < 2 || trace.segments > 256) {
+        return invalid("trace segments must be in [2, 256]");
+      }
+      break;
+    case TraceOverlay::Kind::kFlash:
+    case TraceOverlay::Kind::kBurst:
+      if (!std::isfinite(trace.magnitude) || trace.magnitude < 1.0 ||
+          trace.magnitude > 100.0) {
+        return invalid("trace magnitude must be in [1, 100]");
+      }
+      if (!std::isfinite(trace.start_s) || trace.start_s < 0.0) {
+        return invalid("trace start must be >= 0");
+      }
+      if (!std::isfinite(trace.duration_s) || trace.duration_s <= 0.0) {
+        return invalid("trace duration must be > 0");
+      }
+      if (trace.kind == TraceOverlay::Kind::kBurst &&
+          (trace.segments < 2 || trace.segments > 256)) {
+        return invalid("trace segments must be in [2, 256]");
+      }
+      break;
+  }
+  if (trace.kind != TraceOverlay::Kind::kNone &&
+      arrival.kind == ArrivalOverlay::Kind::kMmpp) {
+    return invalid(
+        "trace overlay conflicts with the mmpp arrival overlay (both would "
+        "redefine the arrival process)");
+  }
+  if (replan) {
+    if (!std::isfinite(replan->cadence_s) || replan->cadence_s <= 0.0) {
+      return invalid("replan cadence must be > 0");
+    }
+    if (!std::isfinite(replan->tracking_threshold)) {
+      return invalid("replan tracking threshold must be finite");
+    }
+  }
   if (faults) {
     const FaultStorm& f = *faults;
     if (!std::isfinite(f.horizon_s) || f.horizon_s <= 0.0) {
@@ -231,6 +275,25 @@ void save_profile(const ScenarioProfile& profile, std::ostream& os) {
          << fmt_double(profile.arrival.burst_duty) << "\n";
       break;
   }
+  switch (profile.trace.kind) {
+    case TraceOverlay::Kind::kNone:
+      break;
+    case TraceOverlay::Kind::kDiurnal:
+      os << "trace diurnal " << fmt_double(profile.trace.amplitude) << " "
+         << profile.trace.segments << "\n";
+      break;
+    case TraceOverlay::Kind::kFlash:
+      os << "trace flash " << fmt_double(profile.trace.start_s) << " "
+         << fmt_double(profile.trace.magnitude) << " "
+         << fmt_double(profile.trace.duration_s) << "\n";
+      break;
+    case TraceOverlay::Kind::kBurst:
+      os << "trace burst " << fmt_double(profile.trace.start_s) << " "
+         << fmt_double(profile.trace.magnitude) << " "
+         << fmt_double(profile.trace.duration_s) << " "
+         << profile.trace.segments << "\n";
+      break;
+  }
   os << "sim " << fmt_double(profile.sim.duration_s) << " "
      << fmt_double(profile.sim.warmup_s) << " " << profile.sim.seed << " "
      << profile.sim.samples << "\n";
@@ -241,6 +304,11 @@ void save_profile(const ScenarioProfile& profile, std::ostream& os) {
        << f.crac_derates << " " << fmt_double(f.crac_capacity_fraction) << " "
        << fmt_double(f.crac_repair_after_s) << " "
        << fmt_double(f.power_cap_fraction) << "\n";
+  }
+  if (profile.replan) {
+    os << "replan " << fmt_double(profile.replan->cadence_s) << " "
+       << fmt_double(profile.replan->tracking_threshold) << " "
+       << profile.replan->max_lp_iterations << "\n";
   }
   if (profile.expect_infeasible) os << "expect infeasible\n";
   os << "end\n";
@@ -431,6 +499,39 @@ util::StatusOr<ScenarioProfile> load_profile(std::istream& is) {
       } else {
         return line_error(line.number, "'arrival' must be scale or mmpp");
       }
+    } else if (key == "trace") {
+      if (args == 0) {
+        return line_error(line.number, "'trace' expects diurnal|flash|burst");
+      }
+      if (line.tokens[1] == "diurnal") {
+        if (s = need(3); !s.ok()) return s;
+        profile.trace.kind = TraceOverlay::Kind::kDiurnal;
+        if (s = get_double(2, profile.trace.amplitude); !s.ok()) return s;
+        if (s = get_size(3, profile.trace.segments); !s.ok()) return s;
+      } else if (line.tokens[1] == "flash") {
+        if (s = need(4); !s.ok()) return s;
+        profile.trace.kind = TraceOverlay::Kind::kFlash;
+        if (s = get_double(2, profile.trace.start_s); !s.ok()) return s;
+        if (s = get_double(3, profile.trace.magnitude); !s.ok()) return s;
+        if (s = get_double(4, profile.trace.duration_s); !s.ok()) return s;
+      } else if (line.tokens[1] == "burst") {
+        if (s = need(5); !s.ok()) return s;
+        profile.trace.kind = TraceOverlay::Kind::kBurst;
+        if (s = get_double(2, profile.trace.start_s); !s.ok()) return s;
+        if (s = get_double(3, profile.trace.magnitude); !s.ok()) return s;
+        if (s = get_double(4, profile.trace.duration_s); !s.ok()) return s;
+        if (s = get_size(5, profile.trace.segments); !s.ok()) return s;
+      } else {
+        return line_error(line.number,
+                          "'trace' must be diurnal, flash, or burst");
+      }
+    } else if (key == "replan") {
+      if (s = need(3); !s.ok()) return s;
+      ReplanSection r;
+      if (s = get_double(1, r.cadence_s); !s.ok()) return s;
+      if (s = get_double(2, r.tracking_threshold); !s.ok()) return s;
+      if (s = get_u64(3, r.max_lp_iterations); !s.ok()) return s;
+      profile.replan = r;
     } else if (key == "sim") {
       if (s = need(4); !s.ok()) return s;
       if (s = get_double(1, profile.sim.duration_s); !s.ok()) return s;
@@ -604,6 +705,34 @@ std::vector<ScenarioProfile> generate_random_profiles(
       f.crac_capacity_fraction = rng.uniform(0.3, 0.9);
       f.power_cap_fraction = rng.next_double() < 0.4 ? rng.uniform(0.7, 0.95) : 1.0;
       p.faults = f;
+    }
+    // Trace shapes only where they do not collide with the mmpp overlay (the
+    // two redefine the same arrival process; validate() rejects the pair).
+    const double shape = rng.next_double();
+    if (p.arrival.kind != ArrivalOverlay::Kind::kMmpp && shape < 0.4) {
+      if (shape < 0.15) {
+        p.trace.kind = TraceOverlay::Kind::kDiurnal;
+        p.trace.amplitude = rng.uniform(0.2, 0.9);
+        p.trace.segments = static_cast<std::size_t>(rng.uniform_int(8, 32));
+      } else if (shape < 0.28) {
+        p.trace.kind = TraceOverlay::Kind::kFlash;
+        p.trace.start_s = rng.uniform(0.1, 0.5) * p.sim.duration_s;
+        p.trace.magnitude = rng.uniform(2.0, 6.0);
+        p.trace.duration_s = rng.uniform(10.0, 40.0);
+      } else {
+        p.trace.kind = TraceOverlay::Kind::kBurst;
+        p.trace.start_s = rng.uniform(0.1, 0.5) * p.sim.duration_s;
+        p.trace.magnitude = rng.uniform(2.0, 6.0);
+        p.trace.duration_s = rng.uniform(5.0, 20.0);
+        p.trace.segments = static_cast<std::size_t>(rng.uniform_int(4, 16));
+      }
+    }
+    if (rng.next_double() < 0.3) {
+      ReplanSection r;
+      r.cadence_s = rng.uniform(10.0, 40.0);
+      r.tracking_threshold =
+          rng.next_double() < 0.3 ? 0.0 : rng.uniform(0.2, 0.8);
+      p.replan = r;
     }
     profiles.push_back(std::move(p));
   }

@@ -44,6 +44,32 @@ struct ArrivalOverlay {
   double burst_duty = 0.25;       // kMmpp: long-run burst fraction
 };
 
+// Optional piecewise-rate trace overlay ("tapo-traces v1", sim/arrivals.h):
+// the soak runner generates the trace over the profile's sim window from the
+// generated task types and the profile's sim seed, so the same profile
+// always drives the same demand curves. Mutually exclusive with the mmpp
+// arrival overlay (both would redefine the arrival process).
+struct TraceOverlay {
+  enum class Kind { kNone, kDiurnal, kFlash, kBurst };
+  Kind kind = Kind::kNone;
+  double amplitude = 0.5;     // diurnal swing, [0, 1]
+  double magnitude = 3.0;     // flash/burst peak multiplier, [1, 100]
+  double start_s = 20.0;      // flash/burst onset (seconds into the run)
+  double duration_s = 20.0;   // flash width / burst half-life, > 0
+  std::size_t segments = 16;  // diurnal/burst discretization, [2, 256]
+};
+
+// Optional receding-horizon re-planner layer; mirrors core::ReplannerOptions
+// (the soak runner maps the fields across) without making the scenario layer
+// depend on the planner. max_lp_iterations > 0 plants a solve deadline on
+// the horizon steps — the committed degraded-step scenarios use it to force
+// the docs/RESILIENCE.md ladder without aborting the run.
+struct ReplanSection {
+  double cadence_s = 20.0;
+  double tracking_threshold = 0.5;      // <= 0 disables the sensor trigger
+  std::uint64_t max_lp_iterations = 0;  // 0 = no deadline
+};
+
 // Optional fault-storm layer; mirrors sim::FaultInjectionConfig (the soak
 // runner maps the fields across) without making the scenario layer depend on
 // the simulator.
@@ -97,7 +123,9 @@ struct ScenarioProfile {
   enum class Policy { kMinAtcTc, kEarliestFinish, kRandom };
   Policy policy = Policy::kMinAtcTc;
   ArrivalOverlay arrival;
+  TraceOverlay trace;
   std::optional<FaultStorm> faults;
+  std::optional<ReplanSection> replan;
   SimSection sim;
 
   // `expect infeasible` tags budget corners that are infeasible by design;

@@ -20,6 +20,16 @@ util::Status DriftConfig::validate() const {
     return util::Status::InvalidArgument(
         "drift magnitude must be non-negative and finite");
   }
+  // The per-epoch runs override duration, warm-up and seed; every other
+  // nested field (scheduler options, rate trace, ...) must pass the same
+  // validation simulate() itself would apply — a degenerate nested config
+  // should be rejected here, not once per epoch mid-experiment.
+  SimOptions effective = sim;
+  effective.duration_seconds = epoch_seconds;
+  effective.warmup_seconds = 0.0;
+  if (util::Status s = effective.validate(); !s.ok()) {
+    return s.with_context("drift sim options");
+  }
   return util::Status::Ok();
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <deque>
+#include <functional>
 #include <limits>
 #include <memory>
 #include <numeric>
@@ -67,8 +68,9 @@ double backlog_depth(const dc::DataCenter& dc,
 class ArrivalPump {
  public:
   ArrivalPump(const std::vector<dc::TaskType>& task_types, util::Rng rng,
-              double horizon, const std::vector<std::size_t>* types = nullptr)
-      : arrivals_(task_types, std::move(rng)), horizon_(horizon) {
+              double horizon, const std::vector<std::size_t>* types = nullptr,
+              const RateTrace* trace = nullptr)
+      : arrivals_(task_types, std::move(rng), trace), horizon_(horizon) {
     next_.assign(task_types.size(), kInf);
     if (types) {
       owned_ = *types;
@@ -77,8 +79,8 @@ class ArrivalPump {
       std::iota(owned_.begin(), owned_.end(), 0);
     }
     for (std::size_t i : owned_) {
-      const double delay = arrivals_.next_interarrival(i);
-      if (std::isfinite(delay) && delay <= horizon_) next_[i] = delay;
+      const double t = arrivals_.next_arrival_after(i, 0.0);
+      if (t <= horizon_) next_[i] = t;
     }
   }
 
@@ -97,10 +99,8 @@ class ArrivalPump {
 
   // Consumes the arrival of `type` at time `now` and draws its successor.
   void advance(std::size_t type, double now) {
-    const double delay = arrivals_.next_interarrival(type);
-    next_[type] = (std::isfinite(delay) && now + delay <= horizon_)
-                      ? now + delay
-                      : kInf;
+    const double t = arrivals_.next_arrival_after(type, now);
+    next_[type] = t <= horizon_ ? t : kInf;
   }
 
  private:
@@ -229,7 +229,8 @@ SimResult simulate_sharded(const dc::DataCenter& dc,
   core::SchedulerOptions shard_options = scheduler_options;
   shard_options.telemetry = nullptr;  // per-decision events are serial-only
   {
-    ArrivalPump probe_pump(dc.task_types, util::Rng(options.seed), horizon);
+    ArrivalPump probe_pump(dc.task_types, util::Rng(options.seed), horizon,
+                           nullptr, options.rate_trace);
     double t0 = 0.0;
     std::size_t first_type = 0;
     if (probe_pump.peek(t0, first_type)) shard_options.start_time = t0;
@@ -250,7 +251,7 @@ SimResult simulate_sharded(const dc::DataCenter& dc,
     run.per_type.assign(t, {});
     Engine engine;
     ArrivalPump pump(dc.task_types, util::Rng(options.seed), horizon,
-                     &comps[c]);
+                     &comps[c], options.rate_trace);
     run.scheduler = std::make_unique<core::DynamicScheduler>(
         dc, assignment, shard_options, comps[c]);
     std::vector<double> core_free_time(dc.total_cores(), 0.0);
@@ -381,8 +382,29 @@ util::Status SimOptions::validate() const {
   if (util::Status s = scheduler.validate(); !s.ok()) {
     return s.with_context("scheduler options");
   }
+  if (rate_trace != nullptr) {
+    if (util::Status s = rate_trace->validate(); !s.ok()) {
+      return s.with_context("rate trace");
+    }
+  }
   return util::Status::Ok();
 }
+
+namespace {
+
+// The trace's type count can only be checked against a concrete data
+// center; both simulate entry points run this after options.validate().
+util::Status check_trace_types(const dc::DataCenter& dc,
+                               const RateTrace* trace) {
+  if (trace && trace->num_task_types() != dc.num_task_types()) {
+    return util::Status::InvalidArgument(
+        "rate trace covers " + std::to_string(trace->num_task_types()) +
+        " task types, data center has " + std::to_string(dc.num_task_types()));
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
 
 double SimResult::drop_fraction() const {
   std::size_t arrived = 0, dropped = 0;
@@ -406,6 +428,11 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
         "cannot simulate an infeasible assignment");
     return result;
   }
+  if (util::Status s = check_trace_types(dc, options.rate_trace); !s.ok()) {
+    SimResult result;
+    result.status = std::move(s);
+    return result;
+  }
 
   util::telemetry::Registry* const reg = options.telemetry;
   const util::telemetry::ScopedTimer run_timer(reg, "sim.run");
@@ -423,7 +450,7 @@ SimResult simulate(const dc::DataCenter& dc, const core::Assignment& assignment,
 
   Engine engine;
   ArrivalPump pump(dc.task_types, util::Rng(options.seed),
-                   options.duration_seconds);
+                   options.duration_seconds, nullptr, options.rate_trace);
   core::DynamicScheduler scheduler(dc, assignment, scheduler_options);
 
   std::vector<double> core_free_time(dc.total_cores(), 0.0);
@@ -551,6 +578,16 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     out.status = s.with_context("fault schedule");
     return out;
   }
+  if (util::Status s = check_trace_types(dc, options.sim.rate_trace); !s.ok()) {
+    out.status = std::move(s);
+    return out;
+  }
+  if (options.replan) {
+    if (util::Status s = options.replan->validate(); !s.ok()) {
+      out.status = s.with_context("replanner options");
+      return out;
+    }
+  }
 
   util::telemetry::Registry* const reg = options.sim.telemetry;
   const util::telemetry::ScopedTimer run_timer(reg, "sim.fault_run");
@@ -567,7 +604,8 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
   const double tcrac_max = options.recovery.assign.stage1.tcrac_max_c;
 
   Engine engine;
-  ArrivalPump pump(dc.task_types, util::Rng(options.sim.seed), horizon);
+  ArrivalPump pump(dc.task_types, util::Rng(options.sim.seed), horizon,
+                   nullptr, options.sim.rate_trace);
   core::SchedulerOptions scheduler_options = options.sim.scheduler;
   if (!scheduler_options.telemetry) scheduler_options.telemetry = reg;
 
@@ -620,8 +658,48 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     last_power_time = t;
   };
 
-  // A newer fault supersedes any pending re-plan adoption.
+  // A newer fault — or a newer horizon step — supersedes any pending re-plan
+  // adoption: adoption events capture the generation at scheduling time and
+  // fire only if it is still current.
   std::uint64_t plan_generation = 0;
+
+  // Swaps the active plan: integrates energy up to `now`, retires the
+  // scheduler's routing stats and rebuilds it on the new plan (ATC tracking
+  // state resets — realized-rate history against a retired plan is
+  // meaningless for the new rate matrix).
+  const auto adopt_plan = [&](core::Assignment plan, double now) {
+    integrate_to(now);
+    plans.push_back(std::move(plan));
+    active_power_kw = plans.back().total_power_kw();
+    accumulate(retired_stats, scheduler->stats());
+    scheduler = std::make_unique<core::DynamicScheduler>(dc, plans.back(),
+                                                         scheduler_options);
+  };
+
+  // --- Receding-horizon re-planner state (FaultSimOptions::replan) --------
+  std::unique_ptr<core::RollingPlanner> planner;
+  core::ReplannerOptions replan_options;
+  if (options.replan) {
+    replan_options = *options.replan;
+    if (!replan_options.telemetry) replan_options.telemetry = reg;
+    planner = std::make_unique<core::RollingPlanner>(dc, model, initial,
+                                                     replan_options);
+  }
+  const RateTrace* const trace = options.sim.rate_trace;
+  // Arrival rates the planner should track at time t: the trace's curves, or
+  // the stationary rates when no trace is loaded.
+  const auto lambda_at = [&](double t) {
+    std::vector<double> lambda(dc.num_task_types());
+    for (std::size_t i = 0; i < dc.num_task_types(); ++i) {
+      lambda[i] =
+          trace ? trace->rate_at(i, t) : dc.task_types[i].arrival_rate;
+    }
+    return lambda;
+  };
+  double last_plan_time = 0.0;        // last trigger fire (any rung)
+  double next_attempt_allowed = 0.0;  // bounded-backoff gate
+  double recovery_pending_until = -1.0;  // fault re-plan adoption in flight
+  double degraded_since = -1.0;       // entering time of the degraded mode
 
   const auto try_assign = [&](std::size_t type, double now, double deadline,
                               bool counted) -> bool {
@@ -722,13 +800,14 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     record.throttle_reward_rate = rec.throttle_reward_rate;
     record.replan_reward_rate = rec.replan_reward_rate;
 
-    // The safety throttle takes effect at the fault instant.
-    integrate_to(now);
-    plans.push_back(std::move(rec.throttle));
-    active_power_kw = plans.back().total_power_kw();
-    accumulate(retired_stats, scheduler->stats());
-    scheduler = std::make_unique<core::DynamicScheduler>(dc, plans.back(),
-                                                         scheduler_options);
+    // The safety throttle takes effect at the fault instant. The hardware
+    // (and with it the Stage-3 class structure) changed, so the rolling
+    // planner — if one is running — must re-anchor on the throttle plan.
+    adopt_plan(std::move(rec.throttle), now);
+    if (planner) {
+      planner->rebind(plans.back());
+      last_plan_time = now;
+    }
 
     // Orphans re-route through the throttle plan, original deadlines kept
     // (they may well complete late); unplaceable ones count as drops.
@@ -751,16 +830,19 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
     if (rec.replan_adopted) {
       ++out.replans_adopted;
       const std::uint64_t gen = plan_generation;
+      recovery_pending_until = now + options.recovery.replan_delay_s;
       engine.schedule_at(
           now + options.recovery.replan_delay_s,
           [&, gen, replan = std::move(rec.plan)]() mutable {
             if (gen != plan_generation) return;
-            integrate_to(engine.now());
-            plans.push_back(std::move(replan));
-            active_power_kw = plans.back().total_power_kw();
-            accumulate(retired_stats, scheduler->stats());
-            scheduler = std::make_unique<core::DynamicScheduler>(
-                dc, plans.back(), scheduler_options);
+            adopt_plan(std::move(replan), engine.now());
+            recovery_pending_until = -1.0;
+            // The recovery plan's P-states replace the throttle's: rebuild
+            // the rolling planner's resident LP around them.
+            if (planner) {
+              planner->rebind(plans.back());
+              last_plan_time = engine.now();
+            }
             if (reg) reg->count("recovery.replans_activated");
           });
     }
@@ -770,6 +852,81 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
   for (const FaultEvent& ev : schedule.events) {
     if (ev.time_s > horizon) continue;  // never fires; not recorded
     engine.schedule_at(ev.time_s, [&on_fault, ev] { on_fault(ev); });
+  }
+
+  // Receding-horizon check chain: a self-rescheduling calendar event every
+  // sensor_period_s reads the tracking-error sensor and fires a horizon
+  // step on the cadence or on a sensor breach — unless gated by the bounded
+  // backoff after a degraded step or by a fault re-plan adoption in flight
+  // (the full three-stage recovery plan outranks a rates-only patch).
+  std::function<void()> replan_check;
+  if (planner) {
+    replan_check = [&] {
+      const double now = engine.now();
+      const bool gated =
+          now + 1e-9 < next_attempt_allowed ||
+          (recovery_pending_until >= 0.0 && now < recovery_pending_until);
+      bool cadence_fire = false;
+      bool tracking_fire = false;
+      if (!gated) {
+        if (now - last_plan_time >= replan_options.cadence_s - 1e-9) {
+          cadence_fire = true;
+        } else if (replan_options.tracking_error_threshold > 0.0 &&
+                   tracking_error_at(dc, plans.back(), *scheduler, now) >
+                       replan_options.tracking_error_threshold) {
+          tracking_fire = true;
+        }
+      }
+      if (cadence_fire || tracking_fire) {
+        if (reg) {
+          reg->count(cadence_fire ? "replan.triggers_cadence"
+                                  : "replan.triggers_tracking");
+        }
+        last_plan_time = now;
+        core::HorizonStep step = planner->step(lambda_at(now));
+        ++out.horizon_steps;
+        if (reg) {
+          reg->sample("replan.step_times", now,
+                      static_cast<double>(out.horizon_steps));
+        }
+        if (step.adopted()) {
+          ++out.horizon_adoptions;
+          if (degraded_since >= 0.0) {
+            out.horizon_degraded_time_s += now - degraded_since;
+            degraded_since = -1.0;
+          }
+          // Generation-guarded adoption, exactly like fault recovery: a
+          // fault (or a newer step) between now and the actuation instant
+          // supersedes this plan.
+          ++plan_generation;
+          const std::uint64_t gen = plan_generation;
+          engine.schedule_at(
+              now + options.recovery.replan_delay_s,
+              [&, gen, plan = std::move(step.plan)]() mutable {
+                if (gen != plan_generation) return;
+                adopt_plan(std::move(plan), engine.now());
+                if (reg) reg->count("replan.adoptions_activated");
+              });
+        } else {
+          ++out.horizon_degraded;
+          if (degraded_since < 0.0) degraded_since = now;
+          next_attempt_allowed = now + step.retry_after_s;
+          if (step.rung == core::HorizonStep::Rung::kThrottled) {
+            ++out.horizon_throttles;
+            // The safety action is immediate and supersedes any in-flight
+            // adoption — an unverified plan must never outrank it.
+            ++plan_generation;
+            adopt_plan(std::move(step.plan), now);
+          }
+        }
+      }
+      const double next = now + replan_options.sensor_period_s;
+      if (next <= horizon) engine.schedule_at(next, [&] { replan_check(); });
+    };
+    if (replan_options.sensor_period_s <= horizon) {
+      engine.schedule_at(replan_options.sensor_period_s,
+                         [&] { replan_check(); });
+    }
   }
 
   if (reg && options.sim.telemetry_samples > 0) {
@@ -811,10 +968,18 @@ FaultSimResult simulate_with_faults(dc::DataCenter& dc,
   result.reward_per_kwh =
       result.energy_kwh > 0.0 ? result.total_reward / result.energy_kwh : 0.0;
 
+  if (degraded_since >= 0.0) {
+    out.horizon_degraded_time_s += horizon - degraded_since;
+    degraded_since = -1.0;
+  }
+
   if (reg) {
     reg->count("sim.fault_runs");
     reg->count("sim.events_processed", engine.executed());
     reg->count("recovery.replans_adopted_total", out.replans_adopted);
+    if (planner) {
+      reg->gauge_set("replan.degraded_time_s", out.horizon_degraded_time_s);
+    }
     std::size_t arrived = 0, dropped = 0;
     for (const PerTypeMetrics& m : result.per_type) {
       arrived += m.arrived;

@@ -19,10 +19,12 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 #include <vector>
 
 #include "core/assigner.h"
 #include "core/recovery.h"
+#include "core/replanner.h"
 #include "core/scheduler.h"
 #include "dc/datacenter.h"
 #include "sim/arrivals.h"
@@ -63,9 +65,16 @@ struct SimOptions {
   util::telemetry::Registry* telemetry = nullptr;
   std::size_t telemetry_samples = 32;
 
+  // Optional piecewise-constant rate trace ("tapo-traces v1", arrivals.h)
+  // driving time-varying arrivals instead of the task types' stationary
+  // rates. Non-owning; must outlive the run and cover exactly the data
+  // center's task types. Sampling is exact per-segment rate swapping, so a
+  // mid-trace rate of 0 silences the type with no stale pre-drawn arrivals.
+  const RateTrace* rate_trace = nullptr;
+
   // Rejects degenerate configurations (non-positive or non-finite duration,
-  // warm-up at or past the horizon) so simulate() can report instead of
-  // aborting.
+  // warm-up at or past the horizon, invalid rate trace) so simulate() can
+  // report instead of aborting.
   util::Status validate() const;
 };
 
@@ -126,6 +135,14 @@ struct FaultSimOptions {
   // fault instant, the re-plan (if adopted) recovery.replan_delay_s later.
   core::RecoveryOptions recovery;
   InFlightPolicy in_flight = InFlightPolicy::kRequeue;
+  // Receding-horizon re-planning (core/replanner.h): when set, a
+  // RollingPlanner re-solves the rate LP on the configured cadence and on
+  // tracking-error triggers, adopting verified plans through the same
+  // generation-guarded protocol as fault recovery (a fault arriving while a
+  // horizon adoption is in flight supersedes it). Degraded steps walk the
+  // docs/RESILIENCE.md ladder and never abort the run. Adopted horizon
+  // plans take effect recovery.replan_delay_s after their trigger.
+  std::optional<core::ReplannerOptions> replan;
 };
 
 // Per-injected-fault accounting.
@@ -147,6 +164,15 @@ struct FaultSimResult {
   SimResult sim;
   std::vector<FaultRecord> faults;
   std::size_t replans_adopted = 0;
+
+  // Receding-horizon accounting (zero unless FaultSimOptions::replan is
+  // set). A step is one trigger firing; it either schedules an adoption or
+  // degrades (held plan or safety throttle) with bounded-backoff retry.
+  std::size_t horizon_steps = 0;
+  std::size_t horizon_adoptions = 0;   // verified plans scheduled for adoption
+  std::size_t horizon_degraded = 0;    // steps that walked the ladder
+  std::size_t horizon_throttles = 0;   // degraded steps that needed the throttle
+  double horizon_degraded_time_s = 0.0;  // time spent below the adopted rung
 };
 
 // Online simulation with the fault schedule injected as first-class DES

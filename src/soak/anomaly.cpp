@@ -117,6 +117,42 @@ std::optional<Anomaly> detect_fallback_spike(std::uint64_t fallbacks,
   return a;
 }
 
+std::optional<Anomaly> detect_replan_storm(const std::string& series,
+                                           const std::vector<Sample>& samples,
+                                           const AnomalyOptions& options) {
+  const std::size_t n = samples.size();
+  if (n <= options.replan_storm_max_steps) return std::nullopt;
+
+  // One sample per horizon step, stamped with its simulated time; slide a
+  // window over the (sorted) step times and find the densest burst. Two
+  // pointers, O(n).
+  std::size_t worst_count = 0;
+  double worst_start = 0.0;
+  std::size_t lo = 0;
+  for (std::size_t hi = 0; hi < n; ++hi) {
+    while (samples[hi].x - samples[lo].x > options.replan_storm_window_s) {
+      ++lo;
+    }
+    const std::size_t count = hi - lo + 1;
+    if (count > worst_count) {
+      worst_count = count;
+      worst_start = samples[lo].x;
+    }
+  }
+  if (worst_count <= options.replan_storm_max_steps) return std::nullopt;
+
+  Anomaly a;
+  a.detector = "replan_storm";
+  a.series = series;
+  a.value = static_cast<double>(worst_count);
+  a.threshold = static_cast<double>(options.replan_storm_max_steps);
+  a.detail = std::to_string(worst_count) + " horizon steps inside " +
+             fmt(options.replan_storm_window_s) + "s starting at t=" +
+             fmt(worst_start) + " (limit " +
+             std::to_string(options.replan_storm_max_steps) + ")";
+  return a;
+}
+
 namespace {
 
 // Shared wiring over any (series, counter) source; keeps the Registry and
@@ -147,6 +183,10 @@ std::vector<Anomaly> run_standard_pass(const SeriesFn& series,
   }
   if (auto a = detect_fallback_spike(counter("lp.session.fallbacks"),
                                      counter("lp.session.solves"), options)) {
+    anomalies.push_back(std::move(*a));
+  }
+  if (auto a = detect_replan_storm("replan.step_times",
+                                   series("replan.step_times"), options)) {
     anomalies.push_back(std::move(*a));
   }
   return anomalies;

@@ -56,10 +56,20 @@ struct AnomalyOptions {
   // solves observed (below that the ratio is noise).
   double fallback_max_fraction = 0.25;
   std::uint64_t fallback_min_solves = 8;
+
+  // Re-plan storm: fire when more than `replan_storm_max_steps` horizon steps
+  // land inside any sliding `replan_storm_window_s` window of the
+  // replan.step_times series (one sample per step, recorded at its simulated
+  // time). A healthy rolling planner fires on its cadence plus the occasional
+  // tracking trigger; a storm means the trigger logic is flapping — each
+  // adopted plan immediately re-trips the sensor — and the fleet is paying
+  // LP time for churn, not reward.
+  double replan_storm_window_s = 30.0;
+  std::size_t replan_storm_max_steps = 8;
 };
 
 struct Anomaly {
-  std::string detector;  // "ramp" | "drift" | "fallback_spike"
+  std::string detector;  // "ramp" | "drift" | "fallback_spike" | "replan_storm"
   std::string series;    // series/counter name the finding anchors to
   double value = 0.0;       // observed statistic
   double threshold = 0.0;   // the bound it crossed
@@ -79,12 +89,17 @@ std::optional<Anomaly> detect_drift(
 std::optional<Anomaly> detect_fallback_spike(std::uint64_t fallbacks,
                                              std::uint64_t solves,
                                              const AnomalyOptions& options = {});
+std::optional<Anomaly> detect_replan_storm(
+    const std::string& series,
+    const std::vector<util::telemetry::Sample>& samples,
+    const AnomalyOptions& options = {});
 
 // The standard wiring the soak runner applies to one scenario's telemetry:
 //   * scheduler.backlog          -> monotone ramp (queued work, seconds)
 //   * sim.queue_depth            -> monotone ramp (engine pending events)
 //   * scheduler.tracking_error   -> rolling-band drift
 //   * lp.session.fallbacks/solves -> fallback spike
+//   * replan.step_times          -> re-plan storm (sliding-window step count)
 // Returned in that fixed order, so reports are deterministic.
 std::vector<Anomaly> detect_anomalies(const util::telemetry::Registry& registry,
                                       const AnomalyOptions& options = {});

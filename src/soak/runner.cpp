@@ -89,6 +89,12 @@ struct RunRecord {
   double tracking_error = 0.0;
   double energy_kwh = 0.0;
   bool simulated = false;
+  // Receding-horizon accounting (profiles with a `replan` section).
+  bool replanned = false;
+  std::size_t horizon_steps = 0;
+  std::size_t horizon_adoptions = 0;
+  std::size_t horizon_degraded = 0;
+  std::size_t horizon_throttles = 0;
   std::vector<Anomaly> anomalies;
   bool pass = false;
 };
@@ -115,6 +121,12 @@ std::string build_report_json(const scenario::ScenarioProfile& profile,
     os << ",\"drop_fraction\":" << fmt_double(record.drop_fraction);
     os << ",\"tracking_error\":" << fmt_double(record.tracking_error);
     os << ",\"energy_kwh\":" << fmt_double(record.energy_kwh);
+  }
+  if (record.replanned) {
+    os << ",\"replan\":{\"steps\":" << record.horizon_steps
+       << ",\"adoptions\":" << record.horizon_adoptions
+       << ",\"degraded\":" << record.horizon_degraded
+       << ",\"throttles\":" << record.horizon_throttles << "}";
   }
   os << ",\"anomalies\":[";
   for (std::size_t i = 0; i < record.anomalies.size(); ++i) {
@@ -201,25 +213,74 @@ RunRecord execute(const scenario::ScenarioProfile& profile,
   sim_options.telemetry = &registry;
   sim_options.telemetry_samples = profile.sim.samples;
 
+  // Trace overlay: generated from the (scale-adjusted) task types with the
+  // sim seed, so the same profile always drives the same demand curves. Owned
+  // here — SimOptions::rate_trace is non-owning and must outlive the run.
+  std::optional<sim::RateTrace> rate_trace;
+  if (profile.trace.kind != scenario::TraceOverlay::Kind::kNone) {
+    sim::RateTraceGenConfig trace_config;
+    switch (profile.trace.kind) {
+      case scenario::TraceOverlay::Kind::kNone:
+        break;
+      case scenario::TraceOverlay::Kind::kDiurnal:
+        trace_config.kind = sim::RateTraceGenConfig::Kind::kDiurnal;
+        trace_config.amplitude = profile.trace.amplitude;
+        trace_config.segments = profile.trace.segments;
+        break;
+      case scenario::TraceOverlay::Kind::kFlash:
+        trace_config.kind = sim::RateTraceGenConfig::Kind::kFlashCrowd;
+        trace_config.start_s = profile.trace.start_s;
+        trace_config.magnitude = profile.trace.magnitude;
+        trace_config.duration_s = profile.trace.duration_s;
+        break;
+      case scenario::TraceOverlay::Kind::kBurst:
+        trace_config.kind = sim::RateTraceGenConfig::Kind::kDecayingBurst;
+        trace_config.start_s = profile.trace.start_s;
+        trace_config.magnitude = profile.trace.magnitude;
+        trace_config.duration_s = profile.trace.duration_s;
+        trace_config.segments = profile.trace.segments;
+        break;
+    }
+    trace_config.seed = profile.sim.seed;
+    trace_config.horizon_s = profile.sim.duration_s;
+    rate_trace = sim::generate_rate_trace(dc.task_types, trace_config);
+    sim_options.rate_trace = &*rate_trace;
+  }
+
   sim::SimResult sim_result;
-  if (profile.faults) {
-    const scenario::FaultStorm& storm = *profile.faults;
-    sim::FaultInjectionConfig fault_config;
-    fault_config.seed = storm.seed;
-    fault_config.horizon_s = storm.horizon_s;
-    fault_config.node_failures = storm.node_failures;
-    fault_config.node_repair_after_s = storm.node_repair_after_s;
-    fault_config.crac_derates = storm.crac_derates;
-    fault_config.crac_capacity_fraction = storm.crac_capacity_fraction;
-    fault_config.crac_repair_after_s = storm.crac_repair_after_s;
-    fault_config.power_cap_fraction = storm.power_cap_fraction;
-    const sim::FaultSchedule schedule =
-        sim::generate_fault_schedule(dc, fault_config);
+  if (profile.faults || profile.replan) {
+    // Fault storms and the rolling planner both run through the
+    // fault-injected loop (a replan-only profile just gets an empty
+    // schedule), so compound drift+fault scenarios exercise the full
+    // generation-guarded adoption protocol.
+    sim::FaultSchedule schedule;
+    if (profile.faults) {
+      const scenario::FaultStorm& storm = *profile.faults;
+      sim::FaultInjectionConfig fault_config;
+      fault_config.seed = storm.seed;
+      fault_config.horizon_s = storm.horizon_s;
+      fault_config.node_failures = storm.node_failures;
+      fault_config.node_repair_after_s = storm.node_repair_after_s;
+      fault_config.crac_derates = storm.crac_derates;
+      fault_config.crac_capacity_fraction = storm.crac_capacity_fraction;
+      fault_config.crac_repair_after_s = storm.crac_repair_after_s;
+      fault_config.power_cap_fraction = storm.power_cap_fraction;
+      schedule = sim::generate_fault_schedule(dc, fault_config);
+    }
     sim::FaultSimOptions fault_options;
     fault_options.sim = sim_options;
     fault_options.recovery.assign.stage1.psi = profile.psi;
     fault_options.recovery.assign.stage1.threads = 1;
     fault_options.recovery.assign.stage1.telemetry = &registry;
+    if (profile.replan) {
+      core::ReplannerOptions replan;
+      replan.cadence_s = profile.replan->cadence_s;
+      replan.tracking_error_threshold = profile.replan->tracking_threshold;
+      replan.lp.max_iterations =
+          static_cast<std::size_t>(profile.replan->max_lp_iterations);
+      replan.telemetry = &registry;
+      fault_options.replan = replan;
+    }
     const sim::FaultSimResult fault_result =
         sim::simulate_with_faults(dc, model, assignment, schedule, fault_options);
     if (!fault_result.status.ok()) {
@@ -227,6 +288,11 @@ RunRecord execute(const scenario::ScenarioProfile& profile,
       record.pass = false;
       return record;
     }
+    record.replanned = profile.replan.has_value();
+    record.horizon_steps = fault_result.horizon_steps;
+    record.horizon_adoptions = fault_result.horizon_adoptions;
+    record.horizon_degraded = fault_result.horizon_degraded;
+    record.horizon_throttles = fault_result.horizon_throttles;
     sim_result = fault_result.sim;
   } else if (profile.arrival.kind == scenario::ArrivalOverlay::Kind::kMmpp) {
     sim::MmppConfig mmpp;

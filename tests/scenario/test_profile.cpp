@@ -8,6 +8,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -66,12 +67,41 @@ ScenarioProfile busy_profile() {
   p.sim.warmup_s = 10.0;
   p.sim.seed = 11;
   p.sim.samples = 48;
+  ReplanSection replan;
+  replan.cadence_s = 18.0;
+  replan.tracking_threshold = 0.35;
+  replan.max_lp_iterations = 250;
+  p.replan = replan;
+  return p;
+}
+
+// Second rich document: trace overlay present (busy_profile cannot carry one
+// because its mmpp arrival conflicts), so the fuzz reaches the trace keys.
+ScenarioProfile drift_profile() {
+  ScenarioProfile p;
+  p.name = "drift-profile";
+  p.nodes = 48;
+  p.arrival.kind = ArrivalOverlay::Kind::kScale;
+  p.arrival.scale = 1.5;
+  p.trace.kind = TraceOverlay::Kind::kBurst;
+  p.trace.start_s = 22.0;
+  p.trace.magnitude = 4.0;
+  p.trace.duration_s = 12.0;
+  p.trace.segments = 10;
+  FaultStorm storm;
+  storm.node_failures = 2;
+  p.faults = storm;
+  ReplanSection replan;
+  replan.cadence_s = 20.0;
+  replan.tracking_threshold = 0.0;
+  p.replan = replan;
   return p;
 }
 
 TEST(Profile, DefaultsValidate) {
   EXPECT_TRUE(valid_profile().validate().ok());
   EXPECT_TRUE(busy_profile().validate().ok());
+  EXPECT_TRUE(drift_profile().validate().ok());
 }
 
 TEST(Profile, ValidationNamesTheField) {
@@ -120,6 +150,49 @@ TEST(Profile, ValidationNamesTheField) {
       {[](ScenarioProfile& p) { p.sim.warmup_s = p.sim.duration_s; },
        "warmup"},
       {[](ScenarioProfile& p) { p.sim.samples = 1; }, "samples"},
+      {[](ScenarioProfile& p) {
+         p.trace.kind = TraceOverlay::Kind::kDiurnal;
+         p.trace.amplitude = 1.5;
+       },
+       "amplitude"},
+      {[](ScenarioProfile& p) {
+         p.trace.kind = TraceOverlay::Kind::kDiurnal;
+         p.trace.segments = 1;
+       },
+       "segments"},
+      {[](ScenarioProfile& p) {
+         p.trace.kind = TraceOverlay::Kind::kFlash;
+         p.trace.magnitude = 0.5;
+       },
+       "magnitude"},
+      {[](ScenarioProfile& p) {
+         p.trace.kind = TraceOverlay::Kind::kFlash;
+         p.trace.start_s = -1.0;
+       },
+       "start"},
+      {[](ScenarioProfile& p) {
+         p.trace.kind = TraceOverlay::Kind::kBurst;
+         p.trace.duration_s = 0.0;
+       },
+       "duration"},
+      {[](ScenarioProfile& p) {
+         p.trace.kind = TraceOverlay::Kind::kDiurnal;
+         p.arrival.kind = ArrivalOverlay::Kind::kMmpp;
+       },
+       "mmpp"},
+      {[](ScenarioProfile& p) {
+         ReplanSection r;
+         r.cadence_s = 0.0;
+         p.replan = r;
+       },
+       "cadence"},
+      {[](ScenarioProfile& p) {
+         ReplanSection r;
+         r.tracking_threshold =
+             std::numeric_limits<double>::quiet_NaN();
+         p.replan = r;
+       },
+       "tracking"},
   };
   for (const Case& c : cases) {
     ScenarioProfile p = valid_profile();
@@ -132,7 +205,8 @@ TEST(Profile, ValidationNamesTheField) {
 }
 
 TEST(Profile, SerializeParseRoundTripIsExact) {
-  for (const ScenarioProfile& original : {valid_profile(), busy_profile()}) {
+  for (const ScenarioProfile& original :
+       {valid_profile(), busy_profile(), drift_profile()}) {
     const std::string text = serialize_profile(original);
     util::StatusOr<ScenarioProfile> parsed = parse_profile(text);
     ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
@@ -183,6 +257,10 @@ TEST(Profile, ParserErrorsCarryLineNumbers) {
       {"tapo-scenarios v1\nname x\npsi\nend\n", "line 3"},
       {"tapo-scenarios v1\nname x\nseed -3\nend\n", "line 3"},
       {"tapo-scenarios v1\nname x\narrival warp 2\nend\n", "line 3"},
+      {"tapo-scenarios v1\nname x\ntrace square 2 3\nend\n", "line 3"},
+      {"tapo-scenarios v1\nname x\ntrace diurnal 0.5\nend\n", "line 3"},
+      {"tapo-scenarios v1\nname x\nreplan 20 0.5\nend\n", "line 3"},
+      {"tapo-scenarios v1\nname x\nreplan 20 0.5 -1\nend\n", "line 3"},
       {"tapo-scenarios v1\nname x\nnodes 4\n", "line 3"},  // missing end
   };
   for (const Case& c : cases) {
@@ -200,11 +278,12 @@ TEST(Profile, ParserErrorsCarryLineNumbers) {
 // validate() — and must never crash, which ASan/UBSan turns into a hard
 // failure in CI.
 TEST(Profile, MutationFuzzNeverCrashesOrSilentlyAccepts) {
-  const std::string base = serialize_profile(busy_profile());
+  const std::string bases[] = {serialize_profile(busy_profile()),
+                               serialize_profile(drift_profile())};
   util::Rng rng(20260807);
   std::size_t rejected = 0, accepted = 0;
   for (int iter = 0; iter < 3000; ++iter) {
-    std::string text = base;
+    std::string text = bases[iter % 2];
     const std::size_t kind = pick(rng, 6);
     switch (kind) {
       case 0:  // truncate at a random byte

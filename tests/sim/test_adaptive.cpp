@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
+#include "sim/arrivals.h"
 #include "testutil.h"
 
 namespace tapo::sim {
@@ -27,6 +30,51 @@ TEST(Adaptive, DegenerateDriftConfigsAreRejected) {
   EXPECT_FALSE(result.feasible);
   EXPECT_FALSE(result.status.ok());
   EXPECT_TRUE(result.epochs.empty());
+}
+
+TEST(Adaptive, ValidateRejectsEveryDegenerateFieldIncludingNested) {
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  {
+    DriftConfig d;
+    d.epoch_seconds = nan;
+    EXPECT_FALSE(d.validate().ok());
+  }
+  {
+    DriftConfig d;
+    d.epoch_seconds = inf;
+    EXPECT_FALSE(d.validate().ok());
+  }
+  {
+    DriftConfig d;
+    d.drift_magnitude = nan;
+    EXPECT_FALSE(d.validate().ok());
+  }
+  // Nested SimOptions fields are validated up front too — a degenerate
+  // scheduler or trace config must be rejected here, not once per epoch
+  // mid-experiment. (Duration/warm-up are overridden per epoch, so a
+  // degenerate duration in the nested options is NOT an error.)
+  {
+    DriftConfig d;
+    d.sim.duration_seconds = -1.0;  // overridden by epoch_seconds
+    EXPECT_TRUE(d.validate().ok());
+  }
+  {
+    DriftConfig d;
+    d.sim.scheduler.warmup_seconds = 0.0;  // 0/0 ATC estimate
+    const util::Status s = d.validate();
+    EXPECT_FALSE(s.ok());
+    EXPECT_NE(s.to_string().find("scheduler"), std::string::npos);
+  }
+  {
+    RateTrace bad;
+    bad.per_type = {{{5.0, 1.0}}};  // first segment must start at 0
+    DriftConfig d;
+    d.sim.rate_trace = &bad;
+    const util::Status s = d.validate();
+    EXPECT_FALSE(s.ok());
+    EXPECT_NE(s.to_string().find("rate trace"), std::string::npos);
+  }
 }
 
 TEST(Adaptive, ProducesOneOutcomePerEpoch) {

@@ -26,6 +26,28 @@ TEST(Arrivals, ZeroRateNeverArrives) {
   ArrivalProcess arrivals(two_types(0.0, 1.0), util::Rng(3));
   EXPECT_TRUE(std::isinf(arrivals.next_interarrival(0)));
   EXPECT_TRUE(std::isfinite(arrivals.next_interarrival(1)));
+  // Absolute-time form of the same contract: no arrival ever, at any clock.
+  EXPECT_TRUE(std::isinf(arrivals.next_arrival_after(0, 0.0)));
+  EXPECT_TRUE(std::isinf(arrivals.next_arrival_after(0, 1e9)));
+}
+
+TEST(Arrivals, ZeroRateDrawsConsumeNoRandomness) {
+  // The documented contract (arrivals.h): a rate <= 0 type returns
+  // +infinity WITHOUT touching its RNG substream. Observable with a trace
+  // that later raises the rate — the post-silence draws must bit-match a
+  // process that never made the silent calls at all.
+  RateTrace trace;
+  trace.per_type = {{{0.0, 0.0}, {50.0, 2.0}}, {{0.0, 1.0}}};
+  ASSERT_TRUE(trace.validate().ok());
+  ArrivalProcess probed(two_types(0.0, 1.0), util::Rng(3), &trace);
+  ArrivalProcess fresh(two_types(0.0, 1.0), util::Rng(3), &trace);
+  // Hammer the silent type before its rate rises...
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(std::isinf(probed.next_interarrival(0)));
+  }
+  // ...and the first real arrival matches the untouched process exactly.
+  EXPECT_DOUBLE_EQ(probed.next_arrival_after(0, 0.0),
+                   fresh.next_arrival_after(0, 0.0));
 }
 
 TEST(Arrivals, StreamsAreIndependentOfDrawOrder) {

@@ -115,6 +115,51 @@ TEST(Spike, QuietOnLowFractionOrFewSolves) {
   EXPECT_FALSE(detect_fallback_spike(0, 0).has_value());
 }
 
+TEST(ReplanStorm, FiresOnABurstOfSteps) {
+  // 12 horizon steps inside 10 s; the default budget is 8 per 30 s window.
+  std::vector<Sample> samples;
+  for (int i = 0; i < 12; ++i) {
+    samples.push_back({static_cast<double>(i), static_cast<double>(i + 1)});
+  }
+  const auto a = detect_replan_storm("replan.step_times", samples, {});
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->detector, "replan_storm");
+  EXPECT_EQ(a->series, "replan.step_times");
+  EXPECT_DOUBLE_EQ(a->value, 12.0);
+  EXPECT_DOUBLE_EQ(a->threshold, 8.0);
+}
+
+TEST(ReplanStorm, QuietOnHealthyCadence) {
+  // 16 steps at a 20 s cadence: at most 2 fall in any 30 s window.
+  std::vector<Sample> samples;
+  for (int i = 0; i < 16; ++i) {
+    samples.push_back({20.0 * i, static_cast<double>(i + 1)});
+  }
+  EXPECT_FALSE(
+      detect_replan_storm("replan.step_times", samples, {}).has_value());
+}
+
+TEST(ReplanStorm, QuietAtExactlyTheBudget) {
+  // Exactly max_steps in one window is allowed; the detector fires only
+  // strictly above the budget.
+  AnomalyOptions options;
+  options.replan_storm_window_s = 30.0;
+  options.replan_storm_max_steps = 8;
+  std::vector<Sample> samples;
+  for (int i = 0; i < 8; ++i) {
+    samples.push_back({static_cast<double>(i), static_cast<double>(i + 1)});
+  }
+  samples.push_back({200.0, 9.0});  // 9th step far outside the window
+  EXPECT_FALSE(
+      detect_replan_storm("replan.step_times", samples, options).has_value());
+}
+
+TEST(ReplanStorm, QuietOnShortOrEmptySeries) {
+  EXPECT_FALSE(detect_replan_storm("replan.step_times", {}, {}).has_value());
+  std::vector<Sample> few = {{0.0, 1.0}, {1.0, 2.0}};
+  EXPECT_FALSE(detect_replan_storm("replan.step_times", few, {}).has_value());
+}
+
 // Bounded false positives: seeded stationary-but-noisy series across many
 // draws must never fire either trend detector (the thresholds are sized for
 // exactly this). Deterministic seed, so this is a regression pin, not a

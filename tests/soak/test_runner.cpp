@@ -186,6 +186,47 @@ TEST(Runner, PlantedRegressionFixtureFailsTheSuite) {
     }
   }
   EXPECT_TRUE(saw_ramp) << "planted queue ramp did not fire";
+
+  // The planted replan-degradation scenario is the graceful-degradation
+  // acceptance case: its horizon-step LP is capped at one simplex iteration,
+  // so every trigger degrades — and the run must still PASS (no crash, no
+  // anomaly), with the degraded-step counters visible in its report.
+  bool saw_degraded_run = false;
+  for (const ScenarioOutcome& o : result.outcomes) {
+    if (o.name != "replan-degraded-40") continue;
+    saw_degraded_run = true;
+    EXPECT_TRUE(o.pass) << o.report_json;
+    EXPECT_NE(o.report_json.find("\"replan\":{"), std::string::npos);
+    EXPECT_EQ(o.report_json.find("\"degraded\":0,"), std::string::npos)
+        << "planted solve deadline should degrade every step: "
+        << o.report_json;
+  }
+  EXPECT_TRUE(saw_degraded_run) << "replan-degraded-40 fixture not loaded";
+}
+
+TEST(Runner, ReplanProfileReportCarriesHorizonCounters) {
+  scenario::ScenarioProfile profile;
+  profile.name = "replan-smoke";
+  profile.nodes = 24;
+  profile.sim.duration_s = 60.0;
+  profile.sim.warmup_s = 6.0;
+  profile.trace.kind = scenario::TraceOverlay::Kind::kDiurnal;
+  profile.trace.amplitude = 0.5;
+  profile.replan = scenario::ReplanSection{};
+  profile.replan->cadence_s = 15.0;
+  ASSERT_TRUE(profile.validate().ok());
+
+  const SoakResult result = run_suite({profile}, {});
+  ASSERT_TRUE(result.status.ok()) << result.status.to_string();
+  ASSERT_EQ(result.outcomes.size(), 1u);
+  const ScenarioOutcome& o = result.outcomes[0];
+  EXPECT_TRUE(o.pass) << o.report_json;
+  // The report embeds the receding-horizon accounting: steps fired and at
+  // least one adoption on a healthy drifting run.
+  EXPECT_NE(o.report_json.find("\"replan\":{\"steps\":"), std::string::npos)
+      << o.report_json;
+  EXPECT_EQ(o.report_json.find("\"steps\":0,"), std::string::npos)
+      << o.report_json;
 }
 
 TEST(Runner, SuiteReportEmbedsScenarioReportsVerbatim) {

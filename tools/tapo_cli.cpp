@@ -11,7 +11,10 @@
 //
 // simulate additionally accepts --faults <file> (a "tapo-faults v1"
 // schedule, see docs/RESILIENCE.md): faults are injected mid-run and the
-// two-phase recovery controller re-plans online.
+// two-phase recovery controller re-plans online. --rate-trace <file> drives
+// time-varying arrivals from a "tapo-traces v1" curve, and
+// --replan-cadence <s> (with --replan-threshold) turns on the
+// receding-horizon re-planner that tracks the drift (core/replanner.h).
 //
 // --csv switches the tabular output to CSV for downstream plotting.
 // --telemetry-out <file>.json archives the run's metrics registry (schema
@@ -186,29 +189,58 @@ int cmd_simulate(const util::ArgParser& args) {
   options.seed = static_cast<std::uint64_t>(args.option_int("seed")) + 1;
   options.telemetry = g_telemetry;
 
-  if (const std::string& faults_path = args.option("faults");
-      !faults_path.empty()) {
-    const util::StatusOr<sim::FaultSchedule> schedule =
-        sim::load_fault_schedule_file(faults_path);
-    if (!schedule.ok()) {
-      std::fprintf(stderr, "error: %s\n",
-                   schedule.status().to_string().c_str());
+  // Optional time-varying arrivals ("tapo-traces v1"); must outlive the run.
+  std::optional<sim::RateTrace> rate_trace;
+  if (const std::string& trace_path = args.option("rate-trace");
+      !trace_path.empty()) {
+    util::StatusOr<sim::RateTrace> loaded =
+        sim::load_rate_trace_file(trace_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "error: %s\n", loaded.status().to_string().c_str());
       return 2;
+    }
+    rate_trace = std::move(*loaded);
+    options.rate_trace = &*rate_trace;
+  }
+
+  const std::string& faults_path = args.option("faults");
+  const double replan_cadence = args.option_double("replan-cadence");
+  if (!faults_path.empty() || replan_cadence > 0.0) {
+    sim::FaultSchedule schedule;
+    if (!faults_path.empty()) {
+      util::StatusOr<sim::FaultSchedule> loaded =
+          sim::load_fault_schedule_file(faults_path);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     loaded.status().to_string().c_str());
+        return 2;
+      }
+      schedule = std::move(*loaded);
     }
     sim::FaultSimOptions fault_options;
     fault_options.sim = options;
     fault_options.recovery.assign.stage1.telemetry = g_telemetry;
     fault_options.recovery.replan_delay_s = args.option_double("replan-delay");
+    if (replan_cadence > 0.0) {
+      core::ReplannerOptions replan;
+      replan.cadence_s = replan_cadence;
+      replan.tracking_error_threshold = args.option_double("replan-threshold");
+      replan.telemetry = g_telemetry;
+      fault_options.replan = replan;
+    }
     const sim::FaultSimResult result = sim::simulate_with_faults(
-        scenario->dc, model, a, *schedule, fault_options);
+        scenario->dc, model, a, schedule, fault_options);
     if (!result.status.ok()) {
       std::fprintf(stderr, "error: %s\n", result.status.to_string().c_str());
       return 2;
     }
-    util::Table table({"faults", "replans adopted", "predicted reward/s",
+    util::Table table({"faults", "replans adopted", "horizon steps",
+                       "horizon adoptions", "predicted reward/s",
                        "achieved reward/s", "drop %", "energy kWh"});
     table.add_row({std::to_string(result.faults.size()),
                    std::to_string(result.replans_adopted),
+                   std::to_string(result.horizon_steps),
+                   std::to_string(result.horizon_adoptions),
                    util::fmt(a.reward_rate, 3),
                    util::fmt(result.sim.reward_rate, 3),
                    util::fmt(100.0 * result.sim.drop_fraction(), 1),
@@ -376,6 +408,14 @@ int main(int argc, char** argv) {
   args.add_option("faults", "inject this tapo-faults v1 schedule (simulate)", "");
   args.add_option("replan-delay",
                   "seconds between a fault and re-plan adoption (simulate)", "10");
+  args.add_option("rate-trace",
+                  "drive arrivals from this tapo-traces v1 file (simulate)", "");
+  args.add_option("replan-cadence",
+                  "receding-horizon re-plan period in seconds; 0 = off "
+                  "(simulate)", "0");
+  args.add_option("replan-threshold",
+                  "tracking-error trigger for early re-plans; 0 disables "
+                  "(simulate)", "0.5");
   args.add_option("target-fraction", "reward floor vs reference (powermin)", "0.8");
   args.add_option("points", "sweep points (sweep)", "6");
   args.add_option("save", "archive the generated data center to this file", "");
