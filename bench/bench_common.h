@@ -20,6 +20,17 @@ inline std::size_t env_size(const char* name, std::size_t fallback) {
   return parsed > 0 ? static_cast<std::size_t>(parsed) : fallback;
 }
 
+// Reads a 0/1 flag from the environment; returns fallback when unset or not
+// "0"/"1". Used to A/B solver paths without a rebuild (e.g. TAPO_LP_FT=0
+// ./bench_solver_perf runs the revised benches on the legacy eta file).
+inline bool env_flag(const char* name, bool fallback) {
+  const char* value = std::getenv(name);
+  if (!value) return fallback;
+  if (value[0] == '0' && value[1] == '\0') return false;
+  if (value[0] == '1' && value[1] == '\0') return true;
+  return fallback;
+}
+
 // Telemetry sink for bench binaries, sharing the runtime registry and JSON
 // shape ("tapo-telemetry-v1", docs/OBSERVABILITY.md) so bench results and
 // tapo_cli --telemetry-out files are directly comparable artifacts.

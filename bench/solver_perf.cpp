@@ -4,6 +4,8 @@
 // several data-center sizes.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "bench_common.h"
 #include "core/assigner.h"
 #include "core/baseline.h"
@@ -68,10 +70,22 @@ void BM_SimplexTransportation(benchmark::State& state) {
 }
 BENCHMARK(BM_SimplexTransportation)->Arg(50)->Arg(150)->Arg(400);
 
+// CRAC count for a bench layout of `nodes` nodes. The generator splits the
+// total node airflow evenly across CRACs, so a flat CRAC count starves
+// 500+-node hot/cold-aisle layouts — each unit would have to move 10x its
+// paper-scale airflow and the feasible setpoint region collapses. One CRAC
+// per ~50 nodes keeps the historical sizes unchanged (150 -> 3) and scales
+// to production layouts (500 -> 10, 1000 -> 20, 1500 -> 30).
+// ScenarioGenerator.FeasibleAtBenchSizes pins generation feasibility at
+// every bench size.
+std::size_t bench_cracs(std::size_t nodes) {
+  return nodes >= 100 ? std::max<std::size_t>(3, nodes / 50) : 2;
+}
+
 scenario::Scenario make_scenario(std::size_t nodes) {
   scenario::ScenarioConfig config;
   config.num_nodes = nodes;
-  config.num_cracs = nodes >= 100 ? 3 : 2;
+  config.num_cracs = bench_cracs(nodes);
   config.seed = 12;
   auto scenario = scenario::generate_scenario(config);
   if (!scenario) std::abort();
@@ -180,7 +194,16 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
                              bool lp_session = false) {
   scenario::ScenarioConfig config;
   config.num_nodes = static_cast<std::size_t>(state.range(0));
-  config.num_cracs = 3;
+  // 3 search dimensions at the historical sizes (unchanged baselines). At
+  // 500+ the two grid shapes diverge: the full Cartesian sweep is 4^cracs
+  // points per round, so it caps at 4 dimensions to stay bounded, while the
+  // coarse-to-fine search scales per-coordinate and runs the realistic
+  // bench_cracs() layout (500 -> 10, 1000 -> 20, 1500 -> 30) — the regime
+  // where the revised session overtakes the dense tableau (docs/SOLVER.md
+  // §6 has the measured crossover).
+  config.num_cracs = config.num_nodes >= 500
+                         ? (full_grid ? 4 : bench_cracs(config.num_nodes))
+                         : 3;
   config.seed = 12;
   const auto scenario = scenario::generate_scenario(config);
   if (!scenario) std::abort();
@@ -204,6 +227,10 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
       "lp.session.patches", "lp.session.ft_updates",
       "lp.session.refactorizations", "lp.session.fallbacks",
       "lp.session.resident_resumes"};
+  // Forrest–Tomlin factor-update health (docs/OBSERVABILITY.md): in-place
+  // updates applied, stability rejections and fill-triggered rebuilds.
+  static const char* const kFt[] = {"lp.ft.updates", "lp.ft.stability_rejects",
+                                    "lp.ft.fill_refactorizations"};
   const std::uint64_t solves0 = reg->counter_value("lp.solves");
   const std::uint64_t iters0 = reg->counter_value("lp.iterations");
   const std::uint64_t warm0 = reg->counter_value("lp.warm_starts");
@@ -215,11 +242,16 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
   }
   std::uint64_t session0[5];
   for (int i = 0; i < 5; ++i) session0[i] = reg->counter_value(kSession[i]);
+  std::uint64_t ft0[3];
+  for (int i = 0; i < 3; ++i) ft0[i] = reg->counter_value(kFt[i]);
 
   core::Stage1Options options;
   options.full_grid = full_grid;
   options.threads = 1;
   options.lp.engine = engine;
+  // TAPO_LP_FT=0 re-runs the revised benches on the legacy product-form eta
+  // file (the FT-vs-eta A/B without a rebuild); unset or 1 is the FT default.
+  options.lp.ft_updates = bench::env_flag("TAPO_LP_FT", true);
   options.grid.warm_chain = warm_chain;
   options.lp_session = lp_session;
   options.telemetry = reg;
@@ -251,6 +283,12 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
           reg->counter_value(kSession[i]) - session0[i]) / iterations;
     }
   }
+  if (engine == solver::LpEngine::Revised) {
+    for (int i = 0; i < 3; ++i) {
+      state.counters[kFt[i] + 3] = static_cast<double>(
+          reg->counter_value(kFt[i]) - ft0[i]) / iterations;
+    }
+  }
   if (solves > 0.0) {
     state.counters["lp_iters_per_solve"] = iters / solves;
     state.counters["warm_hit_rate"] = warm / solves;
@@ -261,61 +299,67 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
   }
 }
 
-// Two sizes: 40 nodes (m ~ 47 rows) and 120 nodes (m ~ 127 rows, the
-// paper's data-center scale). Warm starts cut iterations per solve by
-// 5-16x at a ~0.9 hit rate (the attached counters show it), but the dense
-// tableau stays faster wall-clock at both sizes: the thermal rows make
-// every LP column dense, so CSC pricing scans as many entries as the
-// tableau touches without its vectorization, and a warm solve's fixed
-// costs (LP build, standardize, basis LU, canonical extraction) outweigh
-// the saved pivots. docs/SOLVER.md section 6 keeps the measured numbers.
+// Node sizes per sweep variant. 40 nodes (m ~ 47 rows) and 120 nodes
+// (m ~ 127 rows, the paper's data-center scale) always run; 500 (m ~ 508,
+// production scale) runs in the default perf-smoke slice; 1000/1500 are
+// nightly-only — TAPO_BENCH_MAX_NODES caps the registered sizes (500 by
+// default; the nightly job sets 1500). Full-grid variants stop at 500:
+// a 4-dimension Cartesian round is already ~256 LPs per round and the
+// coarse-to-fine search is the production path at scale, so the 1000/1500
+// rows measure that path (plus the session sweep) only.
+void apply_sweep_sizes(benchmark::internal::Benchmark* b, bool full_grid) {
+  const std::size_t max_nodes = bench::env_size("TAPO_BENCH_MAX_NODES", 500);
+  b->ArgName("nodes")->Arg(40)->Arg(120);
+  if (max_nodes >= 500) b->Arg(500);
+  if (!full_grid) {
+    if (max_nodes >= 1000) b->Arg(1000);
+    if (max_nodes >= 1500) b->Arg(1500);
+  }
+  b->Unit(benchmark::kMillisecond)->UseRealTime();
+}
+void apply_full_grid_sizes(benchmark::internal::Benchmark* b) {
+  apply_sweep_sizes(b, /*full_grid=*/true);
+}
+void apply_c2f_sizes(benchmark::internal::Benchmark* b) {
+  apply_sweep_sizes(b, /*full_grid=*/false);
+}
+
+// Warm starts cut iterations per solve by 5-16x at a ~0.9 hit rate (the
+// attached counters show it), but the dense tableau stays faster wall-clock
+// on the full grid through 500 nodes: the thermal rows make every LP column
+// dense, so pricing scans touch as many entries as the tableau does without
+// its vectorization, and a warm solve's fixed costs (LP build, standardize,
+// basis LU, canonical extraction) outweigh the saved pivots. The revised
+// session wins once the search has more dimensions or rows than the paper
+// scale (10-CRAC coarse-to-fine at 500 nodes, everything at 1000+).
+// docs/SOLVER.md section 6 keeps the measured numbers.
 void BM_Stage1SweepDense(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Dense, 1);
 }
-BENCHMARK(BM_Stage1SweepDense)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1SweepDense)->Apply(apply_full_grid_sizes);
 
 void BM_Stage1SweepRevisedCold(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Revised, 1);
 }
-BENCHMARK(BM_Stage1SweepRevisedCold)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1SweepRevisedCold)->Apply(apply_full_grid_sizes);
 
 void BM_Stage1SweepRevisedWarm(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Revised,
                           solver::GridSearchOptions{}.warm_chain);
 }
-BENCHMARK(BM_Stage1SweepRevisedWarm)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1SweepRevisedWarm)->Apply(apply_full_grid_sizes);
 
 // Persistent-session sweep (solver/session.h): one resident LP per warm
-// chain, patched between grid points and maintained with product-form
-// column-replacement updates instead of per-point rebuild + import
-// refactorization. Same pivot counts as RevisedWarm — the difference is
-// pure fixed cost, visible in the phase_*_ms counters.
+// chain, patched between grid points and maintained with in-place
+// Forrest–Tomlin column-replacement updates instead of per-point rebuild +
+// import refactorization. Same pivot counts as RevisedWarm — the difference
+// is pure fixed cost, visible in the phase_*_ms counters.
 void BM_Stage1SweepRevisedSession(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Revised,
                           solver::GridSearchOptions{}.warm_chain,
                           /*full_grid=*/true, /*lp_session=*/true);
 }
-BENCHMARK(BM_Stage1SweepRevisedSession)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1SweepRevisedSession)->Apply(apply_full_grid_sizes);
 
 // Same comparison on the coarse-to-fine search (the paper's production
 // path): refinement rounds evaluate tightly clustered setpoints, so warm
@@ -326,36 +370,21 @@ void BM_Stage1CoarseToFineDense(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Dense, 1,
                           /*full_grid=*/false);
 }
-BENCHMARK(BM_Stage1CoarseToFineDense)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1CoarseToFineDense)->Apply(apply_c2f_sizes);
 
 void BM_Stage1CoarseToFineRevisedWarm(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Revised,
                           solver::GridSearchOptions{}.warm_chain,
                           /*full_grid=*/false);
 }
-BENCHMARK(BM_Stage1CoarseToFineRevisedWarm)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1CoarseToFineRevisedWarm)->Apply(apply_c2f_sizes);
 
 void BM_Stage1CoarseToFineRevisedSession(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Revised,
                           solver::GridSearchOptions{}.warm_chain,
                           /*full_grid=*/false, /*lp_session=*/true);
 }
-BENCHMARK(BM_Stage1CoarseToFineRevisedSession)
-    ->ArgName("nodes")
-    ->Arg(40)
-    ->Arg(120)
-    ->Unit(benchmark::kMillisecond)
-    ->UseRealTime();
+BENCHMARK(BM_Stage1CoarseToFineRevisedSession)->Apply(apply_c2f_sizes);
 
 // RHS re-solve latency, the recovery/grid-neighbor pattern in isolation: a
 // transportation LP is solved once, then re-solved with perturbed sink

@@ -154,7 +154,27 @@ struct LpOptions {
   LpEngine engine = LpEngine::Revised;
   // Revised engine: refactorize the basis LU from scratch after this many
   // product-form eta updates. Smaller = tighter numerics, more O(m^3) work.
+  // Applies only when ft_updates is false (the eta path is kept for
+  // differential testing); the Forrest–Tomlin path is budgeted by
+  // ft_max_updates / ft_fill_factor instead.
   std::size_t refactor_interval = 64;
+  // Revised engine: update the LU factors in place per basis change
+  // (Forrest–Tomlin) instead of appending product-form eta columns. The
+  // default; set false to run the legacy eta file (differential testing).
+  // Published plans are engine- and path-independent either way (canonical
+  // extraction, docs/SOLVER.md §5).
+  bool ft_updates = true;
+  // Forrest–Tomlin: refactorize after this many in-place column
+  // replacements. Must be >= 1.
+  std::size_t ft_max_updates = 96;
+  // Forrest–Tomlin: refactorize once update fill-in grows the stored factor
+  // entries beyond this multiple of the post-refactorization baseline.
+  // Must be >= 1.0.
+  double ft_fill_factor = 4.0;
+  // Forrest–Tomlin: reject an update (and refactorize) when the emerging
+  // diagonal is below this fraction of max(1, ||spike||_inf). Must be in
+  // (0, 1).
+  double ft_pivot_tolerance = 1e-7;
   // Optional warm-start basis (non-owning; must outlive the solve). Only the
   // revised engine honors it: an accepted basis skips phase 1 entirely,
   // entering either primal phase 2 (already primal feasible) or a dual

@@ -1,5 +1,6 @@
 #include "solver/lu.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "util/check.h"
@@ -117,6 +118,11 @@ std::vector<double> LuFactorization::solve(const std::vector<double>& b) const {
 }
 
 void LuFactorization::solve_in_place(std::vector<double>& b) const {
+  solve_lower_in_place(b);
+  solve_upper_in_place(b);
+}
+
+void LuFactorization::solve_lower_in_place(std::vector<double>& b) const {
   TAPO_CHECK(ok_);
   const std::size_t n = lu_.rows();
   TAPO_CHECK(b.size() == n);
@@ -131,6 +137,12 @@ void LuFactorization::solve_in_place(std::vector<double>& b) const {
     }
     b[i] = acc;
   }
+}
+
+void LuFactorization::solve_upper_in_place(std::vector<double>& b) const {
+  TAPO_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  TAPO_CHECK(b.size() == n);
   // Back substitution with U.
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
@@ -143,6 +155,12 @@ void LuFactorization::solve_in_place(std::vector<double>& b) const {
 }
 
 void LuFactorization::solve_transposed_in_place(std::vector<double>& b) const {
+  solve_upper_transposed_in_place(b);
+  solve_lower_transposed_in_place(b);
+}
+
+void LuFactorization::solve_upper_transposed_in_place(
+    std::vector<double>& b) const {
   TAPO_CHECK(ok_);
   const std::size_t n = lu_.rows();
   TAPO_CHECK(b.size() == n);
@@ -157,6 +175,13 @@ void LuFactorization::solve_transposed_in_place(std::vector<double>& b) const {
     }
     b[i] = acc / udiag_[i];
   }
+}
+
+void LuFactorization::solve_lower_transposed_in_place(
+    std::vector<double>& b) const {
+  TAPO_CHECK(ok_);
+  const std::size_t n = lu_.rows();
+  TAPO_CHECK(b.size() == n);
   // Step 2: w = L^{-T} z. L^T is unit upper triangular.
   for (std::size_t ii = n; ii > 0; --ii) {
     const std::size_t i = ii - 1;
@@ -193,6 +218,202 @@ double LuFactorization::determinant() const {
   double det = perm_sign_;
   for (std::size_t i = 0; i < lu_.rows(); ++i) det *= lu_(i, i);
   return det;
+}
+
+FtFactorization::FtFactorization(const Matrix& basis)
+    : base_(basis), m_(basis.rows()) {}
+
+bool FtFactorization::fill_exceeded(double fill_factor) const {
+  if (!materialized_) return false;
+  const double budget =
+      fill_factor * static_cast<double>(std::max(base_entries_, m_));
+  return static_cast<double>(entries_) > budget;
+}
+
+void FtFactorization::materialize() {
+  // Copy the wrapped factorization's U into the mutable representation. The
+  // pair order starts as the identity, so Ubar's structure and values match
+  // base_'s urow_/ucol_/udiag_ exactly.
+  u_.assign(m_ * m_, 0.0);
+  urow_.assign(m_, {});
+  ucol_.assign(m_, {});
+  in_u_.assign(m_ * m_, 0);
+  row_at_.resize(m_);
+  col_at_.resize(m_);
+  rpos_.resize(m_);
+  cpos_.resize(m_);
+  for (std::size_t i = 0; i < m_; ++i) {
+    const auto u32 = static_cast<std::uint32_t>(i);
+    row_at_[i] = u32;
+    col_at_[i] = u32;
+    rpos_[i] = u32;
+    cpos_[i] = u32;
+    u_[i * m_ + i] = base_.udiag_[i];
+  }
+  entries_ = 0;
+  const LuFactorization::SparseTri& urow = base_.urow_;
+  for (std::size_t i = 0; i < m_; ++i) {
+    for (std::size_t k = urow.start[i]; k < urow.start[i + 1]; ++k) {
+      const std::size_t j = urow.idx[k];
+      u_[i * m_ + j] = urow.val[k];
+      urow_[i].push_back(static_cast<std::uint32_t>(j));
+      ucol_[j].push_back(static_cast<std::uint32_t>(i));
+      in_u_[i * m_ + j] = 1;
+      ++entries_;
+    }
+  }
+  base_entries_ = entries_;
+  materialized_ = true;
+}
+
+void FtFactorization::set_spike_entry(std::uint32_t row, std::uint32_t col,
+                                      double value) {
+  u_[row * m_ + col] = value;
+  if (!in_u_[row * m_ + col]) {
+    in_u_[row * m_ + col] = 1;
+    urow_[row].push_back(col);
+    ucol_[col].push_back(row);
+    ++entries_;
+  }
+}
+
+void FtFactorization::ftran(std::vector<double>& v,
+                            std::vector<double>* spike) const {
+  if (!materialized_) {
+    // Zero updates: delegate to the fused solves so the results are bitwise
+    // identical to a fresh LuFactorization.
+    base_.solve_lower_in_place(v);
+    if (spike != nullptr) *spike = v;
+    base_.solve_upper_in_place(v);
+    return;
+  }
+  TAPO_CHECK(v.size() == m_);
+  base_.solve_lower_in_place(v);
+  for (const RowEta& e : retas_) v[e.spike_row] -= e.mult * v[e.pivot_row];
+  if (spike != nullptr) *spike = v;
+  // Back substitution with Ubar in logical pair order. The input is indexed
+  // by elimination row, the output by basis position, so the solve goes
+  // through scratch. Stored entries at logical positions before the pivot
+  // read scratch slots not yet written: those entries are exact zeros (see
+  // the header), and the zero-fill below keeps 0.0 * scratch exact.
+  scratch_.assign(m_, 0.0);
+  for (std::size_t kk = m_; kk > 0; --kk) {
+    const std::uint32_t r = row_at_[kk - 1];
+    const std::uint32_t c = col_at_[kk - 1];
+    double acc = v[r];
+    const double* urow_vals = u_.data() + static_cast<std::size_t>(r) * m_;
+    for (const std::uint32_t j : urow_[r]) acc -= urow_vals[j] * scratch_[j];
+    scratch_[c] = acc / urow_vals[c];
+  }
+  v.assign(scratch_.begin(), scratch_.end());
+}
+
+void FtFactorization::btran(std::vector<double>& v) const {
+  if (!materialized_) {
+    base_.solve_transposed_in_place(v);
+    return;
+  }
+  TAPO_CHECK(v.size() == m_);
+  // Forward substitution with Ubar^T in logical pair order (input indexed by
+  // basis position, output by elimination row).
+  scratch_.assign(m_, 0.0);
+  for (std::size_t kk = 0; kk < m_; ++kk) {
+    const std::uint32_t r = row_at_[kk];
+    const std::uint32_t c = col_at_[kk];
+    double acc = v[c];
+    for (const std::uint32_t i : ucol_[c]) {
+      acc -= u_[static_cast<std::size_t>(i) * m_ + c] * scratch_[i];
+    }
+    scratch_[r] = acc / u_[static_cast<std::size_t>(r) * m_ + c];
+  }
+  v.assign(scratch_.begin(), scratch_.end());
+  for (std::size_t kk = retas_.size(); kk > 0; --kk) {
+    const RowEta& e = retas_[kk - 1];
+    v[e.pivot_row] -= e.mult * v[e.spike_row];
+  }
+  base_.solve_lower_transposed_in_place(v);
+}
+
+FtFactorization::Update FtFactorization::replace_column(
+    std::size_t pos, const std::vector<double>& spike,
+    double pivot_tolerance) {
+  TAPO_CHECK(ok());
+  TAPO_CHECK(pos < m_);
+  TAPO_CHECK(spike.size() == m_);
+  if (!materialized_) materialize();
+
+  const auto p = static_cast<std::uint32_t>(pos);
+  const std::uint32_t kp = cpos_[p];
+  const std::uint32_t rp = row_at_[kp];
+
+  // Column p becomes the spike. Old entries not overwritten stay listed with
+  // an exact 0.0 value.
+  for (const std::uint32_t r : ucol_[p]) u_[static_cast<std::size_t>(r) * m_ + p] = 0.0;
+  u_[static_cast<std::size_t>(rp) * m_ + p] = 0.0;
+  double spike_max = 0.0;
+  for (std::size_t i = 0; i < m_; ++i) {
+    const double v = spike[i];
+    if (v == 0.0) continue;
+    const double mag = std::fabs(v);
+    if (mag > spike_max) spike_max = mag;
+    if (i == rp) {
+      u_[static_cast<std::size_t>(rp) * m_ + p] = v;  // the pair's diagonal slot
+    } else {
+      set_spike_entry(static_cast<std::uint32_t>(i), p, v);
+    }
+  }
+
+  // Cyclically move the replaced pair to the last logical position. Column p
+  // is then trivially upper triangular; row rp's entries at the pairs it
+  // jumped over are now below the diagonal and get eliminated next.
+  for (std::uint32_t k = kp; k + 1 < m_; ++k) {
+    row_at_[k] = row_at_[k + 1];
+    col_at_[k] = col_at_[k + 1];
+    rpos_[row_at_[k]] = k;
+    cpos_[col_at_[k]] = k;
+  }
+  row_at_[m_ - 1] = rp;
+  col_at_[m_ - 1] = p;
+  rpos_[rp] = static_cast<std::uint32_t>(m_ - 1);
+  cpos_[p] = static_cast<std::uint32_t>(m_ - 1);
+
+  // Eliminate row rp against the jumped pairs in increasing logical order.
+  // Each pivot row rj has entries only at logical positions >= its own, so
+  // fill lands at later positions and is handled as the loop advances; fill
+  // at column p accumulates into the emerging diagonal.
+  double* rp_vals = u_.data() + static_cast<std::size_t>(rp) * m_;
+  for (std::uint32_t k = kp; k + 1 < m_; ++k) {
+    const std::uint32_t rj = row_at_[k];
+    const std::uint32_t cj = col_at_[k];
+    const double val = rp_vals[cj];
+    if (val == 0.0) continue;
+    const double* rj_vals = u_.data() + static_cast<std::size_t>(rj) * m_;
+    const double mult = val / rj_vals[cj];
+    rp_vals[cj] = 0.0;
+    for (const std::uint32_t c2 : urow_[rj]) {
+      const double uv = rj_vals[c2];
+      if (uv == 0.0) continue;  // stale structure entry
+      if (c2 == p) {
+        rp_vals[p] -= mult * uv;
+        continue;
+      }
+      rp_vals[c2] -= mult * uv;
+      if (!in_u_[static_cast<std::size_t>(rp) * m_ + c2]) {
+        in_u_[static_cast<std::size_t>(rp) * m_ + c2] = 1;
+        urow_[rp].push_back(c2);
+        ucol_[c2].push_back(rp);
+        ++entries_;
+      }
+    }
+    retas_.push_back(RowEta{rp, rj, mult});
+  }
+
+  const double diag = rp_vals[p];
+  if (!(std::fabs(diag) >= pivot_tolerance * std::max(1.0, spike_max))) {
+    return Update::kUnstable;
+  }
+  ++n_updates_;
+  return Update::kOk;
 }
 
 }  // namespace tapo::solver

@@ -11,10 +11,18 @@
 // exported from one LP warm-start a perturbed one: the slack of row r is
 // the same logical variable in both, whatever the sign of b'_r.
 //
-// The basis inverse is represented as an LU factorization of a snapshot
-// basis composed with a product-form eta file; after refactor_interval eta
-// updates the LU is rebuilt from scratch. FTRAN/BTRAN run in place through
-// LuFactorization::solve_in_place / solve_transposed_in_place.
+// The basis inverse is an LU factorization maintained, by default, with
+// in-place Forrest–Tomlin column replacements (FtFactorization, solver/lu.h):
+// each basis change mutates U and records one row eta per eliminated entry,
+// so FTRAN/BTRAN stay two sparse triangular solves plus scalar eta
+// applications regardless of how dense the replaced columns were. A
+// stability monitor (emerging-diagonal test) and a fill/update budget
+// (LpOptions::ft_max_updates, ft_fill_factor) demote the update chain to a
+// from-scratch refactorization. Setting LpOptions::ft_updates = false runs
+// the legacy product-form eta file (a snapshot LU composed with dense eta
+// columns, rebuilt every refactor_interval updates), kept for differential
+// testing — both paths land on identical published plans via canonical
+// extraction.
 //
 // Warm starts: an imported LpBasis is validated (slot count, exactly m
 // basic variables, factorizable basis matrix); on acceptance phase 1 is
@@ -54,6 +62,13 @@ namespace tapo::solver::internal {
 
 void RevisedCore::standardize() {
   util::telemetry::ScopedTimer timer(reg_, "lp.phase.standardize");
+  TAPO_CHECK_MSG(opt_.ft_max_updates >= 1,
+                 "LpOptions::ft_max_updates must be >= 1");
+  TAPO_CHECK_MSG(opt_.ft_fill_factor >= 1.0,
+                 "LpOptions::ft_fill_factor must be >= 1.0");
+  TAPO_CHECK_MSG(opt_.ft_pivot_tolerance > 0.0 && opt_.ft_pivot_tolerance < 1.0,
+                 "LpOptions::ft_pivot_tolerance must be in (0, 1)");
+  use_ft_ = opt_.ft_updates;
   m_ = p_.num_constraints();
   n_struct_ = p_.num_vars();
   slack0_ = n_struct_;
@@ -86,6 +101,29 @@ void RevisedCore::standardize() {
   for (std::size_t k = 0; k < col_row_.size(); ++k) {
     col_val_[k] *= rel_sign_[col_row_[k]];
   }
+
+  // Longest contiguous row run per structural column (see col_run_* in the
+  // header). Row structure is fixed for the life of the core, so one pass.
+  col_run_start_.assign(n_struct_, 0);
+  col_run_len_.assign(n_struct_, 0);
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    const std::size_t k1 = col_start_[v + 1];
+    std::size_t best_start = col_start_[v];
+    std::size_t best_len = 0;
+    std::size_t k = col_start_[v];
+    while (k < k1) {
+      std::size_t j = k + 1;
+      while (j < k1 && col_row_[j] == col_row_[j - 1] + 1) ++j;
+      if (j - k > best_len) {
+        best_len = j - k;
+        best_start = k;
+      }
+      k = j;
+    }
+    col_run_start_[v] = best_start;
+    col_run_len_[v] = best_len;
+  }
+
   bnorm_ = 0.0;
   art_sign_.assign(m_, 1.0);
   for (std::size_t r = 0; r < m_; ++r) {
@@ -262,10 +300,19 @@ bool RevisedCore::refactorize() {
   for (std::size_t r = 0; r < m_; ++r) {
     for_col(basis_[r], [&](std::size_t row, double v) { bm(row, r) = v; });
   }
-  LuFactorization f(bm);
-  if (!f.ok()) return false;
-  lu_ = std::move(f);
+  if (use_ft_) {
+    ft_.emplace(bm);
+    if (!ft_->ok()) {
+      ft_.reset();
+      return false;
+    }
+  } else {
+    LuFactorization f(bm);
+    if (!f.ok()) return false;
+    lu_ = std::move(f);
+  }
   etas_.clear();
+  spike_valid_ = false;
   if (session_mode_) {
     // A from-scratch rebuild reads the patched CSC directly, so any queued
     // column updates are incorporated for free.
@@ -277,7 +324,16 @@ bool RevisedCore::refactorize() {
   return true;
 }
 
-void RevisedCore::ftran(std::vector<double>& v) const {
+void RevisedCore::ftran(std::vector<double>& v, bool entering) const {
+  if (use_ft_) {
+    if (entering) {
+      ft_->ftran(v, &spike_);
+      spike_valid_ = true;
+    } else {
+      ft_->ftran(v);
+    }
+    return;
+  }
   lu_->solve_in_place(v);
   for (const Eta& e : etas_) {
     const double t = v[e.row] / e.col[e.row];
@@ -289,6 +345,10 @@ void RevisedCore::ftran(std::vector<double>& v) const {
 }
 
 void RevisedCore::btran(std::vector<double>& v) const {
+  if (use_ft_) {
+    ft_->btran(v);
+    return;
+  }
   for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
     const Eta& e = *it;
     double s = 0.0;
@@ -328,7 +388,27 @@ double RevisedCore::primal_infeasibility() const {
   return worst;
 }
 
-bool RevisedCore::push_eta_and_maybe_refactor(std::size_t pivot_row) {
+bool RevisedCore::push_update_and_maybe_refactor(std::size_t pivot_row) {
+  if (use_ft_) {
+    TAPO_CHECK_MSG(spike_valid_, "FT update without a captured entering spike");
+    spike_valid_ = false;
+    const FtFactorization::Update res =
+        ft_->replace_column(pivot_row, spike_, opt_.ft_pivot_tolerance);
+    if (res == FtFactorization::Update::kUnstable) {
+      // The rejected update left the factors unusable; rebuild from basis_
+      // (which pivot() already updated, so the rebuild is the new basis).
+      if (reg_) reg_->count("lp.ft.stability_rejects");
+      if (session_mode_) ++session_.stability_refactorizations;
+      return refactorize();
+    }
+    if (reg_) reg_->count("lp.ft.updates");
+    const bool fill = ft_->fill_exceeded(opt_.ft_fill_factor);
+    if (fill || ft_->updates() >= opt_.ft_max_updates) {
+      if (fill && reg_) reg_->count("lp.ft.fill_refactorizations");
+      if (!refactorize()) return false;
+    }
+    return true;
+  }
   etas_.push_back(Eta{pivot_row, w_});
   if (etas_.size() >= std::max<std::size_t>(1, opt_.refactor_interval)) {
     if (!refactorize()) return false;
@@ -349,7 +429,7 @@ bool RevisedCore::pivot(std::size_t enter, int dir, std::size_t pivot_row,
   basis_[pivot_row] = enter;
   status_[enter] = VarStatus::Basic;
   xb_[pivot_row] = (dir > 0) ? delta : ub_[enter] - delta;
-  return push_eta_and_maybe_refactor(pivot_row);
+  return push_update_and_maybe_refactor(pivot_row);
 }
 
 RevisedCore::Step RevisedCore::primal_iterate(bool phase1,
@@ -404,7 +484,7 @@ RevisedCore::Step RevisedCore::primal_iterate(bool phase1,
     if (!found) return Step::Done;  // phase optimal
 
     load_col(enter, w_);
-    ftran(w_);
+    ftran(w_, /*entering=*/true);
 
     // Ratio test: largest step delta keeping all basic variables in their
     // bounds; ties prefer the larger |pivot| (same rule as the oracle).
@@ -624,7 +704,7 @@ RevisedCore::Step RevisedCore::dual_iterate() {
     }
 
     load_col(enter, w_);
-    ftran(w_);
+    ftran(w_, /*entering=*/true);
     const double wr = w_[rl];
     if (std::fabs(wr) < 1e-9) return Step::Numerical;  // rho/FTRAN disagree
 
@@ -665,7 +745,7 @@ RevisedCore::Step RevisedCore::dual_iterate() {
     // violation); any residual wrong-side value is a new violation this
     // same loop repairs.
     xb_[rl] = enter_old + theta;
-    if (!push_eta_and_maybe_refactor(rl)) return Step::Numerical;
+    if (!push_update_and_maybe_refactor(rl)) return Step::Numerical;
   }
 }
 
@@ -690,7 +770,7 @@ bool RevisedCore::driveout_artificials() {
     bool swapped = false;
     if (replacement != n_total_) {
       load_col(replacement, w_);
-      ftran(w_);
+      ftran(w_, /*entering=*/true);
       if (std::fabs(w_[r]) > 1e-9) {
         // Degenerate pivot (delta = 0) to swap the artificial out.
         const int dir = (status_[replacement] == VarStatus::AtLower) ? +1 : -1;
@@ -792,13 +872,16 @@ LpSolution RevisedCore::extract(LpStatus status) {
   if (status != LpStatus::Optimal && status != LpStatus::IterLimit) return sol;
 
   if (status == LpStatus::Optimal) {
-    // Canonicalize: ascending basis order and a fresh factorization (empty
-    // eta file) make the extracted numbers a function of the basis alone.
-    // When the basis is already sorted with an empty eta file (a warm solve
-    // that pivoted at most refactor_interval times from an imported basis,
-    // which try_warm builds in ascending order), lu_ IS that canonical
-    // factorization — refactorizing again would reproduce it bit for bit.
-    if (etas_.empty() && std::is_sorted(basis_.begin(), basis_.end())) {
+    // Canonicalize: ascending basis order and a fresh factorization (no
+    // pending updates) make the extracted numbers a function of the basis
+    // alone. When the basis is already sorted and the factors are fresh (a
+    // warm solve that pivoted fewer times than the update budget from an
+    // imported basis, which try_warm builds in ascending order), the
+    // resident factorization IS the canonical one — refactorizing again
+    // would reproduce it bit for bit. A zero-update FT factorization
+    // qualifies: its solves delegate to the wrapped fresh LU.
+    const bool factors_fresh = use_ft_ ? ft_->updates() == 0 : etas_.empty();
+    if (factors_fresh && std::is_sorted(basis_.begin(), basis_.end())) {
       compute_xb();
     } else {
       std::sort(basis_.begin(), basis_.end());
@@ -930,17 +1013,21 @@ bool RevisedCore::apply_pending_updates() {
   // When the patch set rivals the refactorization budget, one rebuild from
   // the already-patched CSC is cheaper (and tighter numerically) than a
   // long chain of sequential column replacements.
-  const std::size_t budget = std::min<std::size_t>(
-      std::max<std::size_t>(1, opt_.refactor_interval), m_ / 4 + 1);
-  if (dirty_cols_.size() + etas_.size() >= budget) {
+  const std::size_t interval =
+      use_ft_ ? opt_.ft_max_updates
+              : std::max<std::size_t>(1, opt_.refactor_interval);
+  const std::size_t pending = use_ft_ ? ft_->updates() : etas_.size();
+  const std::size_t budget = std::min<std::size_t>(interval, m_ / 4 + 1);
+  if (dirty_cols_.size() + pending >= budget) {
     return refactorize();  // clears the dirty queue
   }
-  // Sequential product-form column replacement (Forrest–Tomlin style, spike
-  // kept as a full eta column): for a basic column v in basis row r whose
-  // values changed, w = B^{-1} a_new through the *current* factors gives
-  // the replacement eta {r, w}. A small pivot w_r means the new column is
-  // near-dependent on the rest of the basis through these factors — the
-  // stability monitor demotes that to a refactorization.
+  // Sequential column replacement: for a basic column v in basis row r whose
+  // values changed, w = B^{-1} a_new through the *current* factors gives the
+  // replacement — an in-place Forrest–Tomlin update (use_ft_, consuming the
+  // spike captured by the entering ftran) or a product-form eta {r, w}. A
+  // small pivot w_r means the new column is near-dependent on the rest of
+  // the basis through these factors — the stability monitor demotes that to
+  // a refactorization.
   // Iterate by index: refactorize() inside the loop would clear the queue.
   std::vector<std::size_t> queue;
   queue.swap(dirty_cols_);
@@ -953,13 +1040,32 @@ bool RevisedCore::apply_pending_updates() {
     }
     TAPO_CHECK_MSG(r < m_, "basic column missing from basis");
     load_col(v, w_);
-    ftran(w_);
+    ftran(w_, /*entering=*/true);
     double wmax = 0.0;
     for (std::size_t i = 0; i < m_; ++i) wmax = std::max(wmax, std::fabs(w_[i]));
     if (std::fabs(w_[r]) < 1e-6 * std::max(1.0, wmax)) {
       ++session_.stability_refactorizations;
       if (reg_) reg_->count("lp.session.stability_refactorizations");
       return refactorize();
+    }
+    if (use_ft_) {
+      spike_valid_ = false;
+      const FtFactorization::Update res =
+          ft_->replace_column(r, spike_, opt_.ft_pivot_tolerance);
+      if (res == FtFactorization::Update::kUnstable) {
+        ++session_.stability_refactorizations;
+        if (reg_) reg_->count("lp.ft.stability_rejects");
+        if (reg_) reg_->count("lp.session.stability_refactorizations");
+        return refactorize();
+      }
+      if (reg_) reg_->count("lp.ft.updates");
+      ++session_.ft_updates;
+      if (ft_->updates() >= opt_.ft_max_updates ||
+          ft_->fill_exceeded(opt_.ft_fill_factor)) {
+        if (!refactorize()) return false;
+        break;  // remaining queue entries were absorbed by the rebuild
+      }
+      continue;
     }
     etas_.push_back(Eta{r, w_});
     ++session_.ft_updates;

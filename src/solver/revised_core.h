@@ -10,8 +10,9 @@
 //     patch_*() calls followed by solve_persistent(). Patches edit the
 //     resident standardized arrays in place (CSC values, shifted RHS,
 //     bounds, costs); a patched column that is currently basic is queued for
-//     a product-form (Forrest–Tomlin-style) column-replacement update of the
-//     resident factorization instead of a refactorization. A stability
+//     a column-replacement update of the resident factorization (an in-place
+//     Forrest–Tomlin update by default, a product-form eta when
+//     LpOptions::ft_updates is off) instead of a refactorization. A stability
 //     monitor (spike-pivot and residual checks) demotes updates to a
 //     refactorization and, failing that, to the cold path, so a session
 //     solve is never less correct than a fresh one (docs/SOLVER.md §7).
@@ -91,7 +92,10 @@ class RevisedCore {
 
   // ---- basis inverse ----
   bool refactorize();
-  void ftran(std::vector<double>& v) const;
+  // FTRAN: v <- B^{-1} v. `entering` marks v as an entering/replacement
+  // column whose update the next push_update_and_maybe_refactor() will
+  // apply: in FT mode the partially solved spike is captured for it.
+  void ftran(std::vector<double>& v, bool entering = false) const;
   void btran(std::vector<double>& v) const;
 
   // ---- column access (structural / slack / artificial uniformly) ----
@@ -107,9 +111,33 @@ class RevisedCore {
       f(j - art0_, art_sign_[j - art0_]);
     }
   }
+  // Pricing dot, split per structural column into sparse head / contiguous
+  // dense run / sparse tail (see col_run_start_). The three loops visit the
+  // same entries in the same ascending-row order as for_col, so the sum is
+  // bit-identical; the dense middle loop — the thermal-row block in the
+  // Stage-1 LPs — just drops the per-entry row-index gather.
   double col_dot(const std::vector<double>& y, std::size_t j) const {
     double s = 0.0;
-    for_col(j, [&](std::size_t r, double v) { s += y[r] * v; });
+    if (j < slack0_) {
+      const std::size_t k1 = col_start_[j + 1];
+      const std::size_t rs = col_run_start_[j];
+      const std::size_t rl = col_run_len_[j];
+      for (std::size_t k = col_start_[j]; k < rs; ++k) {
+        s += y[col_row_[k]] * col_val_[k];
+      }
+      if (rl != 0) {
+        const double* yv = y.data() + col_row_[rs];
+        const double* cv = col_val_.data() + rs;
+        for (std::size_t i = 0; i < rl; ++i) s += yv[i] * cv[i];
+      }
+      for (std::size_t k = rs + rl; k < k1; ++k) {
+        s += y[col_row_[k]] * col_val_[k];
+      }
+    } else if (j < art0_) {
+      s = y[j - slack0_];
+    } else {
+      s = y[j - art0_] * art_sign_[j - art0_];
+    }
     return s;
   }
   void load_col(std::size_t j, std::vector<double>& w) const {
@@ -139,7 +167,11 @@ class RevisedCore {
   double primal_infeasibility() const;
 
   // ---- pivoting ----
-  bool push_eta_and_maybe_refactor(std::size_t pivot_row);
+  // Applies the basis update for the column that just became basic in
+  // `pivot_row`: an in-place FT column replacement (use_ft_, consuming the
+  // spike the last entering ftran captured) or a product-form eta append.
+  // Either path refactorizes when its budget or stability monitor says so.
+  bool push_update_and_maybe_refactor(std::size_t pivot_row);
   bool pivot(std::size_t enter, int dir, std::size_t pivot_row, double delta,
              bool leaving_at_upper);
   Step primal_iterate(bool phase1, const std::vector<double>& cost);
@@ -179,6 +211,15 @@ class RevisedCore {
   std::vector<std::size_t> col_start_, col_row_;
   std::vector<double> col_val_;
 
+  // Per structural column, the longest contiguous row-index run inside its
+  // CSC slice: col_run_start_[v] is a CSC position k in
+  // [col_start_[v], col_start_[v+1]] and col_run_len_[v] its length, with
+  // col_row_[k..k+len) consecutive. In the Stage-1 LPs this is the dense
+  // thermal block of the column; col_dot iterates it without the row-index
+  // gather. Row structure never changes after standardize() (patches edit
+  // values only), so the runs are computed once.
+  std::vector<std::size_t> col_run_start_, col_run_len_;
+
   // Pricing dedup state (see priced_dot). col_class_[v] is the smallest
   // structural index whose column is bit-identical to v's (v itself for a
   // singleton); patch_coefficient demotes the patched column to a singleton.
@@ -199,6 +240,18 @@ class RevisedCore {
   std::vector<VarStatus> status_;   // per variable
   std::vector<double> xb_;          // basic variable values, aligned to basis_
 
+  // Basis inverse, one of two representations (use_ft_, from
+  // LpOptions::ft_updates):
+  //   * FT mode: ft_ holds the factors and absorbs basis changes as in-place
+  //     Forrest–Tomlin column replacements; etas_ stays empty. spike_ holds
+  //     the partially solved entering column the last ftran(v, true)
+  //     captured — the replacement column the next update consumes.
+  //   * eta mode (legacy, kept for differential testing): lu_ is a snapshot
+  //     factorization composed with the product-form eta file etas_.
+  bool use_ft_ = true;
+  std::optional<FtFactorization> ft_;
+  mutable std::vector<double> spike_;
+  mutable bool spike_valid_ = false;
   std::optional<LuFactorization> lu_;
   std::vector<Eta> etas_;
 

@@ -176,12 +176,13 @@ TEST(Stage1, EngineAndThreadCountDoNotChangeThePlan) {
   const Stage1Result reference = solver.solve();
   ASSERT_TRUE(reference.feasible);
 
-  std::vector<Stage1Options> variants(5);
+  std::vector<Stage1Options> variants(6);
   variants[0].lp.engine = solver::LpEngine::Dense;
   variants[1].threads = 1;
   variants[2].threads = 4;
-  variants[3].grid.warm_chain = 1;  // chaining disabled
-  variants[4].lp_session = false;   // per-point rebuild instead of sessions
+  variants[3].grid.warm_chain = 1;   // chaining disabled
+  variants[4].lp_session = false;    // per-point rebuild instead of sessions
+  variants[5].lp.ft_updates = false; // legacy eta file instead of FT updates
   for (std::size_t i = 0; i < variants.size(); ++i) {
     const Stage1Result got = solver.solve(variants[i]);
     ASSERT_TRUE(got.feasible) << "variant " << i;
@@ -207,21 +208,24 @@ TEST(Stage1, SessionSweepIsBitIdenticalAcrossThreadCounts) {
   const Stage1Result reference = solver.solve(no_session);
   ASSERT_TRUE(reference.feasible);
 
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
-                                    std::size_t{8}}) {
-    Stage1Options with_session;
-    with_session.lp_session = true;
-    with_session.threads = threads;
-    const Stage1Result got = solver.solve(with_session);
-    ASSERT_TRUE(got.feasible) << "threads " << threads;
-    EXPECT_EQ(got.objective, reference.objective) << "threads " << threads;
-    EXPECT_EQ(got.crac_out_c, reference.crac_out_c) << "threads " << threads;
-    EXPECT_EQ(got.node_core_power_kw, reference.node_core_power_kw)
-        << "threads " << threads;
-    EXPECT_EQ(got.compute_power_kw, reference.compute_power_kw)
-        << "threads " << threads;
-    EXPECT_EQ(got.crac_power_kw, reference.crac_power_kw)
-        << "threads " << threads;
+  // Both factor-maintenance paths (in-place Forrest–Tomlin and the legacy
+  // eta file) must publish the reference plan at every thread count.
+  for (const bool ft : {true, false}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{8}}) {
+      SCOPED_TRACE(testing::Message() << "ft=" << ft << " threads=" << threads);
+      Stage1Options with_session;
+      with_session.lp_session = true;
+      with_session.threads = threads;
+      with_session.lp.ft_updates = ft;
+      const Stage1Result got = solver.solve(with_session);
+      ASSERT_TRUE(got.feasible);
+      EXPECT_EQ(got.objective, reference.objective);
+      EXPECT_EQ(got.crac_out_c, reference.crac_out_c);
+      EXPECT_EQ(got.node_core_power_kw, reference.node_core_power_kw);
+      EXPECT_EQ(got.compute_power_kw, reference.compute_power_kw);
+      EXPECT_EQ(got.crac_power_kw, reference.crac_power_kw);
+    }
   }
 }
 

@@ -199,5 +199,30 @@ TEST(Generator, PaperScaleSucceeds) {
   EXPECT_EQ(scenario->dc.total_cores(), 4800u);
 }
 
+// Pins generation feasibility at the bench layouts (bench/solver_perf.cpp
+// bench_cracs: one CRAC per ~50 nodes at 100+). The generator splits total
+// node airflow evenly across CRACs, so a starved CRAC count (e.g. 3 units
+// for 500 nodes) collapses the feasible setpoint region; this test is the
+// tier-1 guard that the published scaling keeps every bench size feasible.
+// Capped at 500 nodes for suite speed — the 1000/1500-node nightly benches
+// abort on infeasible generation, covering the larger sizes.
+TEST(Generator, FeasibleAtBenchSizes) {
+  struct Layout {
+    std::size_t nodes, cracs;
+  };
+  const Layout layouts[] = {{40, 2}, {120, 3}, {150, 3}, {500, 10}};
+  for (const auto& layout : layouts) {
+    ScenarioConfig config;
+    config.num_nodes = layout.nodes;
+    config.num_cracs = layout.cracs;
+    config.seed = 12;  // the bench seed
+    const auto scenario = generate_scenario(config);
+    ASSERT_TRUE(scenario.has_value())
+        << layout.nodes << " nodes / " << layout.cracs << " CRACs";
+    EXPECT_TRUE(scenario->bounds.feasible)
+        << layout.nodes << " nodes / " << layout.cracs << " CRACs";
+  }
+}
+
 }  // namespace
 }  // namespace tapo::scenario

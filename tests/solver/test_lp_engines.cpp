@@ -198,6 +198,65 @@ TEST(LpEngines, RefactorIntervalDoesNotDriftFromOracle) {
   }
 }
 
+TEST(LpEngines, FtAndEtaFilePathsAgreeWithTheOracle) {
+  // The revised engine's two factor-maintenance paths — in-place
+  // Forrest–Tomlin updates (the default) and the legacy product-form eta
+  // file (ft_updates = false, kept for differential testing) — must both
+  // match the dense oracle on status and objective, and a tightened FT
+  // update budget (forcing frequent refactorizations) must not drift.
+  util::Rng rng(0x6a09e667f3bcc908ULL);
+  std::size_t optimal_count = 0;
+  for (int trial = 0; trial < 80; ++trial) {
+    const std::size_t n_vars = static_cast<std::size_t>(rng.uniform_int(3, 14));
+    const std::size_t n_rows = static_cast<std::size_t>(rng.uniform_int(2, 10));
+    const RandomLp lp = make_random_lp(rng, n_vars, n_rows);
+    const LpSolution dense = solve_with(lp.problem, LpEngine::Dense);
+
+    LpOptions ft_opt;
+    ft_opt.engine = LpEngine::Revised;
+    ft_opt.ft_updates = true;
+    const LpSolution ft = solve_lp(lp.problem, ft_opt);
+
+    LpOptions eta_opt;
+    eta_opt.engine = LpEngine::Revised;
+    eta_opt.ft_updates = false;
+    const LpSolution eta = solve_lp(lp.problem, eta_opt);
+
+    LpOptions tight_opt = ft_opt;
+    tight_opt.ft_max_updates = 2;
+    const LpSolution tight = solve_lp(lp.problem, tight_opt);
+
+    ASSERT_EQ(dense.status, ft.status) << "trial " << trial;
+    ASSERT_EQ(dense.status, eta.status) << "trial " << trial;
+    ASSERT_EQ(dense.status, tight.status) << "trial " << trial;
+    if (!dense.optimal()) continue;
+    ++optimal_count;
+    EXPECT_NEAR(dense.objective, ft.objective, 1e-7) << "trial " << trial;
+    EXPECT_NEAR(dense.objective, eta.objective, 1e-7) << "trial " << trial;
+    EXPECT_NEAR(dense.objective, tight.objective, 1e-7) << "trial " << trial;
+    EXPECT_LT(lp.problem.max_violation(ft.x), 1e-6) << "trial " << trial;
+  }
+  EXPECT_GT(optimal_count, 30u);
+}
+
+TEST(LpEngines, FtKnobValidation) {
+  LpProblem lp;
+  lp.add_variable(0.0, 1.0, 1.0);
+  lp.add_constraint({{0, 1.0}}, Relation::LessEq, 0.5);
+  LpOptions opt;
+  opt.ft_max_updates = 0;
+  EXPECT_DEATH(solve_lp(lp, opt), "ft_max_updates");
+  opt = LpOptions{};
+  opt.ft_fill_factor = 0.5;
+  EXPECT_DEATH(solve_lp(lp, opt), "ft_fill_factor");
+  opt = LpOptions{};
+  opt.ft_pivot_tolerance = 0.0;
+  EXPECT_DEATH(solve_lp(lp, opt), "ft_pivot_tolerance");
+  opt = LpOptions{};
+  opt.ft_pivot_tolerance = 1.5;
+  EXPECT_DEATH(solve_lp(lp, opt), "ft_pivot_tolerance");
+}
+
 // Beale's classic cycling example: pure Dantzig pivoting with a
 // smallest-index ratio tie-break cycles forever on this LP. The Bland
 // fallback (both engines switch after a degenerate-iteration threshold)

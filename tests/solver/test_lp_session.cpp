@@ -90,8 +90,11 @@ LpSolution solve_with(const LpProblem& problem, LpEngine engine,
   return solve_lp(problem, opt);
 }
 
-// Applies one random patch to both the session and the mutable model.
-void random_patch(util::Rng& rng, LpSession& session, MutableLp& lp) {
+// Applies one random patch to every listed session and the mutable model
+// (several sessions lets a differential drag distinct factor-maintenance
+// configurations through the identical patch sequence).
+void random_patch(util::Rng& rng, std::vector<LpSession*> sessions,
+                  MutableLp& lp) {
   const double pick = rng.next_double();
   if (pick < 0.35 && !lp.rhs.empty()) {
     const auto r = static_cast<std::size_t>(
@@ -100,7 +103,7 @@ void random_patch(util::Rng& rng, LpSession& session, MutableLp& lp) {
                            ? rng.uniform(-6.0, -0.5)
                            : rng.uniform(-1.0, 6.0);
     lp.rhs[r] = rhs;
-    session.patch_rhs(r, rhs);
+    for (LpSession* session : sessions) session->patch_rhs(r, rhs);
   } else if (pick < 0.70) {
     // Coefficient patch on an existing (possibly zero-placeholder) term.
     for (int attempt = 0; attempt < 8; ++attempt) {
@@ -111,7 +114,9 @@ void random_patch(util::Rng& rng, LpSession& session, MutableLp& lp) {
           rng.uniform_int(0, static_cast<int>(lp.terms[r].size()) - 1));
       const double coeff = rng.uniform(-1.5, 1.5);
       lp.terms[r][t].second = coeff;
-      session.patch_coefficient(r, lp.terms[r][t].first, coeff);
+      for (LpSession* session : sessions) {
+        session->patch_coefficient(r, lp.terms[r][t].first, coeff);
+      }
       return;
     }
   } else if (pick < 0.85) {
@@ -122,14 +127,18 @@ void random_patch(util::Rng& rng, LpSession& session, MutableLp& lp) {
         rng.next_double() < 0.7 ? lo + rng.uniform(0.5, 4.0) : kLpInfinity;
     lp.lo[v] = lo;
     lp.hi[v] = hi;
-    session.patch_bound(v, lo, hi);
+    for (LpSession* session : sessions) session->patch_bound(v, lo, hi);
   } else {
     const auto v = static_cast<std::size_t>(
         rng.uniform_int(0, static_cast<int>(lp.obj.size()) - 1));
     const double obj = rng.uniform(-2.0, 2.0);
     lp.obj[v] = obj;
-    session.patch_cost(v, obj);
+    for (LpSession* session : sessions) session->patch_cost(v, obj);
   }
+}
+
+void random_patch(util::Rng& rng, LpSession& session, MutableLp& lp) {
+  random_patch(rng, std::vector<LpSession*>{&session}, lp);
 }
 
 TEST(LpSession, RandomPatchSequencesMatchFreshSolves) {
@@ -181,6 +190,61 @@ TEST(LpSession, RandomPatchSequencesMatchFreshSolves) {
   // The generator must keep exercising the interesting regime: mostly
   // feasible instances, yet a meaningful infeasible/unbounded share.
   EXPECT_LT(optimal_count, solves);
+}
+
+TEST(LpSession, FtAndEtaSessionsAgreeOnRandomPatchSequences) {
+  // Two sessions over the same problem, one on the default in-place
+  // Forrest–Tomlin updates and one on the legacy product-form eta file,
+  // dragged through the identical patch sequence: both must keep matching
+  // the dense oracle, and each other, at every step. This is the
+  // patch-sequence differential that pins the FT update path (spike
+  // capture, row-eta elimination, stability monitor) against the
+  // long-standing eta implementation.
+  util::Rng rng(0xc2b2ae3d27d4eb4fULL);
+  std::size_t optimal_count = 0, solves = 0, borderline = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n_vars = static_cast<std::size_t>(rng.uniform_int(2, 14));
+    const std::size_t n_rows = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    MutableLp lp = make_random_lp(rng, n_vars, n_rows);
+    LpOptions ft_opt;
+    ft_opt.ft_updates = true;
+    LpOptions eta_opt;
+    eta_opt.ft_updates = false;
+    LpSession ft_session(lp.build(), ft_opt);
+    LpSession eta_session(lp.build(), eta_opt);
+    const int steps = rng.uniform_int(3, 7);
+    for (int step = 0; step < steps; ++step) {
+      const int patches = rng.uniform_int(1, 4);
+      for (int k = 0; k < patches; ++k) {
+        random_patch(rng, {&ft_session, &eta_session}, lp);
+      }
+      const LpSolution ft = ft_session.solve();
+      const LpSolution eta = eta_session.solve();
+      ++solves;
+      const LpProblem fresh = lp.build();
+      const LpSolution dense = solve_with(fresh, LpEngine::Dense);
+      const LpSolution revised = solve_with(fresh, LpEngine::Revised);
+      if (dense.status != revised.status) {
+        ++borderline;  // engines themselves split: phase-1 threshold case
+        continue;
+      }
+      ASSERT_EQ(dense.status, ft.status) << "trial " << trial << " step " << step;
+      ASSERT_EQ(dense.status, eta.status)
+          << "trial " << trial << " step " << step;
+      if (dense.status != LpStatus::Optimal) continue;
+      ++optimal_count;
+      EXPECT_NEAR(dense.objective, ft.objective, 1e-7)
+          << "trial " << trial << " step " << step;
+      EXPECT_NEAR(ft.objective, eta.objective, 1e-7)
+          << "trial " << trial << " step " << step;
+      EXPECT_LT(fresh.max_violation(ft.x), 1e-6)
+          << "trial " << trial << " step " << step;
+      EXPECT_LT(fresh.max_violation(eta.x), 1e-6)
+          << "trial " << trial << " step " << step;
+    }
+  }
+  EXPECT_GT(optimal_count, solves / 3);
+  EXPECT_LT(borderline, solves / 20);
 }
 
 TEST(LpSession, UnpatchedResolveIsBitIdentical) {
@@ -241,8 +305,9 @@ TEST(LpSession, SeedImportMatchesWarmSolveLp) {
 
 // An 8-row instance whose optimal basis is the full set of structural
 // variables, so patching one of them rewrites a *basic* column and the
-// resume must go through the product-form column-replacement machinery
-// (m/4 + 1 = 3 > 1 dirty column keeps the update path, not the rebuild).
+// resume must go through the in-place Forrest–Tomlin column-replacement
+// machinery (m/4 + 1 = 3 > 1 dirty column keeps the update path, not the
+// rebuild).
 LpProblem diagonal_lp(double x1_in_row0) {
   LpProblem lp;
   for (int v = 0; v < 8; ++v) lp.add_variable(0.0, kLpInfinity, 1.0);

@@ -1,0 +1,213 @@
+// Unit tests for the Forrest–Tomlin updatable factorization (solver/lu.h).
+//
+// The contract under test: after any sequence of accepted replace_column()
+// updates, ftran/btran must solve with the *explicitly updated* matrix — a
+// fresh LuFactorization of that matrix is the oracle — and at zero updates
+// the wrapper must be bitwise identical to the wrapped factorization. The
+// stability monitor must reject singular and tolerance-failing spikes with
+// kUnstable instead of returning drifted factors.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
+
+#include "solver/lu.h"
+#include "solver/matrix.h"
+#include "util/rng.h"
+
+namespace tapo::solver {
+namespace {
+
+Matrix random_basis(util::Rng& rng, std::size_t m, double dominance) {
+  Matrix b(m, m);
+  for (std::size_t r = 0; r < m; ++r) {
+    for (std::size_t c = 0; c < m; ++c) b(r, c) = rng.uniform(-1.0, 1.0);
+    b(r, r) += dominance;  // well conditioned
+  }
+  return b;
+}
+
+// Replaces column `pos` of the tracked matrix through the FTRAN spike
+// protocol (solve the entering column, capture the spike, update), mirroring
+// the write into `b` only when the update is accepted.
+FtFactorization::Update replace(FtFactorization& ft, Matrix& b,
+                                std::size_t pos,
+                                const std::vector<double>& column,
+                                double tolerance = 1e-9) {
+  std::vector<double> v = column;
+  std::vector<double> spike;
+  ft.ftran(v, &spike);
+  const auto result = ft.replace_column(pos, spike, tolerance);
+  if (result == FtFactorization::Update::kOk) {
+    for (std::size_t r = 0; r < b.rows(); ++r) b(r, pos) = column[r];
+  }
+  return result;
+}
+
+void expect_solves_match_fresh(const FtFactorization& ft, const Matrix& b,
+                               util::Rng& rng, double tol) {
+  const std::size_t m = b.rows();
+  const LuFactorization fresh(b);
+  ASSERT_TRUE(fresh.ok());
+  std::vector<double> rhs(m);
+  for (auto& v : rhs) v = rng.uniform(-2.0, 2.0);
+  std::vector<double> ft_x = rhs, lu_x = rhs;
+  ft.ftran(ft_x);
+  fresh.solve_in_place(lu_x);
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(ft_x[i], lu_x[i], tol) << i;
+  std::vector<double> ft_y = rhs, lu_y = rhs;
+  ft.btran(ft_y);
+  fresh.solve_transposed_in_place(lu_y);
+  for (std::size_t i = 0; i < m; ++i) EXPECT_NEAR(ft_y[i], lu_y[i], tol) << i;
+}
+
+TEST(FtFactorization, ZeroUpdatesAreBitwiseIdenticalToBaseLu) {
+  util::Rng rng(71);
+  const Matrix b = random_basis(rng, 12, 6.0);
+  const FtFactorization ft(b);
+  const LuFactorization lu(b);
+  ASSERT_TRUE(ft.ok());
+  EXPECT_EQ(ft.updates(), 0u);
+  std::vector<double> rhs(12);
+  for (auto& v : rhs) v = rng.uniform(-3.0, 3.0);
+  std::vector<double> ft_x = rhs, lu_x = rhs;
+  ft.ftran(ft_x);
+  lu.solve_in_place(lu_x);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(ft_x[i], lu_x[i]) << i;
+  std::vector<double> ft_y = rhs, lu_y = rhs;
+  ft.btran(ft_y);
+  lu.solve_transposed_in_place(lu_y);
+  for (std::size_t i = 0; i < 12; ++i) EXPECT_EQ(ft_y[i], lu_y[i]) << i;
+}
+
+TEST(FtFactorization, SingleReplacementMatchesFreshFactorization) {
+  util::Rng rng(72);
+  Matrix b = random_basis(rng, 10, 5.0);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  std::vector<double> column(10);
+  for (auto& v : column) v = rng.uniform(-2.0, 2.0);
+  column[3] += 10.0;  // keep the updated matrix well conditioned
+  ASSERT_EQ(replace(ft, b, 3, column), FtFactorization::Update::kOk);
+  EXPECT_EQ(ft.updates(), 1u);
+  expect_solves_match_fresh(ft, b, rng, 1e-9);
+}
+
+TEST(FtFactorization, SequentialReplacementsTrackExplicitMatrix) {
+  util::Rng rng(73);
+  const std::size_t m = 20;
+  Matrix b = random_basis(rng, m, 8.0);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  std::size_t accepted = 0;
+  for (int step = 0; step < 40; ++step) {
+    const auto pos =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(m) - 1));
+    std::vector<double> column(m);
+    for (auto& v : column) v = rng.uniform(-1.0, 1.0);
+    column[pos] += 8.0;
+    if (replace(ft, b, pos, column) == FtFactorization::Update::kOk) {
+      ++accepted;
+      expect_solves_match_fresh(ft, b, rng, 1e-7);
+    }
+  }
+  // Diagonally boosted replacement columns keep every update stable.
+  EXPECT_EQ(accepted, 40u);
+  EXPECT_EQ(ft.updates(), 40u);
+}
+
+TEST(FtFactorization, SlackHeavyBasisTakesDenseSpikes) {
+  // The simplex regime: a mostly-identity (slack) basis receiving fully
+  // dense thermal columns.
+  util::Rng rng(74);
+  const std::size_t m = 9;
+  Matrix b = Matrix::identity(m);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  for (const std::size_t pos : {std::size_t{2}, std::size_t{5}, std::size_t{7}}) {
+    std::vector<double> column(m);
+    for (auto& v : column) v = rng.uniform(0.1, 1.0);
+    column[pos] += 4.0;
+    ASSERT_EQ(replace(ft, b, pos, column), FtFactorization::Update::kOk);
+  }
+  expect_solves_match_fresh(ft, b, rng, 1e-10);
+}
+
+TEST(FtFactorization, RepeatedSamePositionReplacements) {
+  // Re-replacing the column that was already replaced exercises the cyclic
+  // pair shift when the pair is already last, and stale-zero list entries.
+  util::Rng rng(75);
+  Matrix b = random_basis(rng, 8, 5.0);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  for (int step = 0; step < 5; ++step) {
+    std::vector<double> column(8);
+    for (auto& v : column) v = rng.uniform(-2.0, 2.0);
+    column[4] += 6.0;
+    ASSERT_EQ(replace(ft, b, 4, column), FtFactorization::Update::kOk) << step;
+    expect_solves_match_fresh(ft, b, rng, 1e-9);
+  }
+}
+
+TEST(FtFactorization, SingularSpikeIsRejected) {
+  // Column 2 of the identity replaced by a copy of column 0: the emerging
+  // diagonal is exactly zero, the update must report kUnstable and not count.
+  Matrix b = Matrix::identity(5);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  std::vector<double> duplicate(5, 0.0);
+  duplicate[0] = 1.0;
+  EXPECT_EQ(replace(ft, b, 2, duplicate), FtFactorization::Update::kUnstable);
+  EXPECT_EQ(ft.updates(), 0u);
+}
+
+TEST(FtFactorization, IllConditionedSpikeFailsTheTolerance) {
+  // Nearly parallel to column 0: the emerging diagonal is ~1e-9 against a
+  // spike of magnitude 1, far below a 1e-6 relative pivot tolerance.
+  Matrix b = Matrix::identity(4);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  std::vector<double> nearly(4, 0.0);
+  nearly[0] = 1.0;
+  nearly[3] = 1e-9;
+  EXPECT_EQ(replace(ft, b, 3, nearly, 1e-6),
+            FtFactorization::Update::kUnstable);
+  // The same spike passes a tolerance below the diagonal's relative size —
+  // the monitor is a threshold, not a hard-coded rejection.
+  FtFactorization loose(Matrix::identity(4));
+  Matrix b2 = Matrix::identity(4);
+  EXPECT_EQ(replace(loose, b2, 3, nearly, 1e-12),
+            FtFactorization::Update::kOk);
+}
+
+TEST(FtFactorization, FillMonitorTripsAfterDenseUpdates) {
+  // An identity basis stores no off-diagonal entries, so a handful of dense
+  // spikes must push the stored-entry count past a fill factor of 1x the
+  // m-entry floor, while a generous factor stays clear.
+  util::Rng rng(76);
+  const std::size_t m = 8;
+  Matrix b = Matrix::identity(m);
+  FtFactorization ft(b);
+  ASSERT_TRUE(ft.ok());
+  EXPECT_FALSE(ft.fill_exceeded(1.0));
+  for (const std::size_t pos :
+       {std::size_t{1}, std::size_t{3}, std::size_t{6}}) {
+    std::vector<double> column(m);
+    for (auto& v : column) v = rng.uniform(0.2, 1.0);
+    column[pos] += 5.0;
+    ASSERT_EQ(replace(ft, b, pos, column), FtFactorization::Update::kOk);
+  }
+  EXPECT_TRUE(ft.fill_exceeded(1.0));
+  EXPECT_FALSE(ft.fill_exceeded(100.0));
+}
+
+TEST(FtFactorization, SingularBasisReportsNotOk) {
+  Matrix b(3, 3);
+  b(0, 0) = 1.0;
+  b(1, 0) = 2.0;  // rank deficient
+  const FtFactorization ft(b);
+  EXPECT_FALSE(ft.ok());
+}
+
+}  // namespace
+}  // namespace tapo::solver
