@@ -6,6 +6,7 @@
 #include <fstream>
 #include <string>
 
+#include "solver/lp.h"
 #include "util/telemetry.h"
 
 namespace tapo::bench {
@@ -29,6 +30,22 @@ inline bool env_flag(const char* name, bool fallback) {
   if (value[0] == '0' && value[1] == '\0') return false;
   if (value[0] == '1' && value[1] == '\0') return true;
   return fallback;
+}
+
+// Reads a revised-engine pricing rule ("dantzig" | "devex" | "partial_devex")
+// from the environment; returns fallback when unset, warns and returns
+// fallback on an unknown name. The no-rebuild pricing A/B knob
+// (e.g. TAPO_LP_PRICING=dantzig ./bench_solver_perf).
+inline solver::LpPricing env_lp_pricing(const char* name,
+                                        solver::LpPricing fallback) {
+  solver::LpPricing out = fallback;
+  if (const char* value = std::getenv(name)) {
+    if (!solver::parse_lp_pricing(value, &out)) {
+      std::fprintf(stderr, "%s: unknown pricing '%s', keeping %s\n", name,
+                   value, solver::to_string(fallback));
+    }
+  }
+  return out;
 }
 
 // Telemetry sink for bench binaries, sharing the runtime registry and JSON

@@ -112,6 +112,10 @@ int main() {
       options.assign.stage1.telemetry = lp_reg;
       if (use_dense) options.assign.stage1.lp.engine = solver::LpEngine::Dense;
       if (no_session) options.assign.stage1.lp_session = false;
+      // Pricing-rule A/B for re-plan latency (TAPO_LP_PRICING=dantzig|devex|
+      // partial_devex); the revised engine defaults to Dantzig.
+      options.assign.stage1.lp.pricing = bench::env_lp_pricing(
+          "TAPO_LP_PRICING", options.assign.stage1.lp.pricing);
       sim::FaultEvent event = fault_case.event;
       if (event.kind == sim::FaultKind::kPowerCap) {
         event.value = 0.85 * scenario->dc.p_const_kw;

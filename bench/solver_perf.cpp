@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
+#include <optional>
 
 #include "bench_common.h"
 #include "core/assigner.h"
@@ -191,7 +192,9 @@ BENCHMARK(BM_Stage1UniformSweep)
 // TAPO_TELEMETRY_OUT set, the same lp.* counters land in the telemetry JSON.
 void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
                              std::size_t warm_chain, bool full_grid = true,
-                             bool lp_session = false) {
+                             bool lp_session = false,
+                             std::optional<solver::LpPricing> pricing =
+                                 std::nullopt) {
   scenario::ScenarioConfig config;
   config.num_nodes = static_cast<std::size_t>(state.range(0));
   // 3 search dimensions at the historical sizes (unchanged baselines). At
@@ -217,33 +220,41 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
                                          "lp.iters.le_64", "lp.iters.le_256",
                                          "lp.iters.gt_256"};
   // Per-solve fixed-cost accounting: the phase timers split every solve's
-  // wall clock into LP build, standardization, basis factorization and
-  // simplex pivoting — the split that showed pivots were never the dense
-  // engine's problem (docs/SOLVER.md §6) and that the session path removes
-  // the right costs rather than just shifting them.
-  static const char* const kPhases[] = {"lp.phase.build", "lp.phase.standardize",
-                                        "lp.phase.factorize", "lp.phase.pivot"};
+  // wall clock into LP build, standardization, basis factorization, and the
+  // per-iteration pricing / FTRAN / basis-update laps — the split that
+  // showed pivots were never the dense engine's problem (docs/SOLVER.md §6)
+  // and, since PR 10, where a pricing rule's scan cost actually lands.
+  static const char* const kPhases[] = {
+      "lp.phase.build", "lp.phase.standardize", "lp.phase.factorize",
+      "lp.phase.price", "lp.phase.ftran",       "lp.phase.update"};
   static const char* const kSession[] = {
-      "lp.session.patches", "lp.session.ft_updates",
+      "lp.session.patches",          "lp.session.ft_updates",
       "lp.session.refactorizations", "lp.session.fallbacks",
-      "lp.session.resident_resumes"};
+      "lp.session.resident_resumes", "lp.session.ft_budget_exhausted"};
   // Forrest–Tomlin factor-update health (docs/OBSERVABILITY.md): in-place
   // updates applied, stability rejections and fill-triggered rebuilds.
   static const char* const kFt[] = {"lp.ft.updates", "lp.ft.stability_rejects",
                                     "lp.ft.fill_refactorizations"};
+  // Pricing-rule internals (docs/OBSERVABILITY.md): candidate-window
+  // rotations, Devex reference resets, certified full-rotation fallbacks.
+  static const char* const kPricing[] = {"lp.pricing.window_refreshes",
+                                         "lp.pricing.devex_resets",
+                                         "lp.pricing.full_scan_fallbacks"};
   const std::uint64_t solves0 = reg->counter_value("lp.solves");
   const std::uint64_t iters0 = reg->counter_value("lp.iterations");
   const std::uint64_t warm0 = reg->counter_value("lp.warm_starts");
   std::uint64_t buckets0[5];
   for (int i = 0; i < 5; ++i) buckets0[i] = reg->counter_value(kBuckets[i]);
-  double phases0[4];
-  for (int i = 0; i < 4; ++i) {
+  double phases0[6];
+  for (int i = 0; i < 6; ++i) {
     phases0[i] = reg->timer_stats(kPhases[i]).total_seconds;
   }
-  std::uint64_t session0[5];
-  for (int i = 0; i < 5; ++i) session0[i] = reg->counter_value(kSession[i]);
+  std::uint64_t session0[6];
+  for (int i = 0; i < 6; ++i) session0[i] = reg->counter_value(kSession[i]);
   std::uint64_t ft0[3];
   for (int i = 0; i < 3; ++i) ft0[i] = reg->counter_value(kFt[i]);
+  std::uint64_t pricing0[3];
+  for (int i = 0; i < 3; ++i) pricing0[i] = reg->counter_value(kPricing[i]);
 
   core::Stage1Options options;
   options.full_grid = full_grid;
@@ -252,6 +263,13 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
   // TAPO_LP_FT=0 re-runs the revised benches on the legacy product-form eta
   // file (the FT-vs-eta A/B without a rebuild); unset or 1 is the FT default.
   options.lp.ft_updates = bench::env_flag("TAPO_LP_FT", true);
+  // Default benches run the production rule (the LpOptions default),
+  // overridable by TAPO_LP_PRICING; the pinned *Devex/*Partial A/B rows
+  // ignore the env so their names always mean what they say.
+  options.lp.pricing =
+      pricing.has_value()
+          ? *pricing
+          : bench::env_lp_pricing("TAPO_LP_PRICING", options.lp.pricing);
   options.grid.warm_chain = warm_chain;
   options.lp_session = lp_session;
   options.telemetry = reg;
@@ -270,7 +288,7 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
       static_cast<double>(reg->counter_value("lp.warm_starts") - warm0);
   state.counters["objective"] = objective;
   const double iterations = static_cast<double>(state.iterations());
-  for (int i = 0; i < 4; ++i) {
+  for (int i = 0; i < 6; ++i) {
     const double seconds = reg->timer_stats(kPhases[i]).total_seconds - phases0[i];
     // Per-sweep milliseconds: e.g. "phase_factorize_ms" is the total time a
     // sweep spends (re)factorizing bases across all of its LP solves.
@@ -278,7 +296,7 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
         1e3 * seconds / iterations;
   }
   if (lp_session) {
-    for (int i = 0; i < 5; ++i) {
+    for (int i = 0; i < 6; ++i) {
       state.counters[kSession[i] + 3] = static_cast<double>(
           reg->counter_value(kSession[i]) - session0[i]) / iterations;
     }
@@ -287,6 +305,10 @@ void run_stage1_engine_sweep(benchmark::State& state, solver::LpEngine engine,
     for (int i = 0; i < 3; ++i) {
       state.counters[kFt[i] + 3] = static_cast<double>(
           reg->counter_value(kFt[i]) - ft0[i]) / iterations;
+    }
+    for (int i = 0; i < 3; ++i) {
+      state.counters[kPricing[i] + 3] = static_cast<double>(
+          reg->counter_value(kPricing[i]) - pricing0[i]) / iterations;
     }
   }
   if (solves > 0.0) {
@@ -325,14 +347,17 @@ void apply_c2f_sizes(benchmark::internal::Benchmark* b) {
 }
 
 // Warm starts cut iterations per solve by 5-16x at a ~0.9 hit rate (the
-// attached counters show it), but the dense tableau stays faster wall-clock
-// on the full grid through 500 nodes: the thermal rows make every LP column
-// dense, so pricing scans touch as many entries as the tableau does without
-// its vectorization, and a warm solve's fixed costs (LP build, standardize,
-// basis LU, canonical extraction) outweigh the saved pivots. The revised
-// session wins once the search has more dimensions or rows than the paper
-// scale (10-CRAC coarse-to-fine at 500 nodes, everything at 1000+).
-// docs/SOLVER.md section 6 keeps the measured numbers.
+// attached counters show it). The dense tableau still wins the full grid
+// through 500 nodes — the thermal rows make every LP column dense, so a
+// full pricing scan touches as many entries as the tableau does without
+// its vectorization, and no pricing rule changes that: the column-class
+// dedup already collapses the scan to one dot per distinct column, and
+// the session sweep's pricing time is dominated by the rule-independent
+// dual ratio scans of patch-and-resume repair. Partial Devex pricing does
+// win the coarse-to-fine rows, by a margin that grows with scale, which
+// is why it is the default (docs/SOLVER.md §6b/§8 keep the measured
+// numbers). The pinned *Dantzig / *Devex rows below are the pricing A/B
+// against the partial-Devex default.
 void BM_Stage1SweepDense(benchmark::State& state) {
   run_stage1_engine_sweep(state, solver::LpEngine::Dense, 1);
 }
@@ -360,6 +385,29 @@ void BM_Stage1SweepRevisedSession(benchmark::State& state) {
                           /*full_grid=*/true, /*lp_session=*/true);
 }
 BENCHMARK(BM_Stage1SweepRevisedSession)->Apply(apply_full_grid_sizes);
+
+// Pricing-rule A/B on the session sweep: identical configuration to
+// BM_Stage1SweepRevisedSession (which runs the partial-Devex default) with
+// the rule pinned, immune to TAPO_LP_PRICING. All three rows publish the
+// bit-identical plan; they differ in iteration counts (lp_iters_per_solve)
+// and in where the phase_*_ms time goes. check_perf_regression.py gates
+// the pinned rows at a loose per-prefix threshold so a pricing-path
+// regression cannot rot silently.
+void BM_Stage1SweepRevisedSessionDantzig(benchmark::State& state) {
+  run_stage1_engine_sweep(state, solver::LpEngine::Revised,
+                          solver::GridSearchOptions{}.warm_chain,
+                          /*full_grid=*/true, /*lp_session=*/true,
+                          solver::LpPricing::Dantzig);
+}
+BENCHMARK(BM_Stage1SweepRevisedSessionDantzig)->Apply(apply_full_grid_sizes);
+
+void BM_Stage1SweepRevisedSessionDevex(benchmark::State& state) {
+  run_stage1_engine_sweep(state, solver::LpEngine::Revised,
+                          solver::GridSearchOptions{}.warm_chain,
+                          /*full_grid=*/true, /*lp_session=*/true,
+                          solver::LpPricing::Devex);
+}
+BENCHMARK(BM_Stage1SweepRevisedSessionDevex)->Apply(apply_full_grid_sizes);
 
 // Same comparison on the coarse-to-fine search (the paper's production
 // path): refinement rounds evaluate tightly clustered setpoints, so warm

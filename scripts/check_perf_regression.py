@@ -21,8 +21,21 @@ nightly-only sizes (1000/1500 nodes, registered only when
 TAPO_BENCH_MAX_NODES allows), so the perf-smoke job passes --allow-missing
 while the nightly job, which runs every size, does not.
 
-Exit status 0 when every gated bench is within its threshold, 1 otherwise.
-Stdlib only.
+Besides the baseline-relative thresholds, --require-speedup SLOW FAST RATIO
+asserts that bench FAST beats bench SLOW by at least RATIO within the
+*current* run alone — both sides come from the same process on the same
+machine, so no normalization is involved. The solver default requires the
+revised session to beat the dense tableau by >= 1.5x on the 1500-node
+coarse-to-fine row: the production-scale crossover the revised engine
+exists to deliver (measured ~2.3x; SOLVER.md §6b), gated so it cannot
+silently rot. The row is nightly-only, so perf-smoke skips it via
+--allow-missing while perf-nightly enforces it. Defaults apply only to the
+solver gate (they are dropped when --gated-prefix redirects the machinery
+at another binary); --allow-missing skips a required speedup whose rows are
+absent from the current run.
+
+Exit status 0 when every gated bench is within its threshold and every
+required speedup holds, 1 otherwise. Stdlib only.
 
 The defaults reproduce the solver gate. --proxy-prefix / --gated-prefix /
 --reported-prefix redirect the same machinery at other bench binaries; the
@@ -33,6 +46,7 @@ the ratio even on a differently-provisioned runner).
 Usage: scripts/check_perf_regression.py CURRENT.json [BASELINE.json]
        [--threshold 0.20] [--allow-missing] [--proxy-prefix P]
        [--gated-prefix P[=THRESHOLD] ...] [--reported-prefix P ...]
+       [--require-speedup SLOW FAST RATIO ...]
 """
 import argparse
 import json
@@ -44,15 +58,32 @@ import sys
 DEFAULT_PROXY_PREFIX = "BM_LuFactorSolve/"
 # Benches that gate the build. A bare prefix gates at --threshold; a
 # "prefix=0.35" entry carries its own threshold (the revised/session sweeps
-# tolerate more run-to-run variance than the stateless dense ones).
+# tolerate more run-to-run variance than the stateless dense ones). Order
+# matters: first match wins, so the pricing A/B rows (pinned Dantzig/Devex
+# on the session sweep — non-default iterate paths, the noisiest rows in
+# the file) claim their looser 0.50 band before the generic revised
+# prefix would.
 DEFAULT_GATED_PREFIXES = (
     "BM_Stage1SweepDense/",
     "BM_Stage1CoarseToFineDense/",
+    "BM_Stage1SweepRevisedSessionDantzig=0.50",
+    "BM_Stage1SweepRevisedSessionDevex=0.50",
     "BM_Stage1SweepRevised=0.35",
     "BM_Stage1CoarseToFineRevised=0.35",
 )
 # Reported (not gated) for the CI log.
 DEFAULT_REPORTED_PREFIXES = ()
+# Same-run speedup floors: (slow bench, fast bench, min ratio). The solver
+# crossover gate — the revised session must keep beating the dense tableau
+# on the production-scale (1500-node, 30-CRAC) coarse-to-fine search. The
+# row is nightly-only; perf-smoke skips it through --allow-missing.
+DEFAULT_REQUIRED_SPEEDUPS = (
+    (
+        "BM_Stage1CoarseToFineDense/nodes:1500/real_time",
+        "BM_Stage1CoarseToFineRevisedSession/nodes:1500/real_time",
+        1.5,
+    ),
+)
 
 
 def parse_gated(entries, default_threshold):
@@ -110,6 +141,15 @@ def main() -> int:
         metavar="PREFIX[=THRESHOLD]",
     )
     parser.add_argument("--reported-prefix", action="append", default=None)
+    parser.add_argument(
+        "--require-speedup",
+        action="append",
+        nargs=3,
+        default=None,
+        metavar=("SLOW", "FAST", "RATIO"),
+        help="require current[FAST] to beat current[SLOW] by >= RATIO "
+        "(same-run wall clock, no normalization); repeatable",
+    )
     args = parser.parse_args()
     gated = parse_gated(
         args.gated_prefix or DEFAULT_GATED_PREFIXES, args.threshold
@@ -118,6 +158,14 @@ def main() -> int:
         (p, None)
         for p in (args.reported_prefix or DEFAULT_REPORTED_PREFIXES)
     ]
+    if args.require_speedup is not None:
+        speedups = [(s, f, float(r)) for s, f, r in args.require_speedup]
+    elif args.gated_prefix is None:
+        # Solver-gate defaults travel together: a --gated-prefix override
+        # means another binary's JSON, where the solver rows don't exist.
+        speedups = list(DEFAULT_REQUIRED_SPEEDUPS)
+    else:
+        speedups = []
 
     current = load_times(args.current)
     baseline = load_times(args.baseline)
@@ -149,6 +197,25 @@ def main() -> int:
                               f"(threshold {threshold:.0%})")
             print(f"[{tag}] {name}: {change:+.1%} vs baseline "
                   f"(normalized by {args.proxy_prefix.rstrip('/')}){verdict}")
+
+    for slow, fast, ratio in speedups:
+        missing = [n for n in (slow, fast) if n not in current]
+        if missing:
+            if args.allow_missing:
+                print(f"[skip ] speedup {fast} vs {slow}: "
+                      f"{', '.join(missing)} not in current run")
+            else:
+                failed.append(
+                    f"speedup {fast} vs {slow}: missing {', '.join(missing)}")
+            continue
+        actual = current[slow] / current[fast]
+        verdict = ""
+        if actual < ratio:
+            verdict = f"  <-- BELOW FLOOR (need >= {ratio:.2f}x)"
+            failed.append(f"speedup {fast} vs {slow}: {actual:.2f}x "
+                          f"(floor {ratio:.2f}x)")
+        print(f"[GATED] speedup {fast} vs {slow}: {actual:.2f}x "
+              f"(same-run){verdict}")
 
     if failed:
         print(f"\n{len(failed)} gated failure(s):", file=sys.stderr)

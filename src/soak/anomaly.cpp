@@ -117,6 +117,25 @@ std::optional<Anomaly> detect_fallback_spike(std::uint64_t fallbacks,
   return a;
 }
 
+std::optional<Anomaly> detect_ft_budget_pressure(
+    std::uint64_t exhausted, std::uint64_t resumes,
+    const AnomalyOptions& options) {
+  if (resumes < options.fallback_min_solves) return std::nullopt;
+  const double fraction =
+      static_cast<double>(exhausted) / static_cast<double>(resumes);
+  if (fraction <= options.ft_budget_max_fraction) return std::nullopt;
+
+  Anomaly a;
+  a.detector = "ft_budget_pressure";
+  a.series = "lp.session.ft_budget_exhausted";
+  a.value = fraction;
+  a.threshold = options.ft_budget_max_fraction;
+  a.detail = "FT update budget exhausted on " + fmt(fraction * 100.0) +
+             "% of " + std::to_string(resumes) +
+             " resident resumes (patch bursts outgrow ft_max_updates)";
+  return a;
+}
+
 std::optional<Anomaly> detect_replan_storm(const std::string& series,
                                            const std::vector<Sample>& samples,
                                            const AnomalyOptions& options) {
@@ -183,6 +202,11 @@ std::vector<Anomaly> run_standard_pass(const SeriesFn& series,
   }
   if (auto a = detect_fallback_spike(counter("lp.session.fallbacks"),
                                      counter("lp.session.solves"), options)) {
+    anomalies.push_back(std::move(*a));
+  }
+  if (auto a = detect_ft_budget_pressure(
+          counter("lp.session.ft_budget_exhausted"),
+          counter("lp.session.resident_resumes"), options)) {
     anomalies.push_back(std::move(*a));
   }
   if (auto a = detect_replan_storm("replan.step_times",

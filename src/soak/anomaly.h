@@ -57,6 +57,14 @@ struct AnomalyOptions {
   double fallback_max_fraction = 0.25;
   std::uint64_t fallback_min_solves = 8;
 
+  // FT-budget pressure: fire when lp.session.ft_budget_exhausted /
+  // lp.session.resident_resumes exceeds `ft_budget_max_fraction` (with the
+  // same min-solves floor). Resumes that exhaust the patch-repair update
+  // budget fall back to a full refactorization — correct but paying the
+  // cost sessions exist to amortize; a sustained spike means the patch
+  // bursts outgrew `ft_max_updates` for this workload.
+  double ft_budget_max_fraction = 0.5;
+
   // Re-plan storm: fire when more than `replan_storm_max_steps` horizon steps
   // land inside any sliding `replan_storm_window_s` window of the
   // replan.step_times series (one sample per step, recorded at its simulated
@@ -69,7 +77,8 @@ struct AnomalyOptions {
 };
 
 struct Anomaly {
-  std::string detector;  // "ramp" | "drift" | "fallback_spike" | "replan_storm"
+  std::string detector;  // "ramp" | "drift" | "fallback_spike" |
+                         // "ft_budget_pressure" | "replan_storm"
   std::string series;    // series/counter name the finding anchors to
   double value = 0.0;       // observed statistic
   double threshold = 0.0;   // the bound it crossed
@@ -89,6 +98,9 @@ std::optional<Anomaly> detect_drift(
 std::optional<Anomaly> detect_fallback_spike(std::uint64_t fallbacks,
                                              std::uint64_t solves,
                                              const AnomalyOptions& options = {});
+std::optional<Anomaly> detect_ft_budget_pressure(
+    std::uint64_t exhausted, std::uint64_t resumes,
+    const AnomalyOptions& options = {});
 std::optional<Anomaly> detect_replan_storm(
     const std::string& series,
     const std::vector<util::telemetry::Sample>& samples,
@@ -99,6 +111,7 @@ std::optional<Anomaly> detect_replan_storm(
 //   * sim.queue_depth            -> monotone ramp (engine pending events)
 //   * scheduler.tracking_error   -> rolling-band drift
 //   * lp.session.fallbacks/solves -> fallback spike
+//   * lp.session.ft_budget_exhausted/resident_resumes -> FT-budget pressure
 //   * replan.step_times          -> re-plan storm (sliding-window step count)
 // Returned in that fixed order, so reports are deterministic.
 std::vector<Anomaly> detect_anomalies(const util::telemetry::Registry& registry,

@@ -48,6 +48,7 @@
 #include "solver/revised.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -214,6 +215,64 @@ void RevisedCore::build_col_classes() {
     if (rep == v) bucket.push_back(v);
     col_class_[v] = rep;
   }
+  rebuild_pricing_units();
+}
+
+void RevisedCore::rebuild_pricing_units() {
+  // One pricing unit per column class, representatives ascending, members
+  // ascending within each unit (so a partial scan visits candidates in the
+  // same relative order as a full ascending scan). The candidate-list
+  // capacity is ~2*sqrt(#units) — wide enough that the list survives many
+  // pivots between full-scan rebuilds without starving pivot quality,
+  // floored so tiny LPs degenerate to a full scan.
+  units_.clear();
+  rep_unit_.assign(n_struct_, 0);
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    if (col_class_[v] == v) {
+      rep_unit_[v] = units_.size();
+      units_.push_back(v);
+    }
+  }
+  const std::size_t nu = units_.size();
+  unit_start_.assign(nu + 1, 0);
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    ++unit_start_[rep_unit_[col_class_[v]] + 1];
+  }
+  for (std::size_t u = 0; u < nu; ++u) unit_start_[u + 1] += unit_start_[u];
+  unit_cols_.resize(n_struct_);
+  std::vector<std::size_t> fill(unit_start_.begin(), unit_start_.end() - 1);
+  for (std::size_t v = 0; v < n_struct_; ++v) {
+    unit_cols_[fill[rep_unit_[col_class_[v]]]++] = v;
+  }
+  price_window_ = std::max<std::size_t>(
+      8, 2 * static_cast<std::size_t>(
+                 std::ceil(std::sqrt(static_cast<double>(nu)))));
+  cand_units_.clear();  // unit indices changed; rebuilt by the next scan
+  pivots_since_rebuild_ = 0;
+  units_dirty_ = false;
+}
+
+void RevisedCore::reset_devex(bool count_overflow) {
+  devex_w_.assign(n_total_, 1.0);
+  dual_devex_w_.assign(m_, 1.0);
+  if (count_overflow) ++n_devex_resets_;
+}
+
+void RevisedCore::flush_iterate_stats() {
+  if (reg_ != nullptr) {
+    if (t_price_ > 0.0) reg_->record_duration("lp.phase.price", t_price_);
+    if (t_ftran_ > 0.0) reg_->record_duration("lp.phase.ftran", t_ftran_);
+    if (t_update_ > 0.0) reg_->record_duration("lp.phase.update", t_update_);
+    if (n_window_refreshes_) {
+      reg_->count("lp.pricing.window_refreshes", n_window_refreshes_);
+    }
+    if (n_devex_resets_) reg_->count("lp.pricing.devex_resets", n_devex_resets_);
+    if (n_full_scan_fallbacks_) {
+      reg_->count("lp.pricing.full_scan_fallbacks", n_full_scan_fallbacks_);
+    }
+  }
+  t_price_ = t_ftran_ = t_update_ = 0.0;
+  n_window_refreshes_ = n_devex_resets_ = n_full_scan_fallbacks_ = 0;
 }
 
 void RevisedCore::demote_col_class(std::size_t v) {
@@ -229,6 +288,7 @@ void RevisedCore::demote_col_class(std::size_t v) {
     }
   }
   col_class_[v] = v;
+  units_dirty_ = true;  // unit lists rebuilt lazily at the next solve
 }
 
 void RevisedCore::cold_start() {
@@ -236,6 +296,11 @@ void RevisedCore::cold_start() {
   basis_.assign(m_, 0);
   xb_.assign(m_, 0.0);
   needs_phase1_ = false;
+  // Fresh basis trajectory: unit Devex framework, empty candidate list
+  // (keeps a cold solve a pure function of the patched problem, independent
+  // of whatever pricing state earlier solves left behind).
+  reset_devex();
+  cand_units_.clear();
   for (std::size_t r = 0; r < m_; ++r) {
     // Re-derive the artificial's sign from the *current* rhs: patches can
     // flip the sign of b_r after standardize(), and an artificial basic at
@@ -261,6 +326,10 @@ void RevisedCore::cold_start() {
 
 bool RevisedCore::try_warm(const LpBasis& wb) {
   if (wb.status.size() != n_struct_ + m_) return false;
+  // An imported basis starts a new trajectory: the reference framework of
+  // the previous one says nothing about it (§8 invalidation rule).
+  reset_devex();
+  cand_units_.clear();
   std::size_t n_basic = 0;
   for (const LpBasisStatus s : wb.status) {
     if (s == LpBasisStatus::Basic) ++n_basic;
@@ -432,12 +501,170 @@ bool RevisedCore::pivot(std::size_t enter, int dir, std::size_t pivot_row,
   return push_update_and_maybe_refactor(pivot_row);
 }
 
+bool RevisedCore::price_entering(const std::vector<double>& cost, bool bland,
+                                 std::size_t& enter, int& dir) {
+  const double tol = opt_.tolerance;
+  const bool devex = opt_.pricing != LpPricing::Dantzig;
+  bool found = false;
+  // Dantzig keeps the historical "gain > best with best seeded at tol"
+  // comparison so its pivot paths match the pre-pricing engine exactly;
+  // Devex scores d^2 / weight among candidates that pass the same tol
+  // eligibility test.
+  double best = devex ? 0.0 : tol;
+  const auto consider = [&](std::size_t v, double d) {
+    if (status_[v] == VarStatus::Basic) return;
+    if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) return;  // fixed
+    int candidate_dir;
+    double gain;
+    if (status_[v] == VarStatus::AtLower && d > tol) {
+      gain = d;
+      candidate_dir = +1;
+    } else if (status_[v] == VarStatus::AtUpper && d < -tol) {
+      gain = -d;
+      candidate_dir = -1;
+    } else {
+      return;
+    }
+    const double score = devex ? d * d / devex_w_[v] : gain;
+    if (!found || score > best) {
+      best = score;
+      enter = v;
+      dir = candidate_dir;
+      found = true;
+    }
+  };
+
+  if (bland || opt_.pricing != LpPricing::PartialDevex || units_.empty()) {
+    // Full ascending scan. Under Bland the first eligible index wins —
+    // windowing is bypassed entirely so the anti-cycling argument (strictly
+    // lowest eligible index) is untouched by the pricing rule.
+    for (std::size_t v = 0; v < n_total_; ++v) {
+      if (status_[v] == VarStatus::Basic) continue;
+      if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;
+      const double d = cost[v] - priced_dot(y_, v);
+      if (bland) {
+        if ((status_[v] == VarStatus::AtLower && d > tol) ||
+            (status_[v] == VarStatus::AtUpper && d < -tol)) {
+          enter = v;
+          dir = d > 0.0 ? +1 : -1;
+          return true;
+        }
+        continue;
+      }
+      consider(v, d);
+    }
+    return found;
+  }
+
+  // Partial (candidate-list) pricing. Slacks and artificials are priced
+  // every iteration — their dots are one array read, so exempting them from
+  // the list costs nothing and keeps the cheap bound-flip candidates in
+  // view. Structural columns are priced through the candidate list: the
+  // globally best-scoring units of the last full scan, re-scanned every
+  // iteration. Only when the list (plus the slack sweep) is dry does a full
+  // scan run — it selects the global best AND harvests the next list. A dry
+  // full scan is a complete scan, so the optimality certificate is
+  // identical to the full-scan rules'.
+  const auto eligible_gain = [&](std::size_t v, double d) -> bool {
+    if (status_[v] == VarStatus::Basic) return false;
+    if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) return false;
+    return (status_[v] == VarStatus::AtLower && d > tol) ||
+           (status_[v] == VarStatus::AtUpper && d < -tol);
+  };
+  // Scans one unit; returns whether any member is still eligible (dead
+  // units are pruned from the list so later iterations skip their dots).
+  const auto scan_unit = [&](std::size_t u) -> bool {
+    const std::size_t rep = units_[u];
+    const double dot = priced_dot(y_, rep);
+    bool alive = false;
+    for (std::size_t k = unit_start_[u]; k < unit_start_[u + 1]; ++k) {
+      const std::size_t v = unit_cols_[k];
+      const double d = cost[v] - dot;
+      if (!eligible_gain(v, d)) continue;
+      alive = true;
+      consider(v, d);
+    }
+    return alive;
+  };
+  for (std::size_t v = slack0_; v < n_total_; ++v) {
+    consider(v, cost[v] - col_dot(y_, v));
+  }
+  std::size_t alive = 0;
+  for (std::size_t i = 0; i < cand_units_.size(); ++i) {
+    if (scan_unit(cand_units_[i])) cand_units_[alive++] = cand_units_[i];
+  }
+  cand_units_.resize(alive);
+  if (found && 2 * alive >= price_window_ &&
+      pivots_since_rebuild_ <= price_window_) {
+    return true;
+  }
+
+  // Rebuild the candidate list from a full scan — because the list ran dry,
+  // shrank below half capacity, or served a full minor cycle of pivots
+  // (best-of-list drifts from the global best as weights evolve). The scan
+  // continues accumulating into `best`, so when a list candidate was
+  // already found the rebuild can only improve the selection: the returned
+  // column is the global Devex argmax either way. Per-unit best scores are
+  // collected along the way; the top price_window_ units become the next
+  // list.
+  ++n_window_refreshes_;
+  pivots_since_rebuild_ = 0;
+  const std::size_t nu = units_.size();
+  struct UnitScore {
+    double score;
+    std::size_t unit;
+  };
+  std::vector<UnitScore> eligible;
+  for (std::size_t u = 0; u < nu; ++u) {
+    const std::size_t rep = units_[u];
+    const double dot = priced_dot(y_, rep);
+    double unit_best = 0.0;
+    bool unit_found = false;
+    for (std::size_t k = unit_start_[u]; k < unit_start_[u + 1]; ++k) {
+      const std::size_t v = unit_cols_[k];
+      const double d = cost[v] - dot;
+      if (status_[v] == VarStatus::Basic) continue;
+      if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;
+      double gain;
+      if (status_[v] == VarStatus::AtLower && d > tol) {
+        gain = d;
+      } else if (status_[v] == VarStatus::AtUpper && d < -tol) {
+        gain = -d;
+      } else {
+        continue;
+      }
+      const double score = devex ? d * d / devex_w_[v] : gain;
+      if (!unit_found || score > unit_best) {
+        unit_best = score;
+        unit_found = true;
+      }
+      consider(v, d);
+    }
+    if (unit_found) eligible.push_back({unit_best, u});
+  }
+  const std::size_t keep = std::min(price_window_, eligible.size());
+  std::partial_sort(eligible.begin(),
+                    eligible.begin() + static_cast<std::ptrdiff_t>(keep),
+                    eligible.end(), [](const UnitScore& a, const UnitScore& b) {
+                      return a.score > b.score;
+                    });
+  cand_units_.clear();
+  for (std::size_t i = 0; i < keep; ++i) cand_units_.push_back(eligible[i].unit);
+  if (!found) ++n_full_scan_fallbacks_;  // certified: no candidate anywhere
+  return found;
+}
+
 RevisedCore::Step RevisedCore::primal_iterate(bool phase1,
                                               const std::vector<double>& cost) {
-  util::telemetry::ScopedTimer timer(reg_, "lp.phase.pivot");
+  using Clock = std::chrono::steady_clock;
+  const bool timed = reg_ != nullptr;
+  struct Flusher {
+    RevisedCore* core;
+    ~Flusher() { core->flush_iterate_stats(); }
+  } flusher{this};
   const double tol = opt_.tolerance;
-  // Switch to Bland's anti-cycling rule if Dantzig pricing stalls (same
-  // threshold as the dense oracle).
+  // Switch to Bland's anti-cycling rule if pricing stalls (same threshold
+  // as the dense oracle, applied under every pricing rule).
   const std::size_t bland_after = 10 * (m_ + n_total_) + 500;
   std::size_t local_iter = 0;
   bool y_valid = false;  // bound flips keep y; only pivots invalidate it
@@ -447,44 +674,27 @@ RevisedCore::Step RevisedCore::primal_iterate(bool phase1,
     if (iterations_ == max_iterations_) return Step::Done;  // caller checks
     const bool bland = local_iter > bland_after;
 
+    Clock::time_point mark;
+    if (timed) mark = Clock::now();
     if (!y_valid) price_y(cost);
     y_valid = true;
     std::size_t enter = 0;
     int dir = 0;
-    bool found = false;
-    double best = tol;
-    for (std::size_t v = 0; v < n_total_; ++v) {
-      if (status_[v] == VarStatus::Basic) continue;
-      if (ub_[v] <= 0.0 && status_[v] == VarStatus::AtLower) continue;  // fixed
-      const double d = cost[v] - priced_dot(y_, v);
-      double gain = 0.0;
-      int candidate_dir = 0;
-      if (status_[v] == VarStatus::AtLower && d > tol) {
-        gain = d;
-        candidate_dir = +1;
-      } else if (status_[v] == VarStatus::AtUpper && d < -tol) {
-        gain = -d;
-        candidate_dir = -1;
-      } else {
-        continue;
-      }
-      if (bland) {
-        enter = v;
-        dir = candidate_dir;
-        found = true;
-        break;
-      }
-      if (gain > best) {
-        best = gain;
-        enter = v;
-        dir = candidate_dir;
-        found = true;
-      }
+    const bool found = price_entering(cost, bland, enter, dir);
+    if (timed) {
+      const Clock::time_point now = Clock::now();
+      t_price_ += std::chrono::duration<double>(now - mark).count();
+      mark = now;
     }
     if (!found) return Step::Done;  // phase optimal
 
     load_col(enter, w_);
     ftran(w_, /*entering=*/true);
+    if (timed) {
+      const Clock::time_point now = Clock::now();
+      t_ftran_ += std::chrono::duration<double>(now - mark).count();
+      mark = now;
+    }
 
     // Ratio test: largest step delta keeping all basic variables in their
     // bounds; ties prefer the larger |pivot| (same rule as the oracle).
@@ -525,18 +735,57 @@ RevisedCore::Step RevisedCore::primal_iterate(bool phase1,
     ++local_iter;
 
     if (pivot_row < 0) {
-      // Bound flip: the entering variable moves to its opposite bound.
+      // Bound flip: the entering variable moves to its opposite bound. No
+      // basis change, so the Devex framework is untouched.
       for (std::size_t r = 0; r < m_; ++r) xb_[r] -= dir * delta * w_[r];
       status_[enter] = (status_[enter] == VarStatus::AtLower)
                            ? VarStatus::AtUpper
                            : VarStatus::AtLower;
+      if (timed) {
+        t_update_ += std::chrono::duration<double>(Clock::now() - mark).count();
+      }
       continue;
+    }
+    const std::size_t leaving = basis_[static_cast<std::size_t>(pivot_row)];
+    if (opt_.pricing != LpPricing::Dantzig) {
+      // Approximate Devex update from the pivot element of the entering
+      // FTRAN column: the leaving variable re-enters the nonbasic pool with
+      // the entering column's weight projected through the pivot. Overflow
+      // resets the whole framework to the unit reference.
+      const double ar = w_[static_cast<std::size_t>(pivot_row)];
+      const double gl =
+          std::max(std::max(devex_w_[enter], 1.0) / (ar * ar), 1.0);
+      if (gl > kDevexResetThreshold) {
+        reset_devex(/*count_overflow=*/true);
+      } else {
+        devex_w_[leaving] = gl;
+      }
     }
     if (!pivot(enter, dir, static_cast<std::size_t>(pivot_row), delta,
                leaving_at_upper)) {
+      if (timed) {
+        t_update_ += std::chrono::duration<double>(Clock::now() - mark).count();
+      }
       return Step::Numerical;
     }
+    if (opt_.pricing == LpPricing::PartialDevex && !units_.empty()) {
+      ++pivots_since_rebuild_;
+      if (leaving < n_struct_) {
+        // The leaving variable just turned nonbasic with a freshly flipped
+        // reduced cost — promote its unit into the candidate list so the
+        // next partial scans keep it in view instead of waiting for a
+        // rebuild.
+        const std::size_t u = rep_unit_[col_class_[leaving]];
+        if (std::find(cand_units_.begin(), cand_units_.end(), u) ==
+            cand_units_.end()) {
+          cand_units_.push_back(u);
+        }
+      }
+    }
     y_valid = false;
+    if (timed) {
+      t_update_ += std::chrono::duration<double>(Clock::now() - mark).count();
+    }
   }
 }
 
@@ -588,9 +837,15 @@ RevisedCore::Step RevisedCore::dual_iterate() {
   // flipped within the step (its reduced cost crosses zero at a smaller dual
   // step than the eventual pivot's, so the flip is dual feasible), and the
   // basis change is spent only on the candidate that finishes the repair.
-  util::telemetry::ScopedTimer timer(reg_, "lp.phase.pivot");
+  using Clock = std::chrono::steady_clock;
+  const bool timed = reg_ != nullptr;
+  struct Flusher {
+    RevisedCore* core;
+    ~Flusher() { core->flush_iterate_stats(); }
+  } flusher{this};
   const std::size_t bland_after = 10 * (m_ + n_total_) + 500;
   std::size_t local_iter = 0;
+  const bool dual_devex = opt_.pricing != LpPricing::Dantzig;
 
   struct Cand {
     std::size_t v;
@@ -604,21 +859,37 @@ RevisedCore::Step RevisedCore::dual_iterate() {
     if (iterations_ == max_iterations_) return Step::Done;  // caller checks
     const bool bland = local_iter > bland_after;
 
-    // Leaving row: the largest bound violation among basic variables.
+    Clock::time_point mark;
+    if (timed) mark = Clock::now();
+    // Leaving row. Dantzig: the largest bound violation among basic
+    // variables. Devex: the largest violation^2 / row weight — the exact
+    // dual Devex rule, whose weights are maintained in O(m) per pivot from
+    // the entering FTRAN column below. Eligibility (what counts as a
+    // violation at all) is the same threshold under both rules, and the
+    // dual-ratio candidate scan stays a FULL scan under every rule — the
+    // bound-flipping ratio test needs every eligible candidate, so the
+    // partial window applies only to the primal side.
     std::ptrdiff_t r_leave = -1;
-    double worst = std::max(opt_.tolerance, 1e-9 * bnorm_);
+    const double eps = std::max(opt_.tolerance, 1e-9 * bnorm_);
+    double worst = 0.0;   // violation of the selected row
+    double best_score = eps;  // selection score (== violation for Dantzig)
     bool upper_viol = false;
     for (std::size_t r = 0; r < m_; ++r) {
-      if (-xb_[r] > worst) {
-        worst = -xb_[r];
-        r_leave = static_cast<std::ptrdiff_t>(r);
-        upper_viol = false;
-      }
+      double viol = -xb_[r];
+      bool at_upper = false;
       const double u = ub_[basis_[r]];
-      if (std::isfinite(u) && xb_[r] - u > worst) {
-        worst = xb_[r] - u;
+      if (std::isfinite(u) && xb_[r] - u > viol) {
+        viol = xb_[r] - u;
+        at_upper = true;
+      }
+      if (viol <= eps) continue;
+      const double score =
+          dual_devex ? viol * viol / dual_devex_w_[r] : viol;
+      if (r_leave < 0 || score > best_score) {
+        best_score = score;
+        worst = viol;
         r_leave = static_cast<std::ptrdiff_t>(r);
-        upper_viol = true;
+        upper_viol = at_upper;
       }
     }
     if (r_leave < 0) return Step::Done;  // primal feasible again
@@ -651,6 +922,11 @@ RevisedCore::Step RevisedCore::dual_iterate() {
       }
       if (!eligible) continue;
       cands.push_back({v, alpha, std::fabs(d_[v]) / std::fabs(alpha)});
+    }
+    if (timed) {
+      const Clock::time_point now = Clock::now();
+      t_price_ += std::chrono::duration<double>(now - mark).count();
+      mark = now;
     }
     if (cands.empty()) return Step::Unbounded;  // dual unbounded
 
@@ -705,6 +981,11 @@ RevisedCore::Step RevisedCore::dual_iterate() {
 
     load_col(enter, w_);
     ftran(w_, /*entering=*/true);
+    if (timed) {
+      const Clock::time_point now = Clock::now();
+      t_ftran_ += std::chrono::duration<double>(now - mark).count();
+      mark = now;
+    }
     const double wr = w_[rl];
     if (std::fabs(wr) < 1e-9) return Step::Numerical;  // rho/FTRAN disagree
 
@@ -732,6 +1013,25 @@ RevisedCore::Step RevisedCore::dual_iterate() {
       if (r == rl) continue;
       xb_[r] -= theta * w_[r];
     }
+    if (dual_devex) {
+      // Exact dual Devex update from the already-computed FTRAN column:
+      // gamma_i = max(gamma_i, (alpha_i / alpha_r)^2 * gamma_r) for the
+      // staying rows, gamma_r = max(gamma_r / alpha_r^2, 1) for the pivot
+      // row. O(m) on a vector the pivot loop above already touched.
+      const double gr = std::max(dual_devex_w_[rl], 1.0);
+      const double inv2 = gr / (wr * wr);
+      double wmax = 0.0;
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == rl) continue;
+        const double cand = w_[r] * w_[r] * inv2;
+        if (cand > dual_devex_w_[r]) dual_devex_w_[r] = cand;
+        wmax = std::max(wmax, dual_devex_w_[r]);
+      }
+      dual_devex_w_[rl] = std::max(inv2, 1.0);
+      if (std::max(wmax, dual_devex_w_[rl]) > kDevexResetThreshold) {
+        reset_devex(/*count_overflow=*/true);
+      }
+    }
     const double enter_old =
         (status_[enter] == VarStatus::AtUpper) ? ub_[enter] : 0.0;
     const std::size_t leaving = basis_[rl];
@@ -745,7 +1045,11 @@ RevisedCore::Step RevisedCore::dual_iterate() {
     // violation); any residual wrong-side value is a new violation this
     // same loop repairs.
     xb_[rl] = enter_old + theta;
-    if (!push_update_and_maybe_refactor(rl)) return Step::Numerical;
+    const bool pushed = push_update_and_maybe_refactor(rl);
+    if (timed) {
+      t_update_ += std::chrono::duration<double>(Clock::now() - mark).count();
+    }
+    if (!pushed) return Step::Numerical;
   }
 }
 
@@ -1019,6 +1323,11 @@ bool RevisedCore::apply_pending_updates() {
   const std::size_t pending = use_ft_ ? ft_->updates() : etas_.size();
   const std::size_t budget = std::min<std::size_t>(interval, m_ / 4 + 1);
   if (dirty_cols_.size() + pending >= budget) {
+    // Surfaced, not silent: long resident chains (partial pricing makes
+    // them longer) that keep outrunning the update budget show up as a
+    // counter the soak anomaly pass can watch, instead of hiding inside
+    // the generic refactorization total.
+    ++session_.ft_budget_exhausted;  // emitted by LpSession as a delta
     return refactorize();  // clears the dirty queue
   }
   // Sequential column replacement: for a basic column v in basis row r whose
@@ -1101,6 +1410,11 @@ bool RevisedCore::residual_ok() {
 LpSolution RevisedCore::solve_persistent(const LpBasis* seed) {
   TAPO_CHECK_MSG(session_mode_, "solve_persistent: setup() must run first");
   iterations_ = 0;
+  // Coefficient patches may have demoted column classes; refresh the
+  // candidate-list units before any pricing scan runs. Devex weights are
+  // deliberately NOT touched here: they survive patches and resident
+  // resumes (§8), and are reset only by cold_start/try_warm.
+  if (units_dirty_) rebuild_pricing_units();
   if (b_dirty_) {
     bnorm_ = 0.0;
     for (std::size_t r = 0; r < m_; ++r) {

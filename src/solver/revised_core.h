@@ -45,6 +45,11 @@ class RevisedCore {
     std::uint64_t fallbacks = 0;      // resident/seed state abandoned for cold
     std::uint64_t resident_resumes = 0;  // solves served from resident state
     std::uint64_t seed_imports = 0;      // chain-head basis imports
+    // Resumes whose queued patch set hit the min(ft_max_updates, m/4+1)
+    // update budget and were demoted to a refactorization. A climbing rate
+    // here means patch chains outgrew the factor-update budget (soak
+    // anomaly detection watches the lp.session.ft_budget_exhausted series).
+    std::uint64_t ft_budget_exhausted = 0;
   };
 
   // Standardizes the resident problem once; call before the first
@@ -166,6 +171,28 @@ class RevisedCore {
   void compute_xb();
   double primal_infeasibility() const;
 
+  // ---- pricing (docs/SOLVER.md §8) ----
+  // Entering-variable selection for one primal iteration: Dantzig, Devex or
+  // candidate-list partial Devex per opt_.pricing; `bland` forces the full
+  // lowest-index anti-cycling scan under every rule. Returns false when no
+  // eligible candidate exists anywhere — for the partial rule that verdict
+  // is only reached by a full scan after the candidate list ran dry (y is
+  // re-priced fresh every pivot), so it is the same optimality certificate
+  // as a full scan.
+  bool price_entering(const std::vector<double>& cost, bool bland,
+                      std::size_t& enter, int& dir);
+  // Rebuilds the candidate-list units (one unit per column class) after
+  // build_col_classes or a class demotion.
+  void rebuild_pricing_units();
+  // Resets the Devex reference framework (all weights to 1). Runs at every
+  // cold start / basis import — weights describe pivot history of the
+  // current basis trajectory — and on weight overflow (counted as
+  // lp.pricing.devex_resets). Resident session resumes keep their weights.
+  void reset_devex(bool count_overflow = false);
+  // Flushes the per-iterate phase-time accumulators and pricing counters to
+  // the registry; called once per primal_iterate/dual_iterate return.
+  void flush_iterate_stats();
+
   // ---- pivoting ----
   // Applies the basis update for the column that just became basic in
   // `pivot_row`: an in-place FT column replacement (use_ft_, consuming the
@@ -227,6 +254,55 @@ class RevisedCore {
   std::vector<double> class_dot_;          // memoized dot, indexed by rep
   std::vector<std::uint64_t> class_stamp_; // epoch the memo slot was filled
   std::uint64_t pricing_epoch_ = 1;        // bumped when y_/rho_ change
+
+  // Candidate-list partial pricing (docs/SOLVER.md §8). A unit is one column
+  // class: units_ lists the representatives ascending, and unit_cols_
+  // (grouped by unit_start_) the member columns of each unit, ascending —
+  // members share the class dot but carry their own objective coefficients,
+  // so a partial scan prices the class dot once and still visits every
+  // member. cand_units_ is the candidate list: the globally best-scoring
+  // ~2*sqrt(#units) units of the last full scan (price_window_ is that
+  // capacity), re-scanned each iteration and rebuilt by a fresh full scan
+  // when it yields no eligible candidate. The list persists across
+  // iterations AND session resumes (the amortization is exactly the point).
+  // Slack/artificial columns are priced every iteration (O(1) dots) and
+  // never enter the list. rep_unit_ maps a class representative to its unit
+  // (the leaving variable's unit is promoted into the list every pivot —
+  // its reduced cost just flipped, so it is the likeliest next candidate).
+  // Class demotions mark units_dirty_; unit lists are rebuilt lazily at the
+  // next persistent solve.
+  std::vector<std::size_t> units_;
+  std::vector<std::size_t> unit_start_, unit_cols_;
+  std::vector<std::size_t> rep_unit_;
+  std::vector<std::size_t> cand_units_;
+  std::size_t price_window_ = 0;
+  // Minor-cycle length control: pivots since the candidate list was last
+  // rebuilt by a full scan. The list is refreshed when it runs dry, shrinks
+  // below half capacity, or serves more than price_window_ pivots — stale
+  // best-of-list picks degrade pivot quality well before the list empties
+  // (measured: dry-only refreshes cost +53% iterations vs full Devex).
+  std::size_t pivots_since_rebuild_ = 0;
+  bool units_dirty_ = false;
+
+  // Devex reference weights. Primal: per-column (n_total_), selection score
+  // d^2 / weight, leaving-variable update from the pivot element of the
+  // already-computed FTRAN column. Dual: per-row (m_), leaving-row score
+  // violation^2 / weight, O(m) exact update from the FTRAN column. Both
+  // reset to the unit framework on cold starts / basis imports and on
+  // overflow past kDevexResetThreshold; resident resumes keep them (§8's
+  // session-survival contract).
+  static constexpr double kDevexResetThreshold = 1e8;
+  std::vector<double> devex_w_;
+  std::vector<double> dual_devex_w_;
+
+  // Per-iterate phase-time accumulators (lp.phase.price/ftran/update) and
+  // pricing counters (lp.pricing.*), flushed by flush_iterate_stats once
+  // per iterate call — per-pivot ScopedTimers would pay the registry mutex
+  // on the hot path.
+  double t_price_ = 0.0, t_ftran_ = 0.0, t_update_ = 0.0;
+  std::uint64_t n_window_refreshes_ = 0;
+  std::uint64_t n_devex_resets_ = 0;
+  std::uint64_t n_full_scan_fallbacks_ = 0;
 
   std::vector<double> rel_sign_;  // -1 for GreaterEq rows, +1 otherwise
   std::vector<char> equality_;    // per row

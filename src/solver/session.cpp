@@ -80,6 +80,7 @@ LpSolution LpSession::solve(const LpBasis* seed) {
   im.stats.fallbacks = after.fallbacks;
   im.stats.resident_resumes = after.resident_resumes;
   im.stats.seed_imports = after.seed_imports;
+  im.stats.ft_budget_exhausted = after.ft_budget_exhausted;
 
   if (auto* reg = im.reg) {
     // lp.session.* deltas for this solve (docs/OBSERVABILITY.md).
@@ -95,6 +96,8 @@ LpSolution LpSession::solve(const LpBasis* seed) {
     delta(before.resident_resumes, after.resident_resumes,
           "lp.session.resident_resumes");
     delta(before.seed_imports, after.seed_imports, "lp.session.seed_imports");
+    delta(before.ft_budget_exhausted, after.ft_budget_exhausted,
+          "lp.session.ft_budget_exhausted");
 
     // Mirror the solve_lp dispatcher's lp.* counters so session and
     // non-session sweeps stay comparable in benches and dashboards. A

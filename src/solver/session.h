@@ -44,6 +44,9 @@ class LpSession {
     std::uint64_t fallbacks = 0;          // warm/resident state abandoned
     std::uint64_t resident_resumes = 0;   // solves resumed without any rebuild
     std::uint64_t seed_imports = 0;       // solves warm-started from a seed
+    std::uint64_t ft_budget_exhausted = 0;  // resumes whose patch queue hit
+                                            // the min(ft_max_updates, m/4+1)
+                                            // budget and refactorized instead
   };
 
   // Takes ownership of the built problem and standardizes it once

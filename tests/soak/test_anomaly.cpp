@@ -115,6 +115,22 @@ TEST(Spike, QuietOnLowFractionOrFewSolves) {
   EXPECT_FALSE(detect_fallback_spike(0, 0).has_value());
 }
 
+TEST(Spike, FiresOnFtBudgetPressure) {
+  const auto a = detect_ft_budget_pressure(6, 10);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->detector, "ft_budget_pressure");
+  EXPECT_EQ(a->series, "lp.session.ft_budget_exhausted");
+  EXPECT_DOUBLE_EQ(a->value, 0.6);
+}
+
+TEST(Spike, QuietOnOccasionalFtBudgetExhaustion) {
+  // Half the resumes exhausting is the boundary (<=), and a handful of
+  // resumes is below the evidence floor regardless of the ratio.
+  EXPECT_FALSE(detect_ft_budget_pressure(5, 10).has_value());
+  EXPECT_FALSE(detect_ft_budget_pressure(4, 4).has_value());
+  EXPECT_FALSE(detect_ft_budget_pressure(0, 0).has_value());
+}
+
 TEST(ReplanStorm, FiresOnABurstOfSteps) {
   // 12 horizon steps inside 10 s; the default budget is 8 per 30 s window.
   std::vector<Sample> samples;

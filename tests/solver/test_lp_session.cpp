@@ -247,6 +247,63 @@ TEST(LpSession, FtAndEtaSessionsAgreeOnRandomPatchSequences) {
   EXPECT_LT(borderline, solves / 20);
 }
 
+TEST(LpSession, PricingRulesAgreeOnRandomPatchSequences) {
+  // Three sessions over the same problem, one per pricing rule, dragged
+  // through the identical patch sequence. Devex weights and the partial
+  // window cursor survive patches and resident resumes (docs/SOLVER.md §8)
+  // — this differential is what pins that carried state: stale weights can
+  // only reorder pivots, never change the certified optimum, so all three
+  // sessions must keep matching the dense oracle at every step.
+  util::Rng rng(0x9e3779b97f4a7c15ULL);
+  std::size_t optimal_count = 0, solves = 0, borderline = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n_vars = static_cast<std::size_t>(rng.uniform_int(2, 14));
+    const std::size_t n_rows = static_cast<std::size_t>(rng.uniform_int(1, 10));
+    MutableLp lp = make_random_lp(rng, n_vars, n_rows);
+    constexpr LpPricing kRules[] = {LpPricing::Dantzig, LpPricing::Devex,
+                                    LpPricing::PartialDevex};
+    std::vector<LpSession> sessions;
+    sessions.reserve(3);
+    for (const LpPricing pricing : kRules) {
+      LpOptions opt;
+      opt.pricing = pricing;
+      sessions.emplace_back(lp.build(), opt);
+    }
+    const int steps = rng.uniform_int(3, 7);
+    for (int step = 0; step < steps; ++step) {
+      const int patches = rng.uniform_int(1, 4);
+      for (int k = 0; k < patches; ++k) {
+        random_patch(rng, {&sessions[0], &sessions[1], &sessions[2]}, lp);
+      }
+      LpSolution sols[3];
+      for (int p = 0; p < 3; ++p) sols[p] = sessions[p].solve();
+      ++solves;
+      const LpProblem fresh = lp.build();
+      const LpSolution dense = solve_with(fresh, LpEngine::Dense);
+      const LpSolution revised = solve_with(fresh, LpEngine::Revised);
+      if (dense.status != revised.status) {
+        ++borderline;  // engines themselves split: phase-1 threshold case
+        continue;
+      }
+      for (int p = 0; p < 3; ++p) {
+        ASSERT_EQ(dense.status, sols[p].status)
+            << "trial " << trial << " step " << step << " pricing "
+            << to_string(kRules[p]);
+        if (dense.status != LpStatus::Optimal) continue;
+        EXPECT_NEAR(dense.objective, sols[p].objective, 1e-7)
+            << "trial " << trial << " step " << step << " pricing "
+            << to_string(kRules[p]);
+        EXPECT_LT(fresh.max_violation(sols[p].x), 1e-6)
+            << "trial " << trial << " step " << step << " pricing "
+            << to_string(kRules[p]);
+      }
+      if (dense.status == LpStatus::Optimal) ++optimal_count;
+    }
+  }
+  EXPECT_GT(optimal_count, solves / 3);
+  EXPECT_LT(borderline, solves / 20);
+}
+
 TEST(LpSession, UnpatchedResolveIsBitIdentical) {
   util::Rng rng(0x5eed5eed5eed5eedULL);
   std::size_t checked = 0;
@@ -458,6 +515,8 @@ TEST(LpSession, TelemetryCatalogsSessionActivity) {
             session.stats().resident_resumes);
   EXPECT_EQ(reg.counter_value("lp.session.ft_updates"),
             session.stats().ft_updates);
+  EXPECT_EQ(reg.counter_value("lp.session.ft_budget_exhausted"),
+            session.stats().ft_budget_exhausted);
   // Sessions feed the same lp.* rollups as one-shot solves.
   EXPECT_EQ(reg.counter_value("lp.solves"), 2u);
   // Standardization/factorization phase timers fire inside the session.
